@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (500 samples each).
+experiments:
+	$(GO) run ./cmd/experiments all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/slicebench
+	$(GO) run ./examples/introspection
+	$(GO) run ./examples/attestation
+	$(GO) run ./examples/ota
+
+clean:
+	$(GO) clean ./...

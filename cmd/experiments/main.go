@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-seed N] [-iterations N] all
+//	experiments fig7 fig9 table2 ...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shield5g"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Uint64("seed", 1, "jitter seed for reproducible virtual-time measurements")
+	iterations := flag.Int("iterations", 500, "samples per configuration (paper: 500)")
+	maxUEs := flag.Int("maxues", 3, "UE sweep depth for table3 (paper registers up to 10)")
+	csvDir := flag.String("csvdir", "", "also write plot-friendly CSV series for figure experiments into this directory")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range shield5g.Experiments() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	cfg := shield5g.ExperimentConfig{Seed: *seed, Iterations: *iterations, MaxUEs: *maxUEs}
+	ctx := context.Background()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-iterations N] all | <name>...")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", shield5g.Experiments())
+		return 2
+	}
+	if len(args) == 1 && args[0] == "all" {
+		if err := shield5g.RunAllExperiments(ctx, cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	for _, name := range args {
+		fmt.Printf("\n=== %s ===\n", name)
+		if err := shield5g.RunExperiment(ctx, name, cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			return 1
+		}
+		if *csvDir != "" && hasCSV(name) {
+			if err := writeCSV(ctx, *csvDir, name, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s CSV: %v\n", name, err)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func hasCSV(name string) bool {
+	for _, n := range shield5g.CSVExperiments() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func writeCSV(ctx context.Context, dir, name string, cfg shield5g.ExperimentConfig) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := shield5g.WriteExperimentCSV(ctx, name, cfg, f); err != nil {
+		return err
+	}
+	fmt.Printf("(series written to %s)\n", path)
+	return f.Close()
+}

@@ -1,0 +1,79 @@
+// Attestation and sealing: the paper's Key Issues 13 and 27. Instead of
+// baking plaintext credentials into NF container images, the operator
+// seals them to the eUDM enclave's measurement and releases them only
+// after verifying a hardware-rooted attestation quote — so a stolen image
+// (or a tampered one) yields nothing.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"shield5g"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "attestation: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{Isolation: shield5g.SGX, Seed: 11})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	eudm := tb.Slice.Modules[shield5g.EUDM].Enclave()
+	eausf := tb.Slice.Modules[shield5g.EAUSF].Enclave()
+
+	// 1. Remote attestation: the enclave proves its identity to the
+	//    operator's provisioning service.
+	var reportData [64]byte
+	copy(reportData[:], "operator-provisioning-nonce-1")
+	quote, err := eudm.GenerateQuote(reportData)
+	if err != nil {
+		return err
+	}
+	expected := eudm.Measurement()
+	if err := shield5g.VerifyQuote(tb.Slice.Platform.QuotingPublicKey(), quote, &expected); err != nil {
+		return fmt.Errorf("quote verification: %w", err)
+	}
+	fmt.Printf("attestation verified: enclave %q measurement %x...\n",
+		quote.Report.EnclaveName, quote.Report.Measurement[:8])
+
+	// A tampered quote must not verify.
+	forged := *quote
+	forged.Report.EnclaveName = "evil-module"
+	if err := shield5g.VerifyQuote(tb.Slice.Platform.QuotingPublicKey(), &forged, &expected); err == nil {
+		return errors.New("forged quote verified")
+	}
+	fmt.Println("forged quote rejected: signature does not cover the tampered report")
+
+	// 2. Secret sealing: the home-network private key is sealed to the
+	//    verified enclave identity and shipped with the image.
+	secret := tb.Slice.HomeNetworkKey.Bytes()
+	sealed, err := eudm.Seal(secret, []byte("hn-key-v1"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("home-network key sealed to eUDM measurement (%d-byte blob)\n", len(sealed))
+
+	// Only the same enclave identity can unseal.
+	plain, err := eudm.Unseal(sealed, []byte("hn-key-v1"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("eUDM unsealed the key: %d bytes recovered\n", len(plain))
+
+	if _, err := eausf.Unseal(sealed, []byte("hn-key-v1")); !errors.Is(err, shield5g.ErrUnseal) {
+		return fmt.Errorf("eAUSF unseal should fail with ErrUnseal, got %v", err)
+	}
+	fmt.Println("eAUSF (different measurement) cannot unseal: KI 27 mitigated")
+	return nil
+}

@@ -1,0 +1,75 @@
+// Quickstart: deploy an SGX-shielded 5G slice, register a UE through the
+// P-AKA modules, establish a data session, and push a packet end to end —
+// the minimal happy path of the library.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"os"
+	"time"
+
+	"shield5g"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Deploy a slice with the AKA functions inside SGX enclaves. This
+	// pays the full GSC build + enclave load cost in virtual time (the
+	// paper's Fig. 7: just under a minute per module).
+	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{
+		Isolation: shield5g.SGX,
+		MCC:       "001", MNC: "01",
+		Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	for _, kind := range []shield5g.ModuleKind{shield5g.EUDM, shield5g.EAUSF, shield5g.EAMF} {
+		m := tb.Slice.Modules[kind]
+		fmt.Printf("%s P-AKA module shielded: enclave load %v (virtual)\n",
+			kind, m.LoadDuration().Round(time.Millisecond))
+	}
+
+	// Provision a subscriber: the long-term key K goes to the UDR and
+	// into the eUDM enclave; it never appears in plaintext host memory
+	// again.
+	k := make([]byte, 16)
+	if _, err := rand.Read(k); err != nil {
+		return err
+	}
+	sub, err := tb.AddSubscriber(ctx, k, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("subscriber provisioned: %s\n", sub.SUPI.String())
+
+	// Full 5G-AKA registration through the shielded modules.
+	sess, err := tb.Register(ctx, sub)
+	if err != nil {
+		return err
+	}
+	guti, _ := sub.UE.GUTI()
+	fmt.Printf("registered in %v (virtual): GUTI %s\n", sess.SetupTime.Round(time.Microsecond), guti)
+
+	// Data session through SMF/UPF.
+	if err := sess.EstablishPDUSession(ctx, 1, "internet"); err != nil {
+		return err
+	}
+	echo, err := sess.SendData(ctx, []byte("hello through the shielded core"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PDU session up: UE address %s, echo %q\n", sub.UE.UEAddress(), echo)
+	return nil
+}

@@ -1,0 +1,3 @@
+module shield5g
+
+go 1.22

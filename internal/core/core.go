@@ -1,0 +1,280 @@
+// Package core is the high-level entry point of the shield5g library: it
+// ties the paper's primary contribution — HMEE-shielded 5G-AKA network
+// slices — into a single API. A Testbed owns one deployed slice plus the
+// subscriber provisioning and measurement plumbing, and the experiment
+// registry maps every table and figure of the paper onto a runnable
+// reproduction.
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"shield5g/internal/crypto/milenage"
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/deploy"
+	"shield5g/internal/experiments"
+	"shield5g/internal/gnb"
+	"shield5g/internal/ue"
+)
+
+// Testbed is a deployed network slice with provisioning helpers.
+type Testbed struct {
+	// Slice is the running deployment.
+	Slice *deploy.Slice
+
+	nextMSIN int
+}
+
+// NewTestbed deploys a slice. For SGX isolation this includes the full
+// enclave build (the paper's Fig. 7 cost, charged to virtual time).
+func NewTestbed(ctx context.Context, cfg deploy.SliceConfig) (*Testbed, error) {
+	s, err := deploy.NewSlice(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Testbed{Slice: s, nextMSIN: 1}, nil
+}
+
+// Close tears the slice down.
+func (t *Testbed) Close() { t.Slice.Stop() }
+
+// Subscriber is a provisioned subscriber with its matching device.
+type Subscriber struct {
+	SUPI suci.SUPI
+	K    []byte
+	OPc  []byte
+	UE   *ue.UE
+}
+
+// AddSubscriber provisions a fresh subscriber in the UDR and the AKA
+// execution environment, and returns a UE device holding the matching
+// USIM credentials. A nil profile provisions a simulator UE; pass
+// ue.OnePlus8() for the paper's COTS device behaviour.
+func (t *Testbed) AddSubscriber(ctx context.Context, k []byte, profile *ue.COTSProfile) (*Subscriber, error) {
+	t.nextMSIN++
+	supi := suci.SUPI{
+		MCC:  t.Slice.Config.MCC,
+		MNC:  t.Slice.Config.MNC,
+		MSIN: fmt.Sprintf("%010d", t.nextMSIN),
+	}
+	if len(k) != 16 {
+		return nil, fmt.Errorf("core: subscriber key length %d, want 16", len(k))
+	}
+	opc, err := milenage.ComputeOPc(k, make([]byte, 16))
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Slice.ProvisionSubscriber(ctx, supi, k, opc); err != nil {
+		return nil, err
+	}
+	device, err := ue.New(ue.Config{
+		SUPI:                 supi,
+		K:                    k,
+		OPc:                  opc,
+		HomeNetworkPublicKey: t.Slice.HomeNetworkKey.PublicKey(),
+		HomeNetworkKeyID:     t.Slice.HomeNetworkKey.ID,
+		Env:                  t.Slice.Env,
+		Profile:              profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Subscriber{SUPI: supi, K: k, OPc: opc, UE: device}, nil
+}
+
+// Register runs the subscriber's UE through the full registration flow
+// and returns the RAN session.
+func (t *Testbed) Register(ctx context.Context, sub *Subscriber) (*gnb.Session, error) {
+	return t.Slice.GNB.RegisterUE(ctx, sub.UE)
+}
+
+// Experiment is one runnable reproduction of a paper table or figure.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func(ctx context.Context, cfg experiments.Config, w io.Writer) error
+}
+
+// ExperimentRegistry maps experiment names to runners.
+func ExperimentRegistry() map[string]Experiment {
+	render := func(name, desc string, run func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error)) Experiment {
+		return Experiment{
+			Name:        name,
+			Description: desc,
+			Run: func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+				r, err := run(ctx, cfg)
+				if err != nil {
+					return err
+				}
+				r.Render(w)
+				return nil
+			},
+		}
+	}
+	reg := map[string]Experiment{
+		"fig7": render("fig7", "Enclave load time for the P-AKA modules",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Fig7(ctx, cfg)
+			}),
+		"fig8": render("fig8", "Threads and EPC size sweep on the eUDM module",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Fig8(ctx, cfg)
+			}),
+		"fig9": render("fig9", "Functional and total latency, container vs SGX",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Fig9(ctx, cfg)
+			}),
+		"fig10": render("fig10", "Stable and initial response time of the modules",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Fig10(ctx, cfg)
+			}),
+		"table2": render("table2", "SGX overhead ratios across the isolated modules",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Table2(ctx, cfg)
+			}),
+		"table3": render("table3", "SGX specific operational statistics",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Table3(ctx, cfg)
+			}),
+		"ablation": render("ablation", "Optimization ablation: exitless, user-level TCP, preheat (§V-B7)",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Ablation(ctx, cfg)
+			}),
+		"teecompare": render("teecompare", "HMEE backends compared: SGX vs SEV vs container (§IV-C)",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.TEECompare(ctx, cfg)
+			}),
+		"scale": render("scale", "Horizontal scaling of enclave worker pools (§V-B7)",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Scale(ctx, cfg)
+			}),
+		"e2e": render("e2e", "End-to-end session setup and the SGX share",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.E2E(ctx, cfg)
+			}),
+		"ota": render("ota", "OTA feasibility test with the COTS UE profile",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.OTA(ctx, cfg)
+			}),
+		"table1": {
+			Name: "table1", Description: "Enclave boundary parameters (paper vs implementation)",
+			Run: func(_ context.Context, _ experiments.Config, w io.Writer) error {
+				experiments.Table1(w)
+				return nil
+			},
+		},
+		"table4": {
+			Name: "table4", Description: "Simulated testbed configuration",
+			Run: func(_ context.Context, _ experiments.Config, w io.Writer) error {
+				experiments.Table4(w)
+				return nil
+			},
+		},
+		"table5": {
+			Name: "table5", Description: "Key issues vs HMEE coverage",
+			Run: func(_ context.Context, _ experiments.Config, w io.Writer) error {
+				experiments.Table5(w)
+				return nil
+			},
+		},
+	}
+	return reg
+}
+
+// ExperimentNames lists the registry in stable order.
+func ExperimentNames() []string {
+	reg := ExperimentRegistry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// csvWriters maps experiments with a plot-friendly series export.
+func csvWriters() map[string]func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+	return map[string]func(ctx context.Context, cfg experiments.Config, w io.Writer) error{
+		"fig7": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Fig7(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig8": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Fig8(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig9": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Fig9(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig10": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Fig10(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"scale": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Scale(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+	}
+}
+
+// CSVExperiments lists the experiments that support CSV export.
+func CSVExperiments() []string {
+	m := csvWriters()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteExperimentCSV runs one experiment and writes its raw series as CSV.
+func WriteExperimentCSV(ctx context.Context, name string, cfg experiments.Config, w io.Writer) error {
+	fn, ok := csvWriters()[name]
+	if !ok {
+		return fmt.Errorf("core: experiment %q has no CSV export (have %v)", name, CSVExperiments())
+	}
+	return fn(ctx, cfg, w)
+}
+
+// RunExperiment executes one named experiment, writing its rendered
+// output to w.
+func RunExperiment(ctx context.Context, name string, cfg experiments.Config, w io.Writer) error {
+	exp, ok := ExperimentRegistry()[name]
+	if !ok {
+		return fmt.Errorf("core: unknown experiment %q (have %v)", name, ExperimentNames())
+	}
+	return exp.Run(ctx, cfg, w)
+}
+
+// RunAll executes every experiment in stable order.
+func RunAll(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+	for _, name := range ExperimentNames() {
+		if _, err := fmt.Fprintf(w, "\n=== %s ===\n", name); err != nil {
+			return err
+		}
+		if err := RunExperiment(ctx, name, cfg, w); err != nil {
+			return fmt.Errorf("core: experiment %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"shield5g/internal/deploy"
+	"shield5g/internal/experiments"
+	"shield5g/internal/paka"
+	"shield5g/internal/ue"
+)
+
+func TestTestbedLifecycle(t *testing.T) {
+	ctx := context.Background()
+	tb, err := NewTestbed(ctx, deploy.SliceConfig{Isolation: paka.SGX, Seed: 21})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+
+	k := bytes.Repeat([]byte{0x33}, 16)
+	sub, err := tb.AddSubscriber(ctx, k, nil)
+	if err != nil {
+		t.Fatalf("AddSubscriber: %v", err)
+	}
+	if sub.SUPI.MCC != "001" || sub.SUPI.MNC != "01" {
+		t.Fatalf("SUPI = %+v", sub.SUPI)
+	}
+	sess, err := tb.Register(ctx, sub)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if sess.SetupTime <= 0 {
+		t.Fatal("no setup time")
+	}
+
+	// Distinct subscribers get distinct identities.
+	sub2, err := tb.AddSubscriber(ctx, k, nil)
+	if err != nil {
+		t.Fatalf("AddSubscriber: %v", err)
+	}
+	if sub2.SUPI == sub.SUPI {
+		t.Fatal("duplicate SUPI")
+	}
+}
+
+func TestAddSubscriberValidation(t *testing.T) {
+	ctx := context.Background()
+	tb, err := NewTestbed(ctx, deploy.SliceConfig{Isolation: paka.Container, Seed: 21})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+	if _, err := tb.AddSubscriber(ctx, []byte("short"), nil); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestAddSubscriberWithProfile(t *testing.T) {
+	ctx := context.Background()
+	tb, err := NewTestbed(ctx, deploy.SliceConfig{Isolation: paka.Container, Seed: 21})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+	profile := ue.OnePlus8()
+	sub, err := tb.AddSubscriber(ctx, bytes.Repeat([]byte{0x44}, 16), &profile)
+	if err != nil {
+		t.Fatalf("AddSubscriber: %v", err)
+	}
+	if err := sub.UE.DetectNetwork("99999"); err == nil {
+		t.Fatal("COTS profile not applied")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	names := ExperimentNames()
+	want := []string{"ablation", "e2e", "fig10", "fig7", "fig8", "fig9", "ota", "scale", "table1", "table2", "table3", "table4", "table5", "teecompare"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+	for _, exp := range ExperimentRegistry() {
+		if exp.Name == "" || exp.Description == "" || exp.Run == nil {
+			t.Fatalf("incomplete experiment %+v", exp)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	err := RunExperiment(context.Background(), "fig99", experiments.Config{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunExperimentStaticTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(context.Background(), "table5", experiments.Config{}, &buf); err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Table V") {
+		t.Fatal("table5 output missing")
+	}
+}
+
+func TestRunExperimentDynamic(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := experiments.Config{Seed: 3, Iterations: 20}
+	if err := RunExperiment(context.Background(), "fig9", cfg, &buf); err != nil {
+		t.Fatalf("RunExperiment fig9: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Figure 9a") {
+		t.Fatal("fig9 output missing")
+	}
+}
+
+func TestWriteExperimentCSV(t *testing.T) {
+	cfg := experiments.Config{Seed: 3, Iterations: 20}
+	var buf bytes.Buffer
+	if err := WriteExperimentCSV(context.Background(), "fig9", cfg, &buf); err != nil {
+		t.Fatalf("WriteExperimentCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "module,isolation,lf_median_us") {
+		t.Fatalf("CSV header missing: %q", out)
+	}
+	if !strings.Contains(out, "eUDM,sgx,") {
+		t.Fatal("CSV rows missing")
+	}
+	if err := WriteExperimentCSV(context.Background(), "table5", cfg, &buf); err == nil {
+		t.Fatal("CSV export for non-figure experiment accepted")
+	}
+	if len(CSVExperiments()) != 5 {
+		t.Fatalf("CSVExperiments = %v", CSVExperiments())
+	}
+}

@@ -1,0 +1,41 @@
+package costmodel
+
+import (
+	"context"
+
+	"shield5g/internal/simclock"
+)
+
+// Env bundles the cost model with the virtual clock, jitter source and
+// optional realtime realizer for components that are not SGX platforms
+// (SBI transport, plain-container runtimes, UE/gNB simulation). All parts
+// of one simulated testbed should share a single Env so their time bases
+// agree.
+type Env struct {
+	Model    *Model
+	Clock    *simclock.Clock
+	Jitter   *simclock.Jitter
+	Realizer *Realizer
+}
+
+// NewEnv builds an Env over the model with a deterministic jitter seed.
+// A nil model selects Default(); realizer may be nil (accounting mode).
+func NewEnv(m *Model, seed uint64, realizer *Realizer) *Env {
+	if m == nil {
+		m = Default()
+	}
+	return &Env{
+		Model:    m,
+		Clock:    simclock.New(m.FrequencyHz),
+		Jitter:   simclock.NewJitter(seed),
+		Realizer: realizer,
+	}
+}
+
+// Charge applies n cycles to the request account in ctx, advances the
+// shared clock, and realises the cost in realtime mode.
+func (e *Env) Charge(ctx context.Context, n simclock.Cycles) {
+	simclock.AccountFrom(ctx).Charge(n)
+	e.Clock.Advance(n)
+	e.Realizer.Realize(n)
+}

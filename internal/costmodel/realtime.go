@@ -1,0 +1,48 @@
+package costmodel
+
+import (
+	"time"
+
+	"shield5g/internal/simclock"
+)
+
+// Realizer converts modelled cycle charges into calibrated wall-clock delay
+// so that testing.B benchmarks exhibit the modelled cost ordering in real
+// time. A scale below 1 compresses modelled time (for example, 0.01 turns a
+// modelled 58 s enclave load into 580 ms of bench time); the scale used is
+// reported alongside every benchmark that relies on it.
+type Realizer struct {
+	model *Model
+	scale float64
+}
+
+// NewRealizer returns a Realizer over the model. A non-positive scale
+// disables realisation, making Realize a no-op.
+func NewRealizer(m *Model, scale float64) *Realizer {
+	return &Realizer{model: m, scale: scale}
+}
+
+// Scale reports the time-compression factor.
+func (r *Realizer) Scale() float64 { return r.scale }
+
+// Realize busy-waits for the scaled wall-clock equivalent of n cycles.
+// Busy-wait rather than time.Sleep keeps sub-millisecond charges accurate:
+// the scheduler's sleep granularity would otherwise dominate the modelled
+// microsecond-scale transition costs.
+func (r *Realizer) Realize(n simclock.Cycles) {
+	if r == nil || r.scale <= 0 || n == 0 {
+		return
+	}
+	d := time.Duration(float64(r.model.Duration(n)) * r.scale)
+	if d <= 0 {
+		return
+	}
+	if d > 2*time.Millisecond {
+		// Long waits may yield the CPU; precision no longer matters.
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) { //nolint:revive // intentional spin
+	}
+}

@@ -1,0 +1,218 @@
+// Package milenage implements the MILENAGE algorithm set (3GPP TS 35.205 /
+// TS 35.206): the authentication and key-generation functions f1, f1*, f2,
+// f3, f4, f5 and f5* built around AES-128, plus OPc derivation.
+//
+// MILENAGE is the algorithm the paper's eUDM P-AKA module executes inside
+// the SGX enclave to generate the Home Environment authentication vector
+// (RAND, AUTN, XRES*, K_AUSF inputs CK/IK), and the algorithm the USIM runs
+// on the UE side to verify the network and compute RES*.
+package milenage
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+)
+
+// Algorithm parameter sizes in bytes.
+const (
+	KeyLen  = 16 // subscriber key K
+	OPLen   = 16 // operator variant algorithm configuration field
+	RandLen = 16 // authentication challenge RAND
+	SQNLen  = 6  // sequence number
+	AMFLen  = 2  // authentication management field
+	MACLen  = 8  // MAC-A / MAC-S
+	ResLen  = 8  // RES / XRES
+	CKLen   = 16 // cipher key
+	IKLen   = 16 // integrity key
+	AKLen   = 6  // anonymity key
+)
+
+// Rotation and addition constants from TS 35.206 §4.1 (bit amounts; all are
+// whole bytes so rotation is implemented byte-wise).
+var (
+	rotations = [5]int{8, 0, 4, 8, 12} // r1..r5 in bytes (64, 0, 32, 64, 96 bits)
+	constants = [5]byte{0, 1, 2, 4, 8} // low byte of c1..c5; other bits zero
+)
+
+// Cipher evaluates the MILENAGE functions for one subscriber (K, OPc) pair.
+// It is safe for concurrent use after construction.
+type Cipher struct {
+	block cipher.Block
+	opc   [OPLen]byte
+}
+
+// New returns a Cipher for subscriber key k and the pre-computed OPc.
+func New(k, opc []byte) (*Cipher, error) {
+	if len(k) != KeyLen {
+		return nil, fmt.Errorf("milenage: key length %d, want %d", len(k), KeyLen)
+	}
+	if len(opc) != OPLen {
+		return nil, fmt.Errorf("milenage: OPc length %d, want %d", len(opc), OPLen)
+	}
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return nil, fmt.Errorf("milenage: new AES cipher: %w", err)
+	}
+	c := &Cipher{block: block}
+	copy(c.opc[:], opc)
+	return c, nil
+}
+
+// NewWithOP returns a Cipher for subscriber key k and operator key OP,
+// deriving OPc internally.
+func NewWithOP(k, op []byte) (*Cipher, error) {
+	opc, err := ComputeOPc(k, op)
+	if err != nil {
+		return nil, err
+	}
+	return New(k, opc)
+}
+
+// ComputeOPc derives OPc = E_K(OP) XOR OP (TS 35.206 §4.1).
+func ComputeOPc(k, op []byte) ([]byte, error) {
+	if len(k) != KeyLen {
+		return nil, fmt.Errorf("milenage: key length %d, want %d", len(k), KeyLen)
+	}
+	if len(op) != OPLen {
+		return nil, fmt.Errorf("milenage: OP length %d, want %d", len(op), OPLen)
+	}
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return nil, fmt.Errorf("milenage: new AES cipher: %w", err)
+	}
+	opc := make([]byte, OPLen)
+	block.Encrypt(opc, op)
+	xorInto(opc, op)
+	return opc, nil
+}
+
+// OPc returns a copy of the cipher's OPc value.
+func (c *Cipher) OPc() []byte {
+	out := make([]byte, OPLen)
+	copy(out, c.opc[:])
+	return out
+}
+
+// F1 computes the network authentication code MAC-A (TS 35.206 §4.1).
+func (c *Cipher) F1(rand, sqn, amf []byte) ([]byte, error) {
+	out1, err := c.f1Block(rand, sqn, amf)
+	if err != nil {
+		return nil, err
+	}
+	return out1[:MACLen], nil
+}
+
+// F1Star computes the resynchronisation authentication code MAC-S.
+func (c *Cipher) F1Star(rand, sqn, amf []byte) ([]byte, error) {
+	out1, err := c.f1Block(rand, sqn, amf)
+	if err != nil {
+		return nil, err
+	}
+	return out1[MACLen:], nil
+}
+
+func (c *Cipher) f1Block(rand, sqn, amf []byte) ([]byte, error) {
+	if err := checkLens(rand, sqn, amf); err != nil {
+		return nil, err
+	}
+	temp := c.temp(rand)
+
+	// IN1 = SQN || AMF || SQN || AMF.
+	var in1 [16]byte
+	copy(in1[0:6], sqn)
+	copy(in1[6:8], amf)
+	copy(in1[8:14], sqn)
+	copy(in1[14:16], amf)
+
+	// OUT1 = E_K(TEMP XOR rot(IN1 XOR OPc, r1) XOR c1) XOR OPc.
+	xorInto(in1[:], c.opc[:])
+	buf := rotate(in1[:], rotations[0])
+	buf[15] ^= constants[0]
+	xorInto(buf, temp)
+	out := make([]byte, 16)
+	c.block.Encrypt(out, buf)
+	xorInto(out, c.opc[:])
+	return out, nil
+}
+
+// F2345 computes RES, CK, IK and AK from RAND in a single pass, matching
+// the derivations the UDM performs when building an authentication vector.
+func (c *Cipher) F2345(rand []byte) (res, ck, ik, ak []byte, err error) {
+	if len(rand) != RandLen {
+		return nil, nil, nil, nil, fmt.Errorf("milenage: RAND length %d, want %d", len(rand), RandLen)
+	}
+	temp := c.temp(rand)
+
+	out2 := c.outBlock(temp, 1)
+	out3 := c.outBlock(temp, 2)
+	out4 := c.outBlock(temp, 3)
+
+	res = out2[8:16]
+	ak = out2[0:AKLen]
+	ck = out3
+	ik = out4
+	return res, ck, ik, ak, nil
+}
+
+// F5Star computes the resynchronisation anonymity key AK*.
+func (c *Cipher) F5Star(rand []byte) ([]byte, error) {
+	if len(rand) != RandLen {
+		return nil, fmt.Errorf("milenage: RAND length %d, want %d", len(rand), RandLen)
+	}
+	out5 := c.outBlock(c.temp(rand), 4)
+	return out5[0:AKLen], nil
+}
+
+// temp computes TEMP = E_K(RAND XOR OPc).
+func (c *Cipher) temp(rand []byte) []byte {
+	buf := make([]byte, 16)
+	copy(buf, rand)
+	xorInto(buf, c.opc[:])
+	temp := make([]byte, 16)
+	c.block.Encrypt(temp, buf)
+	return temp
+}
+
+// outBlock computes OUT_n = E_K(rot(TEMP XOR OPc, r_n) XOR c_n) XOR OPc for
+// n in {2..5}, indexed 1..4 into the constant tables.
+func (c *Cipher) outBlock(temp []byte, idx int) []byte {
+	buf := make([]byte, 16)
+	copy(buf, temp)
+	xorInto(buf, c.opc[:])
+	buf = rotate(buf, rotations[idx])
+	buf[15] ^= constants[idx]
+	out := make([]byte, 16)
+	c.block.Encrypt(out, buf)
+	xorInto(out, c.opc[:])
+	return out
+}
+
+// rotate returns b cyclically rotated left by n bytes.
+func rotate(b []byte, n int) []byte {
+	out := make([]byte, len(b))
+	for i := range b {
+		out[i] = b[(i+n)%len(b)]
+	}
+	return out
+}
+
+// xorInto xors src into dst in place.
+func xorInto(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+func checkLens(rand, sqn, amf []byte) error {
+	if len(rand) != RandLen {
+		return fmt.Errorf("milenage: RAND length %d, want %d", len(rand), RandLen)
+	}
+	if len(sqn) != SQNLen {
+		return fmt.Errorf("milenage: SQN length %d, want %d", len(sqn), SQNLen)
+	}
+	if len(amf) != AMFLen {
+		return fmt.Errorf("milenage: AMF length %d, want %d", len(amf), AMFLen)
+	}
+	return nil
+}

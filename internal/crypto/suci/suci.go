@@ -1,0 +1,281 @@
+// Package suci implements SUPI concealment and de-concealment using ECIES
+// Protection Scheme Profile A from TS 33.501 Annex C: Curve25519 key
+// agreement, ANSI X9.63 key derivation with SHA-256, AES-128-CTR
+// encryption, and a 64-bit HMAC-SHA-256 tag.
+//
+// In the paper's flow the UE conceals its SUPI into a SUCI before the
+// initial registration request; the UDM holds the home-network private key
+// and de-conceals the SUCI before authentication-vector generation. The
+// home-network private key is exactly the kind of long-term secret the
+// paper argues must live inside an HMEE.
+package suci
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Protection scheme identifiers from TS 23.003 §2.2B.
+const (
+	SchemeNull     byte = 0x0
+	SchemeProfileA byte = 0x1
+	SchemeProfileB byte = 0x2
+)
+
+// Profile A parameter sizes in bytes.
+const (
+	ephemeralKeyLen = 32 // Curve25519 public key
+	encKeyLen       = 16 // AES-128 key
+	icbLen          = 16 // initial counter block
+	macKeyLen       = 32 // HMAC-SHA-256 key
+	tagLen          = 8  // truncated MAC tag
+)
+
+// ErrIntegrity reports a SUCI whose MAC tag failed verification.
+var ErrIntegrity = errors.New("suci: integrity check failed")
+
+// SUPI is a subscription permanent identifier in IMSI form.
+type SUPI struct {
+	MCC  string // 3-digit mobile country code
+	MNC  string // 2- or 3-digit mobile network code
+	MSIN string // 9- or 10-digit subscriber number
+}
+
+// String renders the SUPI in the canonical "imsi-<digits>" form used as the
+// KDF input for K_AMF derivation.
+func (s SUPI) String() string { return "imsi-" + s.MCC + s.MNC + s.MSIN }
+
+// Validate checks digit-string well-formedness.
+func (s SUPI) Validate() error {
+	if len(s.MCC) != 3 || !digits(s.MCC) {
+		return fmt.Errorf("suci: bad MCC %q", s.MCC)
+	}
+	if (len(s.MNC) != 2 && len(s.MNC) != 3) || !digits(s.MNC) {
+		return fmt.Errorf("suci: bad MNC %q", s.MNC)
+	}
+	if len(s.MSIN) < 5 || len(s.MSIN) > 10 || !digits(s.MSIN) {
+		return fmt.Errorf("suci: bad MSIN %q", s.MSIN)
+	}
+	return nil
+}
+
+func digits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// SUCI is a subscription concealed identifier. The home-network identity
+// (MCC/MNC) and routing information stay in clear text so the serving
+// network can route the request; only the MSIN is concealed.
+type SUCI struct {
+	MCC              string
+	MNC              string
+	RoutingIndicator string
+	Scheme           byte
+	HomeKeyID        byte
+	// SchemeOutput is, for Profile A: ephemeral public key || ciphertext
+	// || 8-byte MAC tag. For the null scheme it is the plaintext MSIN.
+	SchemeOutput []byte
+}
+
+// HomeNetworkKey is the home network's ECIES key pair, identified by the
+// key ID provisioned to subscribers.
+type HomeNetworkKey struct {
+	ID   byte
+	priv *ecdh.PrivateKey
+}
+
+// GenerateHomeNetworkKey creates a Curve25519 home-network key pair using
+// entropy from rand.
+func GenerateHomeNetworkKey(rand io.Reader, id byte) (*HomeNetworkKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("suci: generate home network key: %w", err)
+	}
+	return &HomeNetworkKey{ID: id, priv: priv}, nil
+}
+
+// HomeNetworkKeyFromBytes reconstructs a key pair from a 32-byte private
+// scalar (for example, one unsealed inside an enclave).
+func HomeNetworkKeyFromBytes(raw []byte, id byte) (*HomeNetworkKey, error) {
+	priv, err := ecdh.X25519().NewPrivateKey(raw)
+	if err != nil {
+		return nil, fmt.Errorf("suci: load home network key: %w", err)
+	}
+	return &HomeNetworkKey{ID: id, priv: priv}, nil
+}
+
+// PublicKey returns the 32-byte public key provisioned to subscribers.
+func (k *HomeNetworkKey) PublicKey() []byte { return k.priv.PublicKey().Bytes() }
+
+// Bytes returns the 32-byte private scalar (for sealing).
+func (k *HomeNetworkKey) Bytes() []byte { return k.priv.Bytes() }
+
+// ConcealNull builds a null-scheme SUCI (TS 33.501 Annex C.2): the MSIN
+// travels in plain text. 3GPP permits it for unauthenticated emergency
+// sessions and test networks; it offers no identity privacy and exists
+// here so the privacy difference is demonstrable.
+func ConcealNull(supi SUPI, routingIndicator string) (*SUCI, error) {
+	if err := supi.Validate(); err != nil {
+		return nil, err
+	}
+	return &SUCI{
+		MCC:              supi.MCC,
+		MNC:              supi.MNC,
+		RoutingIndicator: routingIndicator,
+		Scheme:           SchemeNull,
+		SchemeOutput:     []byte(supi.MSIN),
+	}, nil
+}
+
+// NullSUPI recovers the SUPI from a null-scheme SUCI.
+func (s *SUCI) NullSUPI() (SUPI, error) {
+	if s.Scheme != SchemeNull {
+		return SUPI{}, fmt.Errorf("suci: scheme %d is not the null scheme", s.Scheme)
+	}
+	supi := SUPI{MCC: s.MCC, MNC: s.MNC, MSIN: string(s.SchemeOutput)}
+	if err := supi.Validate(); err != nil {
+		return SUPI{}, fmt.Errorf("suci: null-scheme SUPI invalid: %w", err)
+	}
+	return supi, nil
+}
+
+// Conceal encrypts the MSIN of supi to the home-network public key hnPub
+// using ECIES Profile A, producing a SUCI. rand supplies the ephemeral key
+// entropy.
+func Conceal(rand io.Reader, supi SUPI, routingIndicator string, hnPub []byte, keyID byte) (*SUCI, error) {
+	if err := supi.Validate(); err != nil {
+		return nil, err
+	}
+	if len(hnPub) != ephemeralKeyLen {
+		return nil, fmt.Errorf("suci: home network public key length %d, want %d", len(hnPub), ephemeralKeyLen)
+	}
+	ephPriv, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("suci: generate ephemeral key: %w", err)
+	}
+	peer, err := ecdh.X25519().NewPublicKey(hnPub)
+	if err != nil {
+		return nil, fmt.Errorf("suci: parse home network public key: %w", err)
+	}
+	shared, err := ephPriv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("suci: ECDH: %w", err)
+	}
+	ephPub := ephPriv.PublicKey().Bytes()
+	encKey, icb, macKey := deriveKeys(shared, ephPub)
+
+	plaintext := []byte(supi.MSIN)
+	ciphertext := make([]byte, len(plaintext))
+	ctr(encKey, icb, ciphertext, plaintext)
+	tag := computeTag(macKey, ciphertext)
+
+	out := make([]byte, 0, len(ephPub)+len(ciphertext)+tagLen)
+	out = append(out, ephPub...)
+	out = append(out, ciphertext...)
+	out = append(out, tag...)
+	return &SUCI{
+		MCC:              supi.MCC,
+		MNC:              supi.MNC,
+		RoutingIndicator: routingIndicator,
+		Scheme:           SchemeProfileA,
+		HomeKeyID:        keyID,
+		SchemeOutput:     out,
+	}, nil
+}
+
+// Deconceal recovers the SUPI from a Profile A SUCI using the home-network
+// private key. It returns ErrIntegrity if the MAC tag does not verify.
+func (k *HomeNetworkKey) Deconceal(s *SUCI) (SUPI, error) {
+	if s == nil {
+		return SUPI{}, errors.New("suci: nil SUCI")
+	}
+	if s.Scheme != SchemeProfileA {
+		return SUPI{}, fmt.Errorf("suci: unsupported protection scheme %d", s.Scheme)
+	}
+	if s.HomeKeyID != k.ID {
+		return SUPI{}, fmt.Errorf("suci: key ID %d does not match home network key %d", s.HomeKeyID, k.ID)
+	}
+	if len(s.SchemeOutput) < ephemeralKeyLen+1+tagLen {
+		return SUPI{}, fmt.Errorf("suci: scheme output too short (%d bytes)", len(s.SchemeOutput))
+	}
+	ephPub := s.SchemeOutput[:ephemeralKeyLen]
+	ciphertext := s.SchemeOutput[ephemeralKeyLen : len(s.SchemeOutput)-tagLen]
+	tag := s.SchemeOutput[len(s.SchemeOutput)-tagLen:]
+
+	peer, err := ecdh.X25519().NewPublicKey(ephPub)
+	if err != nil {
+		return SUPI{}, fmt.Errorf("suci: parse ephemeral public key: %w", err)
+	}
+	shared, err := k.priv.ECDH(peer)
+	if err != nil {
+		return SUPI{}, fmt.Errorf("suci: ECDH: %w", err)
+	}
+	encKey, icb, macKey := deriveKeys(shared, ephPub)
+	if !hmac.Equal(tag, computeTag(macKey, ciphertext)) {
+		return SUPI{}, ErrIntegrity
+	}
+	plaintext := make([]byte, len(ciphertext))
+	ctr(encKey, icb, plaintext, ciphertext)
+
+	supi := SUPI{MCC: s.MCC, MNC: s.MNC, MSIN: string(plaintext)}
+	if err := supi.Validate(); err != nil {
+		return SUPI{}, fmt.Errorf("suci: deconcealed SUPI invalid: %w", err)
+	}
+	return supi, nil
+}
+
+// deriveKeys runs the ANSI X9.63 KDF with SHA-256 over the shared secret,
+// with the ephemeral public key as SharedInfo, and splits the output into
+// the AES key, initial counter block and MAC key (TS 33.501 C.3.2).
+func deriveKeys(shared, ephPub []byte) (encKey, icb, macKey []byte) {
+	const total = encKeyLen + icbLen + macKeyLen
+	out := make([]byte, 0, total)
+	var counter uint32 = 1
+	for len(out) < total {
+		h := sha256.New()
+		h.Write(shared)
+		var c [4]byte
+		binary.BigEndian.PutUint32(c[:], counter)
+		h.Write(c[:])
+		h.Write(ephPub)
+		out = h.Sum(out)
+		counter++
+	}
+	return out[:encKeyLen], out[encKeyLen : encKeyLen+icbLen], out[encKeyLen+icbLen : total]
+}
+
+func ctr(key, icb, dst, src []byte) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		// Key length is fixed by deriveKeys; this cannot happen.
+		panic(fmt.Sprintf("suci: AES key setup: %v", err))
+	}
+	cipher.NewCTR(block, icb).XORKeyStream(dst, src)
+}
+
+func computeTag(macKey, ciphertext []byte) []byte {
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(ciphertext)
+	return mac.Sum(nil)[:tagLen]
+}
+
+// String renders the SUCI in the 3GPP presentation format
+// suci-0-<mcc>-<mnc>-<ri>-<scheme>-<keyid>-<hex output>.
+func (s *SUCI) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "suci-0-%s-%s-%s-%d-%d-%x", s.MCC, s.MNC, s.RoutingIndicator, s.Scheme, s.HomeKeyID, s.SchemeOutput)
+	return b.String()
+}

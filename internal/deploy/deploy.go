@@ -1,0 +1,309 @@
+// Package deploy composes complete 5G network slices: the service-chained
+// VNFs (NRF, UDR, UDM, AUSF, AMF, SMF, UPF), the P-AKA execution
+// environments under the chosen isolation mode, the gNB, and subscriber
+// provisioning — the testbed of the paper's Fig. 4.
+//
+// Per the paper's co-location requirement (§IV-B), the P-AKA modules are
+// deployed on the same simulated host as their parent VNFs: every module
+// enclave is built on the slice's single SGX platform, and the
+// cryptographic parameters never leave that host.
+package deploy
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/gnb"
+	"shield5g/internal/hmee/sev"
+	"shield5g/internal/hmee/sgx"
+	"shield5g/internal/nf/amf"
+	"shield5g/internal/nf/ausf"
+	"shield5g/internal/nf/nrf"
+	"shield5g/internal/nf/smf"
+	"shield5g/internal/nf/udm"
+	"shield5g/internal/nf/udr"
+	"shield5g/internal/nf/upf"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
+)
+
+// SliceConfig describes one network slice deployment.
+type SliceConfig struct {
+	// Isolation selects how the AKA functions run: Monolithic (inside
+	// the VNFs), Container (extracted, unprotected), or SGX (extracted
+	// and enclave-shielded).
+	Isolation paka.Isolation
+	// MCC/MNC is the serving PLMN (the paper's OTA test uses 001/01).
+	MCC, MNC string
+	// Seed makes the slice's virtual-time jitter reproducible.
+	Seed uint64
+	// Env overrides the cost environment (built from Seed when nil).
+	Env *costmodel.Env
+	// Platform overrides the SGX host (built from Seed when nil; only
+	// used for SGX isolation).
+	Platform *sgx.Platform
+	// Radio selects the access profile (gNBSIM default).
+	Radio gnb.RadioProfile
+	// EnclaveSizeBytes/MaxThreads/DisablePreheat tune the module
+	// enclaves for the Fig. 8 sweeps (defaults: 512 MiB, 4, preheat on).
+	EnclaveSizeBytes uint64
+	MaxThreads       int
+	DisablePreheat   bool
+	// Entropy overrides randomness (tests); nil selects crypto/rand.
+	Entropy io.Reader
+}
+
+// Slice is a running network slice.
+type Slice struct {
+	Config   SliceConfig
+	Env      *costmodel.Env
+	Platform *sgx.Platform
+	Registry *sbi.Registry
+
+	NRF  *nrf.NRF
+	UDR  *udr.UDR
+	UDM  *udm.UDM
+	AUSF *ausf.AUSF
+	AMF  *amf.AMF
+	SMF  *smf.SMF
+	UPF  *upf.UPF
+	GNB  *gnb.GNB
+
+	// Modules holds the extracted P-AKA modules (empty for Monolithic).
+	Modules map[paka.ModuleKind]*paka.Module
+
+	// Remote clients expose the VNF-side response-time recorders
+	// (nil for Monolithic).
+	RemoteUDM  *paka.RemoteUDM
+	RemoteAUSF *paka.RemoteAUSF
+	RemoteAMF  *paka.RemoteAMF
+
+	// MonoUDM is the in-process key store for Monolithic isolation.
+	MonoUDM *paka.MonolithicUDM
+
+	// HomeNetworkKey conceals/de-conceals SUPIs for this home network.
+	HomeNetworkKey *suci.HomeNetworkKey
+
+	entropy io.Reader
+
+	attestMu sync.Mutex
+	attested bool
+}
+
+// NewSlice builds and starts a slice. For SGX isolation the enclave build
+// cost (Fig. 7) is charged to ctx's account.
+func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
+	if cfg.MCC == "" {
+		cfg.MCC = "001"
+	}
+	if cfg.MNC == "" {
+		cfg.MNC = "01"
+	}
+	if cfg.Isolation == 0 {
+		cfg.Isolation = paka.SGX
+	}
+	entropy := cfg.Entropy
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+
+	env := cfg.Env
+	if env == nil {
+		env = costmodel.NewEnv(nil, cfg.Seed, nil)
+	}
+	platform := cfg.Platform
+	if platform == nil && cfg.Isolation == paka.SGX {
+		var err error
+		platform, err = sgx.NewPlatform(sgx.PlatformConfig{Seed: cfg.Seed, Entropy: entropy})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: SGX platform: %w", err)
+		}
+	}
+
+	s := &Slice{
+		Config:   cfg,
+		Env:      env,
+		Platform: platform,
+		Registry: sbi.NewRegistry(),
+		Modules:  make(map[paka.ModuleKind]*paka.Module),
+		entropy:  entropy,
+	}
+
+	hnKey, err := suci.GenerateHomeNetworkKey(entropy, 1)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: home network key: %w", err)
+	}
+	s.HomeNetworkKey = hnKey
+
+	if s.NRF, err = nrf.New(env, s.Registry); err != nil {
+		return nil, fmt.Errorf("deploy: NRF: %w", err)
+	}
+	if s.UDR, err = udr.New(env, s.Registry); err != nil {
+		return nil, fmt.Errorf("deploy: UDR: %w", err)
+	}
+
+	udmFns, ausfFns, amfFns, err := s.buildFunctions(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	hmee := cfg.Isolation == paka.SGX || cfg.Isolation == paka.SEV
+	udmInvoker := sbi.NewClient(udm.ServiceName, env, s.Registry)
+	if s.UDM, err = udm.New(ctx, udm.Config{
+		Env: env, Registry: s.Registry, Invoker: udmInvoker,
+		Functions: udmFns, HomeNetworkKey: hnKey, HMEE: hmee, Entropy: entropy,
+	}); err != nil {
+		return nil, fmt.Errorf("deploy: UDM: %w", err)
+	}
+
+	ausfInvoker := sbi.NewClient(ausf.ServiceName, env, s.Registry)
+	if s.AUSF, err = ausf.New(ctx, ausf.Config{
+		Env: env, Registry: s.Registry, Invoker: ausfInvoker,
+		Functions: ausfFns, HMEE: hmee,
+	}); err != nil {
+		return nil, fmt.Errorf("deploy: AUSF: %w", err)
+	}
+
+	if s.UPF, err = upf.New(env, s.Registry); err != nil {
+		return nil, fmt.Errorf("deploy: UPF: %w", err)
+	}
+	smfInvoker := sbi.NewClient(smf.ServiceName, env, s.Registry)
+	if s.SMF, err = smf.New(ctx, smf.Config{Env: env, Registry: s.Registry, Invoker: smfInvoker}); err != nil {
+		return nil, fmt.Errorf("deploy: SMF: %w", err)
+	}
+
+	amfInvoker := sbi.NewClient(amf.ServiceName, env, s.Registry)
+	if s.AMF, err = amf.New(ctx, amf.Config{
+		Env: env, Registry: s.Registry, Invoker: amfInvoker,
+		Functions: amfFns, MCC: cfg.MCC, MNC: cfg.MNC, HMEE: hmee,
+	}); err != nil {
+		return nil, fmt.Errorf("deploy: AMF: %w", err)
+	}
+
+	if s.GNB, err = gnb.New(gnb.Config{
+		Env: env, AMF: s.AMF, UPF: s.UPF, MCC: cfg.MCC, MNC: cfg.MNC, Radio: cfg.Radio,
+	}); err != nil {
+		return nil, fmt.Errorf("deploy: gNB: %w", err)
+	}
+	return s, nil
+}
+
+// buildFunctions creates the three AKA execution environments under the
+// configured isolation mode.
+func (s *Slice) buildFunctions(ctx context.Context, cfg SliceConfig) (paka.UDMFunctions, paka.AUSFFunctions, paka.AMFFunctions, error) {
+	if cfg.Isolation == paka.Monolithic {
+		s.MonoUDM = paka.NewMonolithicUDM(s.Env)
+		return s.MonoUDM, paka.NewMonolithicAUSF(s.Env), paka.NewMonolithicAMF(s.Env), nil
+	}
+
+	// One GSC signing key for all module images of this operator.
+	_, signKey, err := ed25519.GenerateKey(s.entropy)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("deploy: GSC sign key: %w", err)
+	}
+	for _, kind := range paka.Kinds() {
+		m, err := paka.New(ctx, paka.Config{
+			Kind:             kind,
+			Isolation:        cfg.Isolation,
+			Env:              s.Env,
+			Platform:         s.Platform,
+			Registry:         s.Registry,
+			EnclaveSizeBytes: cfg.EnclaveSizeBytes,
+			MaxThreads:       cfg.MaxThreads,
+			DisablePreheat:   cfg.DisablePreheat,
+			SignKey:          signKey,
+		})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("deploy: %s module: %w", kind, err)
+		}
+		s.Modules[kind] = m
+	}
+
+	s.RemoteUDM = paka.NewRemoteUDM(sbi.NewClient("udm", s.Env, s.Registry), s.Env)
+	s.RemoteAUSF = paka.NewRemoteAUSF(sbi.NewClient("ausf", s.Env, s.Registry), s.Env)
+	s.RemoteAMF = paka.NewRemoteAMF(sbi.NewClient("amf", s.Env, s.Registry), s.Env)
+	return s.RemoteUDM, s.RemoteAUSF, s.RemoteAMF, nil
+}
+
+// attestEUDM verifies the eUDM execution environment's hardware-rooted
+// attestation evidence before any subscriber key is released to it — the
+// Key Issue 12/13 deployment-validation step of the paper's discussion.
+// It runs once per slice and is a no-op for non-TEE isolation.
+func (s *Slice) attestEUDM(m *paka.Module) error {
+	s.attestMu.Lock()
+	defer s.attestMu.Unlock()
+	if s.attested {
+		return nil
+	}
+	var nonce [64]byte
+	copy(nonce[:], []byte("subscriber-provisioning-channel"))
+	switch {
+	case m.Enclave() != nil:
+		quote, err := m.Enclave().GenerateQuote(nonce)
+		if err != nil {
+			return fmt.Errorf("deploy: eUDM quote: %w", err)
+		}
+		expected := m.Enclave().Measurement()
+		if err := sgx.VerifyQuote(s.Platform.QuotingPublicKey(), quote, &expected); err != nil {
+			return fmt.Errorf("deploy: eUDM attestation: %w", err)
+		}
+	case m.Machine() != nil:
+		report, err := m.Machine().GenerateReport(nonce)
+		if err != nil {
+			return fmt.Errorf("deploy: eUDM SNP report: %w", err)
+		}
+		if err := sev.VerifyReport(m.Machine().SigningKey(), report); err != nil {
+			return fmt.Errorf("deploy: eUDM attestation: %w", err)
+		}
+	}
+	s.attested = true
+	return nil
+}
+
+// ProvisionSubscriber installs a subscriber in the UDR and delivers the
+// long-term key to the AKA execution environment (the eUDM enclave under
+// SGX isolation, where it is shielded from introspection). For TEE-backed
+// slices the environment's attestation evidence is verified before the
+// first key is released.
+func (s *Slice) ProvisionSubscriber(ctx context.Context, supi suci.SUPI, k, opc []byte) error {
+	if err := supi.Validate(); err != nil {
+		return err
+	}
+	imsi := supi.String()
+	udrClient := udr.NewClient(sbi.NewClient("provisioning", s.Env, s.Registry))
+	if err := udrClient.Provision(ctx, udr.Subscriber{
+		SUPI:     imsi,
+		K:        k,
+		OPc:      opc,
+		SQN:      []byte{0, 0, 0, 0, 0, 0},
+		AMFField: []byte{0x80, 0x00}, // separation bit set for 5G AKA
+	}); err != nil {
+		return fmt.Errorf("deploy: UDR provisioning: %w", err)
+	}
+	if s.MonoUDM != nil {
+		s.MonoUDM.ProvisionSubscriber(imsi, k)
+		return nil
+	}
+	if m, ok := s.Modules[paka.EUDM]; ok {
+		if err := s.attestEUDM(m); err != nil {
+			return err
+		}
+		if err := m.ProvisionSubscriber(ctx, imsi, k); err != nil {
+			return fmt.Errorf("deploy: eUDM provisioning: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stop tears the slice down, destroying any enclaves.
+func (s *Slice) Stop() {
+	for _, m := range s.Modules {
+		m.Stop()
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"shield5g/internal/paka"
+)
+
+// The WriteCSV methods emit the raw series behind each figure in a
+// plot-friendly form (one row per box/point), so the paper's plots can be
+// regenerated with any charting tool.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: write CSV header: %w", err)
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("experiments: write CSV rows: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// WriteCSV emits the Fig. 7 load-time boxes (minutes).
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Load))
+	for _, kind := range paka.Kinds() {
+		s := r.Load[kind]
+		rows = append(rows, []string{
+			kind.String(), f(minutes(s.Min)), f(minutes(s.Q1)), f(minutes(s.Median)),
+			f(minutes(s.Q3)), f(minutes(s.Max)),
+		})
+	}
+	return writeCSV(w, []string{"module", "min_min", "q1_min", "median_min", "q3_min", "max_min"}, rows)
+}
+
+// WriteCSV emits the Fig. 8 sweep (µs).
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Config.Label,
+			f(micro(p.Functional.Q1)), f(micro(p.Functional.Median)), f(micro(p.Functional.Q3)),
+			f(micro(p.Total.Q1)), f(micro(p.Total.Median)), f(micro(p.Total.Q3)),
+		})
+	}
+	return writeCSV(w, []string{"config", "lf_q1_us", "lf_median_us", "lf_q3_us", "lt_q1_us", "lt_median_us", "lt_q3_us"}, rows)
+}
+
+// WriteCSV emits the Fig. 9 latency boxes (µs) for both isolation modes.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, kind := range paka.Kinds() {
+		fn := r.Functional[kind]
+		tot := r.Total[kind]
+		rows = append(rows,
+			[]string{kind.String(), "container", f(micro(fn.Container.Median)), f(micro(tot.Container.Median))},
+			[]string{kind.String(), "sgx", f(micro(fn.SGX.Median)), f(micro(tot.SGX.Median))},
+		)
+	}
+	return writeCSV(w, []string{"module", "isolation", "lf_median_us", "lt_median_us"}, rows)
+}
+
+// WriteCSV emits the Fig. 10 response series (µs stable, ms initial).
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, kind := range paka.Kinds() {
+		p := r.fig9.Response[kind]
+		rows = append(rows, []string{
+			kind.String(),
+			f(micro(p.Container.Median)),
+			f(micro(p.SGX.Median)),
+			f(float64(r.fig9.InitialSGX[kind]) / float64(time.Millisecond)),
+		})
+	}
+	return writeCSV(w, []string{"module", "rc_median_us", "rs_sgx_median_us", "ri_sgx_ms"}, rows)
+}
+
+// WriteCSV emits the scaling sweep.
+func (r *ScaleResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Replicas), f(p.OfferedLoad), f(p.Utilization),
+			f(float64(p.MeanSojourn) / float64(time.Millisecond)),
+			f(float64(p.P95Sojourn) / float64(time.Millisecond)),
+			f(p.Throughput),
+		})
+	}
+	return writeCSV(w, []string{"replicas", "offered_load", "utilization", "mean_sojourn_ms", "p95_sojourn_ms", "throughput_rps"}, rows)
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"shield5g/internal/simclock"
+)
+
+func TestAblationShape(t *testing.T) {
+	cfg := quick
+	r, err := Ablation(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := make(map[string]AblationRow)
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	container := byName["container"]
+	baseline := byName["sgx (paper baseline)"]
+	noPreheat := byName["sgx no-preheat"]
+	exitless := byName["sgx exitless"]
+	userTCP := byName["sgx user-level TCP"]
+	both := byName["sgx exitless+userTCP"]
+
+	// Exitless eliminates transitions and cuts latency substantially.
+	if exitless.EnterPerRequest != 0 {
+		t.Errorf("exitless EENTER/req = %d, want 0", exitless.EnterPerRequest)
+	}
+	if exitless.Stable.Median >= baseline.Stable.Median {
+		t.Error("exitless not faster than baseline")
+	}
+	// User-level TCP cuts the syscall census and grows the TCB.
+	if userTCP.EnterPerRequest >= baseline.EnterPerRequest {
+		t.Error("user TCP did not reduce transitions")
+	}
+	if userTCP.TCBBytes <= baseline.TCBBytes {
+		t.Error("user TCP did not grow the TCB")
+	}
+	// Combined, the module approaches container latency.
+	if both.Stable.Median >= exitless.Stable.Median {
+		t.Error("combined optimizations not fastest SGX config")
+	}
+	// No-preheat: cheaper load, slower operation.
+	if noPreheat.Load >= baseline.Load {
+		t.Error("no-preheat load not cheaper")
+	}
+	if noPreheat.Stable.Median <= baseline.Stable.Median {
+		t.Error("no-preheat operation not slower")
+	}
+	// The container's effective TCB (host stack included) dwarfs the
+	// enclave's.
+	if container.TCBBytes <= baseline.TCBBytes {
+		t.Error("container TCB not larger than enclave TCB")
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "exitless") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestScaleShape(t *testing.T) {
+	cfg := quick
+	r, err := Scale(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	if r.ServiceMedian <= 0 {
+		t.Fatal("no service time")
+	}
+	if len(r.Points) != 12 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+
+	get := func(replicas int, load float64) ScalePoint {
+		for _, p := range r.Points {
+			if p.Replicas == replicas && p.OfferedLoad == load {
+				return p
+			}
+		}
+		t.Fatalf("missing point %d/%v", replicas, load)
+		return ScalePoint{}
+	}
+
+	// Throughput scales roughly linearly with replicas at fixed load.
+	t1, t8 := get(1, 0.9), get(8, 0.9)
+	if t8.Throughput < 6*t1.Throughput {
+		t.Errorf("8-replica throughput %.0f not ~8x single %.0f", t8.Throughput, t1.Throughput)
+	}
+	// Queueing delay shrinks with pooling (more servers, same load).
+	if t8.P95Sojourn >= t1.P95Sojourn {
+		t.Errorf("8-replica p95 %v not below single-replica %v", t8.P95Sojourn, t1.P95Sojourn)
+	}
+	// Higher offered load means longer sojourns on the same pool.
+	if get(2, 0.9).MeanSojourn <= get(2, 0.5).MeanSojourn {
+		t.Error("higher load not slower")
+	}
+	// Utilization tracks offered load.
+	for _, p := range r.Points {
+		if p.Utilization < p.OfferedLoad-0.15 || p.Utilization > p.OfferedLoad+0.15 {
+			t.Errorf("replicas=%d load=%.0f%%: utilization %.2f off target",
+				p.Replicas, p.OfferedLoad*100, p.Utilization)
+		}
+		if p.MeanSojourn < r.ServiceMedian/2 {
+			t.Errorf("sojourn below service time: %v", p.MeanSojourn)
+		}
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "replicas") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestScaleSojournAboveService(t *testing.T) {
+	// Sanity on the queueing invariant: sojourn >= service for every
+	// simulated request implies mean sojourn >= mean service.
+	samples := []time.Duration{time.Millisecond}
+	p := simulateQueue(samples, 2, 0.5, 500, simclock.NewJitter(123))
+	if p.MeanSojourn < time.Millisecond {
+		t.Fatalf("mean sojourn %v below deterministic service time", p.MeanSojourn)
+	}
+	if p.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestTEECompareShape(t *testing.T) {
+	cfg := quick
+	r, err := TEECompare(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("TEECompare: %v", err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	container, sgxRow, sevRow := r.Rows[0], r.Rows[1], r.Rows[2]
+
+	// SEV avoids the transition tax: near-container latency.
+	if float64(sevRow.Stable.Median) > 1.2*float64(container.Stable.Median) {
+		t.Errorf("SEV stable %v not near container %v", sevRow.Stable.Median, container.Stable.Median)
+	}
+	if sevRow.EnterPerRequest != 0 {
+		t.Errorf("SEV EENTER/req = %d", sevRow.EnterPerRequest)
+	}
+	// SGX pays latency but holds the smallest TCB.
+	if sgxRow.Stable.Median <= sevRow.Stable.Median {
+		t.Error("SGX not slower than SEV")
+	}
+	if sgxRow.TCBBytes >= sevRow.TCBBytes {
+		t.Error("SGX TCB not below SEV TCB")
+	}
+	if sevRow.TCBBytes >= container.TCBBytes {
+		t.Error("SEV TCB not below container effective TCB")
+	}
+	// Deployment time ordering: container < SEV << SGX.
+	if !(container.Load < sevRow.Load && sevRow.Load < sgxRow.Load/3) {
+		t.Errorf("load ordering violated: %v %v %v", container.Load, sevRow.Load, sgxRow.Load)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "sev") {
+		t.Fatal("render missing SEV row")
+	}
+}
+
+func TestTable3ExtendedSweep(t *testing.T) {
+	cfg := quick
+	cfg.MaxUEs = 5
+	r, err := Table3(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	if len(r.Rows) != 15 { // 3 modules x 5 UE counts
+		t.Fatalf("rows = %d, want 15", len(r.Rows))
+	}
+	// EENTER grows by ~90 per extra UE at every depth of the sweep.
+	for _, module := range []string{"eUDM", "eAUSF", "eAMF"} {
+		byUE := make(map[int]uint64)
+		for _, row := range r.Rows {
+			if row.Module == module {
+				byUE[row.UEs] = row.EENTERs
+			}
+		}
+		for ues := 2; ues <= 5; ues++ {
+			delta := byUE[ues] - byUE[ues-1]
+			if delta < 80 || delta > 100 {
+				t.Errorf("%s EENTER delta at %d UEs = %d, want ~90", module, ues, delta)
+			}
+		}
+	}
+}
+
+// TestExperimentsDeterministic pins the reproducibility guarantee: the
+// same seed and scale must render byte-identical output.
+func TestExperimentsDeterministic(t *testing.T) {
+	render := func() string {
+		f9, err := Fig9(context.Background(), quick)
+		if err != nil {
+			t.Fatalf("Fig9: %v", err)
+		}
+		var buf bytes.Buffer
+		f9.Render(&buf)
+		Table2From(f9).Render(&buf)
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatal("same seed produced different output")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"shield5g/internal/metrics"
+	"shield5g/internal/paka"
+)
+
+// IsolationPair holds container-vs-SGX summaries for one metric.
+type IsolationPair struct {
+	Container metrics.Summary
+	SGX       metrics.Summary
+}
+
+// Ratio is the SGX/container median overhead.
+func (p IsolationPair) Ratio() float64 { return metrics.Ratio(p.SGX, p.Container) }
+
+// Fig9Result holds the functional (a) and total (b) latency of every
+// module under both isolation modes, plus the response-time data that
+// feeds Fig. 10 and Table II.
+type Fig9Result struct {
+	Functional map[paka.ModuleKind]IsolationPair
+	Total      map[paka.ModuleKind]IsolationPair
+	Response   map[paka.ModuleKind]IsolationPair
+	// InitialSGX is the cold first-request response time per module
+	// (Fig. 10b).
+	InitialSGX map[paka.ModuleKind]time.Duration
+}
+
+// Fig9 measures L_F and L_T for each P-AKA module in container and SGX
+// deployments (500 registrations each by default). The same runs yield
+// the stable and initial response times for Fig. 10 and the ratios of
+// Table II.
+func Fig9(ctx context.Context, cfg Config) (*Fig9Result, error) {
+	n := cfg.iterations()
+	result := &Fig9Result{
+		Functional: make(map[paka.ModuleKind]IsolationPair),
+		Total:      make(map[paka.ModuleKind]IsolationPair),
+		Response:   make(map[paka.ModuleKind]IsolationPair),
+		InitialSGX: make(map[paka.ModuleKind]time.Duration),
+	}
+	for _, kind := range paka.Kinds() {
+		var pairFn, pairTot, pairResp IsolationPair
+		for _, iso := range []paka.Isolation{paka.Container, paka.SGX} {
+			r, err := newRig(ctx, kind, cfg.Seed+uint64(kind)*31+uint64(iso)*131, rigOptions{isolation: iso})
+			if err != nil {
+				return nil, err
+			}
+			run, err := r.run(ctx, n)
+			r.stop()
+			if err != nil {
+				return nil, err
+			}
+			resp := run.responses.Summarize()
+			switch iso {
+			case paka.Container:
+				pairFn.Container = run.functional
+				pairTot.Container = run.total
+				pairResp.Container = resp
+			case paka.SGX:
+				pairFn.SGX = run.functional
+				pairTot.SGX = run.total
+				pairResp.SGX = resp
+				result.InitialSGX[kind] = run.initial
+			}
+		}
+		result.Functional[kind] = pairFn
+		result.Total[kind] = pairTot
+		result.Response[kind] = pairResp
+	}
+	return result, nil
+}
+
+// Render prints the paper-style rows for Fig. 9a and 9b.
+func (r *Fig9Result) Render(w io.Writer) {
+	fprintf(w, "Figure 9a: Functional latency LF (us)\n")
+	fprintf(w, "%-8s %14s %14s %8s\n", "module", "container med", "sgx med", "ratio")
+	for _, kind := range paka.Kinds() {
+		p := r.Functional[kind]
+		fprintf(w, "%-8s %14.1f %14.1f %7.2fx\n", kind, micro(p.Container.Median), micro(p.SGX.Median), p.Ratio())
+	}
+	fprintf(w, "\nFigure 9b: Total latency LT (us)\n")
+	fprintf(w, "%-8s %14s %14s %8s\n", "module", "container med", "sgx med", "ratio")
+	for _, kind := range paka.Kinds() {
+		p := r.Total[kind]
+		fprintf(w, "%-8s %14.1f %14.1f %7.2fx\n", kind, micro(p.Container.Median), micro(p.SGX.Median), p.Ratio())
+	}
+}
+
+func micro(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

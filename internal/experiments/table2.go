@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"io"
+
+	"shield5g/internal/paka"
+)
+
+// Table2Row is one module's overhead summary.
+type Table2Row struct {
+	Module paka.ModuleKind
+	// LFRatio is the functional-latency overhead (paper: 1.2-1.5x).
+	LFRatio float64
+	// LTRatio is the total-latency overhead (paper: 1.86-2.43x).
+	LTRatio float64
+	// ResponseRatio is R_S^SGX / R^C (paper: 2.2-2.9x).
+	ResponseRatio float64
+	// InitialRatio is R_I^SGX / R_S^SGX (paper: ~18.4-21.4x).
+	InitialRatio float64
+}
+
+// Table2Result is the overhead table.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 derives the SGX overhead summary from the Fig. 9/10 measurement
+// runs.
+func Table2(ctx context.Context, cfg Config) (*Table2Result, error) {
+	f9, err := Fig9(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Table2From(f9), nil
+}
+
+// Table2From derives the table from an existing Fig. 9 run.
+func Table2From(f9 *Fig9Result) *Table2Result {
+	result := &Table2Result{}
+	for _, kind := range paka.Kinds() {
+		resp := f9.Response[kind]
+		initial := 0.0
+		if rs := resp.SGX.Median; rs > 0 {
+			initial = float64(f9.InitialSGX[kind]) / float64(rs)
+		}
+		result.Rows = append(result.Rows, Table2Row{
+			Module:        kind,
+			LFRatio:       f9.Functional[kind].Ratio(),
+			LTRatio:       f9.Total[kind].Ratio(),
+			ResponseRatio: resp.Ratio(),
+			InitialRatio:  initial,
+		})
+	}
+	return result
+}
+
+// Render prints the paper-style Table II.
+func (r *Table2Result) Render(w io.Writer) {
+	fprintf(w, "Table II: SGX overhead across the isolated modules\n")
+	fprintf(w, "%-8s %8s %8s %14s %14s\n", "module", "LF", "LT", "RSGX/RC", "RI/RS")
+	for _, row := range r.Rows {
+		fprintf(w, "%-8s %7.2fx %7.2fx %13.2fx %13.2fx\n",
+			row.Module, row.LFRatio, row.LTRatio, row.ResponseRatio, row.InitialRatio)
+	}
+	fprintf(w, "(paper: LF 1.2-1.5x, LT 1.86-2.43x, R 2.2-2.9x, RI/RS 18.4-21.4x)\n")
+}

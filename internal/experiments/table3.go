@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"time"
+
+	"shield5g/internal/deploy"
+	"shield5g/internal/hmee/gramine"
+	"shield5g/internal/hmee/sgx"
+	"shield5g/internal/paka"
+)
+
+// moduleUptime and emptyUptime are the modelled residency windows of the
+// stats-collection runs; together with the 250 Hz per-thread timer rate
+// they reproduce Table III's AEX populations (~140k for the served
+// modules, ~50k for the empty workload).
+const (
+	moduleUptime = 140 * time.Second
+	emptyUptime  = 50 * time.Second
+)
+
+// Table3Row is one (module, #UEs) statistics row.
+type Table3Row struct {
+	Module  string
+	UEs     int
+	EENTERs uint64
+	EEXITs  uint64
+	AEXs    uint64
+}
+
+// Table3Result is the SGX operation statistics table.
+type Table3Result struct {
+	Rows []Table3Row
+	// Empty is the GSC empty-workload baseline row.
+	Empty Table3Row
+	// PerUE is the derived EENTER/EEXIT delta per registration.
+	PerUE map[paka.ModuleKind]uint64
+}
+
+// Table3 registers 1..N UEs back to back through SGX-isolated slices and
+// collects the enclave operation counters, plus an empty-workload GSC
+// baseline — the paper's §V-B5 methodology.
+func Table3(ctx context.Context, cfg Config) (*Table3Result, error) {
+	maxUEs := cfg.MaxUEs
+	if maxUEs <= 0 {
+		maxUEs = 3
+	}
+	result := &Table3Result{PerUE: make(map[paka.ModuleKind]uint64)}
+
+	perUEcounts := make(map[paka.ModuleKind][]uint64)
+	for ues := 1; ues <= maxUEs; ues++ {
+		s, err := deploy.NewSlice(ctx, deploy.SliceConfig{Isolation: paka.SGX, Seed: cfg.Seed + uint64(ues)})
+		if err != nil {
+			return nil, err
+		}
+		before := make(map[paka.ModuleKind]uint64)
+		for kind, m := range s.Modules {
+			before[kind] = m.Stats().EENTER
+		}
+		for i := 0; i < ues; i++ {
+			device, err := sliceSubscriber(ctx, s, fmt.Sprintf("%010d", 3000+i))
+			if err != nil {
+				s.Stop()
+				return nil, err
+			}
+			after := make(map[paka.ModuleKind]uint64)
+			if _, err := s.GNB.RegisterUE(ctx, device); err != nil {
+				s.Stop()
+				return nil, err
+			}
+			for kind, m := range s.Modules {
+				after[kind] = m.Stats().EENTER
+				if i > 0 { // steady-state delta (skip the warm-up request)
+					perUEcounts[kind] = append(perUEcounts[kind], after[kind]-before[kind])
+				}
+				before[kind] = after[kind]
+			}
+		}
+		for _, kind := range paka.Kinds() {
+			m := s.Modules[kind]
+			m.AccrueUptime(moduleUptime)
+			st := m.Stats()
+			result.Rows = append(result.Rows, Table3Row{
+				Module:  kind.String(),
+				UEs:     ues,
+				EENTERs: st.EENTER,
+				EEXITs:  st.EEXIT,
+				AEXs:    st.AEX,
+			})
+		}
+		s.Stop()
+	}
+
+	for kind, deltas := range perUEcounts {
+		var sum uint64
+		for _, d := range deltas {
+			sum += d
+		}
+		if len(deltas) > 0 {
+			result.PerUE[kind] = sum / uint64(len(deltas))
+		}
+	}
+
+	empty, err := emptyWorkload(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	result.Empty = *empty
+	return result, nil
+}
+
+// emptyWorkload launches a GSC container with no server traffic — the
+// paper's baseline for the cost of GSC itself.
+func emptyWorkload(ctx context.Context, cfg Config) (*Table3Row, error) {
+	platform, err := sgx.NewPlatform(sgx.PlatformConfig{Seed: cfg.Seed + 999})
+	if err != nil {
+		return nil, err
+	}
+	_, key, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	si, err := gramine.BuildShielded(gramine.ContainerImage{
+		Name:  "empty-workload:latest",
+		Files: []gramine.ImageFile{{Path: "/bin/sleep", Size: 1_000_000}},
+	}, gramine.DefaultManifest("/bin/sleep"), key)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := gramine.Launch(ctx, platform, si, gramine.WithoutServer())
+	if err != nil {
+		return nil, err
+	}
+	defer inst.Shutdown()
+	inst.AccrueUptime(emptyUptime)
+	st := inst.Stats()
+	return &Table3Row{Module: "Empty workload", EENTERs: st.EENTER, EEXITs: st.EEXIT, AEXs: st.AEX}, nil
+}
+
+// Render prints the paper-style Table III.
+func (r *Table3Result) Render(w io.Writer) {
+	fprintf(w, "Table III: SGX specific operational statistics\n")
+	fprintf(w, "%-16s %6s %10s %10s %10s\n", "module", "#UEs", "EENTERs", "EEXITs", "AEXs")
+	for _, kind := range paka.Kinds() {
+		for i := len(r.Rows) - 1; i >= 0; i-- {
+			row := r.Rows[i]
+			if row.Module == kind.String() {
+				fprintf(w, "%-16s %6d %10d %10d %10d\n", row.Module, row.UEs, row.EENTERs, row.EEXITs, row.AEXs)
+			}
+		}
+	}
+	fprintf(w, "%-16s %6s %10d %10d %10d\n", r.Empty.Module, "-", r.Empty.EENTERs, r.Empty.EEXITs, r.Empty.AEXs)
+	for _, kind := range paka.Kinds() {
+		fprintf(w, "per-UE EENTER delta (%s): ~%d (paper: ~90)\n", kind, r.PerUE[kind])
+	}
+}

@@ -1,0 +1,339 @@
+package gramine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shield5g/internal/hmee/sgx"
+	"shield5g/internal/simclock"
+)
+
+// Instance lifecycle errors.
+var (
+	// ErrNotRunning reports use of a stopped instance.
+	ErrNotRunning = errors.New("gramine: instance not running")
+)
+
+// SyscallProfile is the per-request syscall census of the module's HTTPS
+// server. Under Gramine every syscall is proxied through an OCALL, so
+// these counts are the source of the ~90 EENTER/EEXIT pairs the paper
+// measures per UE registration (Table III); under a plain container the
+// same syscalls execute at native cost. Both runtimes share this profile
+// so the SGX-vs-container comparison differs only in the per-event price.
+type SyscallProfile struct {
+	// Pre counts the pre-request machinery: epoll_wait wake-up, futexes,
+	// accept processing.
+	Pre int
+	// Read counts the request reads: recvmsg ×2 plus a readiness ioctl.
+	Read int
+	// InHandler counts syscalls issued during the AKA function itself
+	// (clock_gettime in the debug/stats build).
+	InHandler int
+	// Write counts the response path: sendmsg ×2, epoll_ctl re-arm,
+	// futex wake.
+	Write int
+	// Post counts the post-request machinery: timer re-arm, IPC with
+	// helper threads, stats flush.
+	Post int
+}
+
+// DefaultSyscallProfile reproduces the paper's ~90 transitions per served
+// request.
+func DefaultSyscallProfile() SyscallProfile {
+	return SyscallProfile{Pre: 38, Read: 3, InHandler: 1, Write: 4, Post: 43}
+}
+
+// UserTCPSyscallProfile models the mTCP-style user-level network stack the
+// paper proposes as a §V-B7 optimization: the TCP machinery runs inside
+// the enclave over shared-memory packet rings, collapsing the per-request
+// syscall census to the ring notifications (DPDK-style I/O). The trade-off
+// the paper notes — more functionality inside the enclave, bigger TCB —
+// is reflected in the TCB accounting, not hidden.
+func UserTCPSyscallProfile() SyscallProfile {
+	return SyscallProfile{Pre: 4, Read: 1, InHandler: 1, Write: 1, Post: 5}
+}
+
+// Total sums all phases.
+func (sp SyscallProfile) Total() int {
+	return sp.Pre + sp.Read + sp.InHandler + sp.Write + sp.Post
+}
+
+// Launch-time constants.
+const (
+	// serverInitOCALLs is the cost of bringing the in-enclave HTTPS
+	// server up: socket/bind/listen, certificate loading, epoll setup.
+	// Together with the GSC bootstrap this reproduces the paper's ~650
+	// extra EENTER/EEXITs for a server versus the empty workload.
+	serverInitOCALLs = 590
+	// warmupOCALLs and warmupVerifyBytes model the first request: the
+	// lazy dlopen of network-stack dependencies triggers a handful of
+	// OCALLs plus in-enclave verification (hashing) of the
+	// lazily-loaded trusted files. The verification compute is what
+	// makes the initial response ~20× the stable one (Fig. 10b) without
+	// inflating the transition counts of Table III.
+	warmupOCALLs      = 60
+	warmupVerifyBytes = 2_800_000
+)
+
+// Breakdown reports the virtual-time windows of one served request using
+// the paper's metric names: L_F (functional latency: the AKA function
+// execution), L_T (total latency: request receipt to response send inside
+// the module), and the full server-side residence that the caller extends
+// into the response time R.
+type Breakdown struct {
+	Functional simclock.Cycles
+	Total      simclock.Cycles
+	ServerSide simclock.Cycles
+}
+
+// Instance is one running shielded container: an enclave booted through
+// the Gramine LibOS, with its resident process entry and helper threads.
+type Instance struct {
+	platform *sgx.Platform
+	image    *ShieldedImage
+	enclave  *sgx.Enclave
+	syscalls SyscallProfile
+	exitless bool
+
+	proc    *sgx.Thread
+	helpers []*sgx.Thread
+
+	mu      sync.Mutex
+	running bool
+	warm    bool
+}
+
+// LaunchOption tunes instance bring-up.
+type LaunchOption func(*launchConfig)
+
+type launchConfig struct {
+	noServer bool
+	syscalls *SyscallProfile
+}
+
+// WithoutServer skips the HTTPS server bring-up syscalls — used for the
+// paper's "empty workload" GSC baseline (Table III).
+func WithoutServer() LaunchOption {
+	return func(c *launchConfig) { c.noServer = true }
+}
+
+// WithSyscallProfile overrides the per-request syscall census (for the
+// user-level TCP ablation).
+func WithSyscallProfile(sp SyscallProfile) LaunchOption {
+	return func(c *launchConfig) { c.syscalls = &sp }
+}
+
+// Launch verifies the shielded image, builds its enclave (charging the
+// full Fig. 7 load cost to ctx's account), enters the resident process and
+// helper threads, and starts the in-enclave server.
+func Launch(ctx context.Context, p *sgx.Platform, si *ShieldedImage, opts ...LaunchOption) (*Instance, error) {
+	if p == nil || si == nil {
+		return nil, errors.New("gramine: nil platform or image")
+	}
+	var lc launchConfig
+	for _, opt := range opts {
+		opt(&lc)
+	}
+	if err := si.Verify(); err != nil {
+		return nil, fmt.Errorf("gramine: launch: %w", err)
+	}
+	enclave, err := p.Build(ctx, si.EnclaveConfig())
+	if err != nil {
+		return nil, fmt.Errorf("gramine: build enclave: %w", err)
+	}
+
+	inst := &Instance{
+		platform: p,
+		image:    si,
+		enclave:  enclave,
+		syscalls: DefaultSyscallProfile(),
+		exitless: si.Manifest.Exitless,
+		running:  true,
+	}
+	if lc.syscalls != nil {
+		inst.syscalls = *lc.syscalls
+	}
+
+	// One never-returning ECALL for the process, one per helper thread.
+	proc, err := enclave.EnterResident(ctx)
+	if err != nil {
+		enclave.Destroy()
+		return nil, fmt.Errorf("gramine: enter process: %w", err)
+	}
+	inst.proc = proc
+	for i := 0; i < HelperThreads; i++ {
+		h, err := enclave.EnterResident(ctx)
+		if err != nil {
+			inst.Shutdown()
+			return nil, fmt.Errorf("gramine: enter helper %d: %w", i, err)
+		}
+		inst.helpers = append(inst.helpers, h)
+	}
+
+	// Server bring-up syscalls.
+	if !lc.noServer {
+		m := p.Model()
+		for i := 0; i < serverInitOCALLs; i++ {
+			proc.OCall(m.SyscallNative, 32, 32)
+		}
+	}
+	return inst, nil
+}
+
+// Enclave exposes the underlying enclave (stats, sealing, attestation).
+func (i *Instance) Enclave() *sgx.Enclave { return i.enclave }
+
+// Image returns the shielded image the instance was launched from.
+func (i *Instance) Image() *ShieldedImage { return i.image }
+
+// LoadDuration reports the modelled enclave load time (Fig. 7).
+func (i *Instance) LoadDuration() time.Duration { return i.enclave.LoadDuration() }
+
+// TCBBytes reports the trusted computing base carried by this instance:
+// the bytes measured into the enclave identity. Optimizations that pull
+// more functionality inside (user-level TCP) grow this number — the
+// trade-off the paper calls out in §V-B7.
+func (i *Instance) TCBBytes() uint64 {
+	var n uint64
+	for _, f := range i.image.Manifest.TrustedFiles {
+		n += f.Size
+	}
+	return n
+}
+
+// Exitless reports whether switchless OCALLs are active.
+func (i *Instance) Exitless() bool { return i.exitless }
+
+// Warm reports whether the first request has been served.
+func (i *Instance) Warm() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.warm
+}
+
+// ServeRequest runs one HTTPS request through the in-enclave server: the
+// pre-request syscall machinery, TLS and HTTP processing, the handler
+// itself, the response path, and the post-request machinery. The handler
+// receives the in-enclave thread to charge its own compute and memory
+// touches; any real work (the actual AKA crypto) runs inside it.
+//
+// Costs are charged to the account carried by ctx, which must be dedicated
+// to this request for the returned Breakdown windows to be meaningful.
+func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, handler func(*sgx.Thread) error) (Breakdown, error) {
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return Breakdown{}, ErrNotRunning
+	}
+	first := !i.warm
+	i.warm = true
+	i.mu.Unlock()
+
+	p := i.platform
+	m := p.Model()
+	acct := simclock.AccountFrom(ctx)
+	th := i.proc.WithAccount(acct)
+	start := acct.Total()
+
+	if first {
+		// Lazy loading of network-stack dependencies: a few OCALLs and
+		// the in-enclave verification of the lazily-read trusted files.
+		for k := 0; k < warmupOCALLs; k++ {
+			th.OCall(m.SyscallNative, 64, 64)
+		}
+		th.Compute(simclock.Cycles(warmupVerifyBytes) * m.TrustedFileHashPerByte)
+		// The server-side TLS handshake for the first connection.
+		th.Compute(m.TLSHandshakeServer)
+	}
+
+	// ocall routes through the exitless ring when enabled, otherwise
+	// through a full EEXIT/EENTER transition pair.
+	ocall := func(untrusted simclock.Cycles, out, in int) {
+		if i.exitless {
+			th.OCallExitless(untrusted, out, in)
+		} else {
+			th.OCall(untrusted, out, in)
+		}
+	}
+
+	jig := int(p.Jitter().Uint64n(3))
+	for k := 0; k < i.syscalls.Pre+jig; k++ {
+		ocall(m.SyscallNative, 16, 16)
+	}
+
+	totalStart := acct.Total()
+	for k := 0; k < i.syscalls.Read; k++ {
+		ocall(m.SyscallNative, 0, inBytes/i.syscalls.Read+1)
+	}
+	th.Compute(m.TLSRecordCost(inBytes) + m.HTTPCost(inBytes))
+	th.Touch(uint64(inBytes))
+
+	fnStart := acct.Total()
+	for k := 0; k < i.syscalls.InHandler; k++ {
+		ocall(m.SyscallNative, 8, 8)
+	}
+	err := handler(th)
+	fnEnd := acct.Total()
+
+	th.Compute(m.HTTPCost(outBytes) + m.TLSRecordCost(outBytes))
+	th.Touch(uint64(outBytes))
+	for k := 0; k < i.syscalls.Write; k++ {
+		ocall(m.SyscallNative, outBytes/i.syscalls.Write+1, 0)
+	}
+	totalEnd := acct.Total()
+
+	for k := 0; k < i.syscalls.Post; k++ {
+		ocall(m.SyscallNative, 16, 16)
+	}
+
+	return Breakdown{
+		Functional: fnEnd - fnStart,
+		Total:      totalEnd - totalStart,
+		ServerSide: acct.Total() - start,
+	}, err
+}
+
+// Do runs fn on the resident in-enclave process thread outside the request
+// path — used for provisioning secrets into the enclave and other
+// maintenance that should not be measured as a served request.
+func (i *Instance) Do(ctx context.Context, fn func(*sgx.Thread) error) error {
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return ErrNotRunning
+	}
+	i.mu.Unlock()
+	return fn(i.proc.WithAccount(simclock.AccountFrom(ctx)))
+}
+
+// AccrueUptime models the instance staying deployed for d of virtual time
+// (timer-interrupt AEX accumulation; Table III).
+func (i *Instance) AccrueUptime(d time.Duration) { i.enclave.AccrueUptime(d) }
+
+// Stats snapshots the enclave's SGX counters.
+func (i *Instance) Stats() sgx.StatsSnapshot { return i.enclave.Stats() }
+
+// Shutdown leaves the resident threads and destroys the enclave. It is
+// idempotent.
+func (i *Instance) Shutdown() {
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return
+	}
+	i.running = false
+	i.mu.Unlock()
+
+	for _, h := range i.helpers {
+		i.enclave.LeaveResident(h)
+	}
+	i.helpers = nil
+	if i.proc != nil {
+		i.enclave.LeaveResident(i.proc)
+		i.proc = nil
+	}
+	i.enclave.Destroy()
+}

@@ -1,0 +1,74 @@
+package sgx
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Attestation errors.
+var (
+	// ErrQuoteSignature reports a quote whose platform signature does
+	// not verify.
+	ErrQuoteSignature = errors.New("sgx: quote signature invalid")
+	// ErrMeasurementMismatch reports a verified quote for an unexpected
+	// enclave identity.
+	ErrMeasurementMismatch = errors.New("sgx: enclave measurement mismatch")
+)
+
+// Report is the enclave-produced attestation evidence: its identity and
+// 64 bytes of caller data (typically a key-exchange transcript hash).
+type Report struct {
+	EnclaveName string   `json:"enclave_name"`
+	Measurement [32]byte `json:"measurement"`
+	ReportData  [64]byte `json:"report_data"`
+}
+
+// Quote is a Report signed by the platform quoting key — the analogue of
+// an SGX quote signed by the Quoting Enclave's attestation key.
+type Quote struct {
+	Report    Report `json:"report"`
+	Signature []byte `json:"signature"`
+}
+
+// GenerateQuote produces a signed quote binding reportData to the
+// enclave's measurement. A remote party verifying the quote learns that
+// exactly this code, on a genuine (simulated) platform, produced the data.
+func (e *Enclave) GenerateQuote(reportData [64]byte) (*Quote, error) {
+	if err := e.live(); err != nil {
+		return nil, err
+	}
+	r := Report{
+		EnclaveName: e.cfg.Name,
+		Measurement: e.measurement,
+		ReportData:  reportData,
+	}
+	msg, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: marshal report: %w", err)
+	}
+	return &Quote{Report: r, Signature: ed25519.Sign(e.platform.qePriv, msg)}, nil
+}
+
+// VerifyQuote checks the quote against the platform's quoting public key
+// (pinned out of band, standing in for the Intel attestation service) and,
+// when expectedMeasurement is non-nil, against the expected enclave
+// identity.
+func VerifyQuote(qePub ed25519.PublicKey, q *Quote, expectedMeasurement *[32]byte) error {
+	if q == nil {
+		return errors.New("sgx: nil quote")
+	}
+	msg, err := json.Marshal(q.Report)
+	if err != nil {
+		return fmt.Errorf("sgx: marshal report: %w", err)
+	}
+	if !ed25519.Verify(qePub, msg, q.Signature) {
+		return ErrQuoteSignature
+	}
+	if expectedMeasurement != nil && q.Report.Measurement != *expectedMeasurement {
+		return fmt.Errorf("%w: got %x, want %x",
+			ErrMeasurementMismatch, q.Report.Measurement[:8], expectedMeasurement[:8])
+	}
+	return nil
+}

@@ -1,0 +1,521 @@
+package sgx
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/simclock"
+)
+
+// Enclave lifecycle errors.
+var (
+	// ErrNotInitialized reports use of an enclave before EINIT.
+	ErrNotInitialized = errors.New("sgx: enclave not initialized")
+	// ErrDestroyed reports use of a torn-down enclave.
+	ErrDestroyed = errors.New("sgx: enclave destroyed")
+	// ErrEPCExhausted reports that committing the enclave would exceed
+	// the platform's physical EPC.
+	ErrEPCExhausted = errors.New("sgx: physical EPC exhausted")
+	// ErrTooManyThreads reports that all TCS slots are busy.
+	ErrTooManyThreads = errors.New("sgx: no free thread control structure")
+)
+
+// EnclaveConfig describes one enclave to build. It mirrors the knobs the
+// paper sets through the Gramine manifest.
+type EnclaveConfig struct {
+	// Name identifies the enclave in reports.
+	Name string
+	// SizeBytes is the committed EPC size (sgx.enclave_size). The paper
+	// uses 512 MiB for the P-AKA modules and sweeps up to 8 GiB.
+	SizeBytes uint64
+	// MaxThreads is the TCS count (sgx.max_threads). Gramine needs 3
+	// helper threads, so the paper's minimum stable value is 4.
+	MaxThreads int
+	// Preheat pre-faults all heap pages at initialization
+	// (sgx.preheat_enclave), trading load time for stable operation.
+	Preheat bool
+	// TrustedFiles are measured into the enclave identity at build time.
+	TrustedFiles []MeasuredFile
+	// HeapPages is the number of heap pages the workload touches per
+	// request on average; used to model demand paging when Preheat is
+	// off and residual paging pressure for oversized enclaves.
+	HeapPages uint64
+}
+
+func (c *EnclaveConfig) validate() error {
+	if c.SizeBytes == 0 {
+		return errors.New("sgx: enclave size must be positive")
+	}
+	if c.MaxThreads <= 0 {
+		return errors.New("sgx: max threads must be positive")
+	}
+	return nil
+}
+
+// State is the enclave lifecycle state.
+type State int
+
+// Enclave lifecycle states.
+const (
+	StateBuilt State = iota + 1
+	StateDestroyed
+)
+
+// Enclave is one simulated SGX enclave.
+type Enclave struct {
+	id       uint64
+	platform *Platform
+	cfg      EnclaveConfig
+
+	measurement [32]byte // MRENCLAVE analogue
+	loadCycles  simclock.Cycles
+
+	tcs chan struct{} // TCS slots; acquired per in-enclave thread
+
+	stats Stats
+
+	mu      sync.Mutex
+	state   State
+	secrets map[string][]byte // shielded in-enclave data (plaintext inside)
+	faulted uint64            // heap pages already faulted in
+}
+
+// Build constructs, measures and initializes an enclave, charging the full
+// ECREATE/EADD/EEXTEND/EINIT (and optional preheat) cost. This is the
+// operation behind the paper's Fig. 7 enclave load times.
+func (p *Platform) Build(ctx context.Context, cfg EnclaveConfig) (*Enclave, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.epcUsed+cfg.SizeBytes > p.epcCapacity {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: committed %d + requested %d > capacity %d",
+			ErrEPCExhausted, p.epcUsed, cfg.SizeBytes, p.epcCapacity)
+	}
+	p.epcUsed += cfg.SizeBytes
+	p.nextID++
+	id := p.nextID
+	p.mu.Unlock()
+
+	e := &Enclave{
+		id:       id,
+		platform: p,
+		cfg:      cfg,
+		tcs:      make(chan struct{}, cfg.MaxThreads),
+		state:    StateBuilt,
+		secrets:  make(map[string][]byte),
+	}
+
+	// Measurement: hash the configuration and every trusted file, in
+	// order, the way EADD/EEXTEND folds page contents into MRENCLAVE.
+	h := sha256.New()
+	fmt.Fprintf(h, "enclave:%s:size=%d:threads=%d:preheat=%v",
+		cfg.Name, cfg.SizeBytes, cfg.MaxThreads, cfg.Preheat)
+	var fileBytes uint64
+	for _, f := range cfg.TrustedFiles {
+		d := f.digest()
+		h.Write(d[:])
+		fileBytes += f.Size
+	}
+	copy(e.measurement[:], h.Sum(nil))
+
+	// Load cost: per-page EADD+EEXTEND over the committed size, trusted
+	// file hashing, and preheat pre-faulting. Jitter reproduces the
+	// quartile spread of Fig. 7.
+	m := p.model
+	pages := simclock.Cycles(costmodel.PagesFor(cfg.SizeBytes))
+	cost := pages * m.EnclaveBuildPerPage
+	cost += simclock.Cycles(fileBytes) * m.TrustedFileHashPerByte
+	if cfg.Preheat {
+		cost += pages * m.PreheatPerPage
+		e.faulted = costmodel.PagesFor(cfg.SizeBytes)
+	}
+	// Gramine + glibc bootstrap issues several hundred OCALLs while
+	// reading the manifest and loading shared libraries, plus a
+	// population of one-way entries (signal handling setup, thread stack
+	// registration) that never see a matching EEXIT. The constants
+	// reproduce the paper's empty-workload baseline of Table III
+	// (762 EENTERs / 680 EEXITs for a GSC container with no server).
+	const (
+		bootstrapOCALLs  = 680
+		bootstrapOneWays = 82
+	)
+	cost += simclock.Cycles(bootstrapOCALLs) * m.OCALLRoundTrip()
+	cost += simclock.Cycles(bootstrapOneWays) * m.EENTER
+	e.stats.EENTER.Add(bootstrapOCALLs + bootstrapOneWays)
+	e.stats.EEXIT.Add(bootstrapOCALLs)
+	e.stats.OCALLs.Add(bootstrapOCALLs)
+	e.stats.ECALLs.Add(bootstrapOneWays)
+
+	cost = p.jitter.Scale(cost, 0.012)
+	e.loadCycles = cost
+	p.charge(simclock.AccountFrom(ctx), cost)
+
+	p.mu.Lock()
+	p.enclaves[id] = e
+	p.mu.Unlock()
+	return e, nil
+}
+
+// Name returns the configured enclave name.
+func (e *Enclave) Name() string { return e.cfg.Name }
+
+// Config returns a copy of the enclave configuration.
+func (e *Enclave) Config() EnclaveConfig {
+	cfg := e.cfg
+	cfg.TrustedFiles = append([]MeasuredFile(nil), e.cfg.TrustedFiles...)
+	return cfg
+}
+
+// Measurement returns the MRENCLAVE-style identity hash.
+func (e *Enclave) Measurement() [32]byte { return e.measurement }
+
+// LoadCycles reports the cycles charged to build and initialize the
+// enclave.
+func (e *Enclave) LoadCycles() simclock.Cycles { return e.loadCycles }
+
+// LoadDuration reports the modelled enclave load time (Fig. 7).
+func (e *Enclave) LoadDuration() time.Duration {
+	return e.platform.model.Duration(e.loadCycles)
+}
+
+// Destroy tears the enclave down, releasing its committed EPC and flushing
+// in-enclave secrets (the cache-flush requirement of Key Issue 5).
+func (e *Enclave) Destroy() {
+	e.mu.Lock()
+	if e.state == StateDestroyed {
+		e.mu.Unlock()
+		return
+	}
+	e.state = StateDestroyed
+	for k := range e.secrets {
+		delete(e.secrets, k)
+	}
+	e.mu.Unlock()
+
+	p := e.platform
+	p.mu.Lock()
+	if _, ok := p.enclaves[e.id]; ok {
+		delete(p.enclaves, e.id)
+		p.epcUsed -= e.cfg.SizeBytes
+	}
+	p.mu.Unlock()
+}
+
+func (e *Enclave) live() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case StateBuilt:
+		return nil
+	case StateDestroyed:
+		return ErrDestroyed
+	default:
+		return ErrNotInitialized
+	}
+}
+
+// Thread models one thread executing inside the enclave. All in-enclave
+// work — compute, memory touches, OCALLs — is expressed through it so the
+// simulator can charge transition, shielding and paging costs and count
+// the same events real hardware would.
+type Thread struct {
+	enclave *Enclave
+	acct    *simclock.Account
+}
+
+// ECall enters the enclave on a free TCS slot, runs fn as the in-enclave
+// thread body, and exits. Entry and exit each charge one transition and
+// the boundary-crossing costs for the declared argument sizes.
+func (e *Enclave) ECall(ctx context.Context, argBytes, retBytes int, fn func(*Thread) error) error {
+	if err := e.live(); err != nil {
+		return err
+	}
+	select {
+	case e.tcs <- struct{}{}:
+	default:
+		return fmt.Errorf("%w: %d busy", ErrTooManyThreads, cap(e.tcs))
+	}
+	defer func() { <-e.tcs }()
+
+	p := e.platform
+	acct := simclock.AccountFrom(ctx)
+	m := p.model
+
+	e.stats.EENTER.Add(1)
+	e.stats.ECALLs.Add(1)
+	p.charge(acct, m.EENTER+m.ShieldCost(argBytes))
+
+	t := &Thread{enclave: e, acct: acct}
+	err := fn(t)
+
+	e.stats.EEXIT.Add(1)
+	p.charge(acct, m.EEXIT+m.ShieldCost(retBytes))
+	return err
+}
+
+// EnterResident models Gramine's long-lived entries: one ECALL for the
+// process and one per LibOS thread that never return while the enclave
+// lives. Only EENTER is counted, reproducing the EENTER>EEXIT skew in the
+// paper's Table III.
+func (e *Enclave) EnterResident(ctx context.Context) (*Thread, error) {
+	if err := e.live(); err != nil {
+		return nil, err
+	}
+	select {
+	case e.tcs <- struct{}{}:
+	default:
+		return nil, fmt.Errorf("%w: %d busy", ErrTooManyThreads, cap(e.tcs))
+	}
+	p := e.platform
+	acct := simclock.AccountFrom(ctx)
+	e.stats.EENTER.Add(1)
+	e.stats.ECALLs.Add(1)
+	p.charge(acct, p.model.EENTER)
+	return &Thread{enclave: e, acct: acct}, nil
+}
+
+// LeaveResident releases a resident thread's TCS slot, counting the final
+// EEXIT (process teardown).
+func (e *Enclave) LeaveResident(t *Thread) {
+	e.stats.EEXIT.Add(1)
+	e.platform.charge(t.acct, e.platform.model.EEXIT)
+	<-e.tcs
+}
+
+// WithAccount rebinds the thread's cost account; used when one resident
+// LibOS thread serves many independent requests.
+func (t *Thread) WithAccount(acct *simclock.Account) *Thread {
+	return &Thread{enclave: t.enclave, acct: acct}
+}
+
+// OCall models the thread leaving the enclave to have the untrusted
+// runtime perform work on its behalf (a proxied syscall): EEXIT, the
+// untrusted work expressed in cycles, then EENTER. Argument and result
+// bytes are shielded as they cross the boundary.
+func (t *Thread) OCall(untrustedCycles simclock.Cycles, outBytes, inBytes int) {
+	e := t.enclave
+	m := e.platform.model
+	e.stats.EEXIT.Add(1)
+	e.stats.EENTER.Add(1)
+	e.stats.OCALLs.Add(1)
+	cost := m.EEXIT + m.ShieldCost(outBytes) + untrustedCycles + m.EENTER + m.ShieldCost(inBytes)
+	e.platform.charge(t.acct, cost)
+}
+
+// OCallExitless models Gramine's exitless (switchless) call feature: the
+// enclave thread hands the syscall to an untrusted helper thread through a
+// shared-memory ring and spins until the result lands, avoiding the
+// EEXIT/EENTER pair entirely. The OCALL is still counted (it is still a
+// proxied syscall) but no transitions occur; the price is the cross-core
+// handoff and the helper thread burning a core. The paper notes this
+// feature is not production-ready; it is modelled here for the §V-B7
+// ablation.
+func (t *Thread) OCallExitless(untrustedCycles simclock.Cycles, outBytes, inBytes int) {
+	e := t.enclave
+	m := e.platform.model
+	e.stats.OCALLs.Add(1)
+	// Two cache-line handoffs plus the spin while the helper serves the
+	// call; far below the ~17k-cycle transition pair.
+	const handoffCycles = 3_000
+	cost := handoffCycles + untrustedCycles + m.ShieldCost(outBytes) + m.ShieldCost(inBytes)
+	e.platform.charge(t.acct, cost)
+}
+
+// Compute charges n cycles of in-enclave execution. Execution inside the
+// EPC pays the memory-encryption overhead, and long computations are
+// interrupted by timer-driven asynchronous exits (AEX + ERESUME), which the
+// simulator draws at the platform tick rate.
+func (t *Thread) Compute(n simclock.Cycles) {
+	e := t.enclave
+	p := e.platform
+	m := p.model
+
+	// MEE overhead: a few percent on compute-bound in-enclave code.
+	const meeOverheadPct = 6
+	cost := n + n*meeOverheadPct/100
+
+	seconds := float64(n) / float64(m.FrequencyHz)
+	aex := p.jitter.Poisson(seconds * m.AEXRatePerThreadHz)
+	if aex > 0 {
+		e.stats.AEX.Add(uint64(aex))
+		e.stats.ERESUME.Add(uint64(aex))
+		cost += simclock.Cycles(aex) * m.AEXRoundTrip()
+	}
+	p.charge(t.acct, cost)
+}
+
+// Touch models the thread accessing n bytes of enclave heap. Pages not yet
+// faulted in (preheat disabled, or first touch after load) pay the EPC
+// fault cost; oversized enclaves pay residual paging pressure, reproducing
+// the Fig. 8 degradation at 8 GiB EPC.
+func (t *Thread) Touch(nBytes uint64) {
+	e := t.enclave
+	p := e.platform
+	m := p.model
+	pages := costmodel.PagesFor(nBytes)
+
+	var faults uint64
+	e.mu.Lock()
+	total := costmodel.PagesFor(e.cfg.SizeBytes)
+	if e.faulted < total {
+		remaining := total - e.faulted
+		if pages < remaining {
+			faults = pages
+		} else {
+			faults = remaining
+		}
+		e.faulted += faults
+	}
+	e.mu.Unlock()
+
+	// Residual paging pressure grows with committed enclave size: the
+	// kernel balances a larger resident set, so reclaim touches big
+	// enclaves more often. 512 MiB pays ~0; 8 GiB pays the paper's
+	// "slight decrease in performance and wider interquartile range".
+	const pressurePages = float64(1 << 30 / costmodel.PageSize) // per GiB beyond the first
+	excess := float64(total) - pressurePages
+	var lambda float64
+	if excess > 0 {
+		lambda = 0.04 * (excess / pressurePages) * float64(pages)
+	}
+	faults += uint64(p.jitter.Poisson(lambda))
+
+	if faults > 0 {
+		e.stats.PageFaults.Add(faults)
+		e.stats.AEX.Add(faults)
+		e.stats.ERESUME.Add(faults)
+		p.charge(t.acct, simclock.Cycles(faults)*(m.EPCPageFault+m.AEXRoundTrip()))
+	}
+	p.charge(t.acct, simclock.Cycles(nBytes)*m.CopyPerByte)
+}
+
+// StoreSecret places sensitive material in enclave memory. From inside the
+// enclave it is plaintext; Introspect (the attacker's view) sees only
+// ciphertext, reproducing the memory-introspection protection of Key
+// Issues 7 and 15.
+func (t *Thread) StoreSecret(name string, data []byte) {
+	e := t.enclave
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.secrets[name] = append([]byte(nil), data...)
+}
+
+// LoadSecret reads sensitive material back from enclave memory.
+func (t *Thread) LoadSecret(name string) ([]byte, bool) {
+	e := t.enclave
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.secrets[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// Introspect is the view a privileged attacker (hypervisor, container
+// engine, co-resident root) gets of the enclave's memory for the named
+// region: the Memory Encryption Engine ciphertext, never the plaintext.
+func (e *Enclave) Introspect(name string) ([]byte, bool) {
+	e.mu.Lock()
+	plain, ok := e.secrets[name]
+	if !ok {
+		e.mu.Unlock()
+		return nil, false
+	}
+	plain = append([]byte(nil), plain...)
+	e.mu.Unlock()
+
+	// Deterministic keystream derived from the platform sealing root and
+	// enclave id stands in for the MEE's AES-XTS: same plaintext, same
+	// ciphertext, nothing recoverable without the CPU package key.
+	out := make([]byte, len(plain))
+	var counter uint64
+	var block [32]byte
+	for i := range plain {
+		if i%32 == 0 {
+			h := sha256.New()
+			h.Write(e.platform.sealRoot[:])
+			var idb [8]byte
+			binary.BigEndian.PutUint64(idb[:], e.id)
+			h.Write(idb[:])
+			binary.BigEndian.PutUint64(idb[:], counter)
+			h.Write(idb[:])
+			copy(block[:], h.Sum(nil))
+			counter++
+		}
+		out[i] = plain[i] ^ block[i%32]
+	}
+	return out, true
+}
+
+// AccrueUptime models the enclave staying resident for d of virtual time:
+// timer interrupts hit every enclave-resident thread, generating the large
+// registration-independent AEX populations of Table III.
+func (e *Enclave) AccrueUptime(d time.Duration) {
+	p := e.platform
+	resident := float64(e.cfg.MaxThreads)
+	mean := d.Seconds() * p.model.AEXRatePerThreadHz * resident
+	n := p.jitter.Poisson(mean)
+	e.stats.AEX.Add(uint64(n))
+	e.stats.ERESUME.Add(uint64(n))
+	p.clock.AdvanceDuration(d)
+}
+
+// Stats contains the SGX-specific operation counters the paper collects
+// through Gramine's stats interface (Table III).
+type Stats struct {
+	EENTER     atomic.Uint64
+	EEXIT      atomic.Uint64
+	AEX        atomic.Uint64
+	ERESUME    atomic.Uint64
+	ECALLs     atomic.Uint64
+	OCALLs     atomic.Uint64
+	PageFaults atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	EENTER     uint64
+	EEXIT      uint64
+	AEX        uint64
+	ERESUME    uint64
+	ECALLs     uint64
+	OCALLs     uint64
+	PageFaults uint64
+}
+
+// Stats returns a snapshot of the enclave's counters.
+func (e *Enclave) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		EENTER:     e.stats.EENTER.Load(),
+		EEXIT:      e.stats.EEXIT.Load(),
+		AEX:        e.stats.AEX.Load(),
+		ERESUME:    e.stats.ERESUME.Load(),
+		ECALLs:     e.stats.ECALLs.Load(),
+		OCALLs:     e.stats.OCALLs.Load(),
+		PageFaults: e.stats.PageFaults.Load(),
+	}
+}
+
+// Sub returns the counter deltas s - prev; the paper differences
+// consecutive snapshots to obtain per-registration costs.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		EENTER:     s.EENTER - prev.EENTER,
+		EEXIT:      s.EEXIT - prev.EEXIT,
+		AEX:        s.AEX - prev.AEX,
+		ERESUME:    s.ERESUME - prev.ERESUME,
+		ECALLs:     s.ECALLs - prev.ECALLs,
+		OCALLs:     s.OCALLs - prev.OCALLs,
+		PageFaults: s.PageFaults - prev.PageFaults,
+	}
+}

@@ -1,0 +1,79 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrUnseal reports sealed data that cannot be opened by this enclave —
+// wrong platform, wrong enclave identity, or tampered ciphertext.
+var ErrUnseal = errors.New("sgx: unseal failed")
+
+// sealKey derives the enclave's sealing key: bound to both the platform
+// root (CPU fuse key analogue) and the enclave measurement (MRENCLAVE
+// policy), so only the same code on the same machine can unseal.
+func (e *Enclave) sealKey() []byte {
+	mac := hmac.New(sha256.New, e.platform.sealRoot[:])
+	mac.Write([]byte("seal"))
+	mac.Write(e.measurement[:])
+	return mac.Sum(nil)
+}
+
+// Seal encrypts data so that only an enclave with the same measurement on
+// the same platform can recover it. This is the mechanism the paper points
+// to for Key Issue 27: shipping NF container images without plaintext
+// credentials.
+func (e *Enclave) Seal(plaintext, additionalData []byte) ([]byte, error) {
+	if err := e.live(); err != nil {
+		return nil, err
+	}
+	aead, err := newSealAEAD(e.sealKey())
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("sgx: seal nonce: %w", err)
+	}
+	out := aead.Seal(nonce, nonce, plaintext, additionalData)
+	return out, nil
+}
+
+// Unseal reverses Seal. It returns ErrUnseal when the blob was sealed by a
+// different enclave identity or platform, or was modified.
+func (e *Enclave) Unseal(blob, additionalData []byte) ([]byte, error) {
+	if err := e.live(); err != nil {
+		return nil, err
+	}
+	aead, err := newSealAEAD(e.sealKey())
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, fmt.Errorf("%w: blob too short", ErrUnseal)
+	}
+	nonce, ct := blob[:aead.NonceSize()], blob[aead.NonceSize():]
+	plain, err := aead.Open(nil, nonce, ct, additionalData)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnseal, err)
+	}
+	return plain, nil
+}
+
+func newSealAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal AEAD: %w", err)
+	}
+	return aead, nil
+}

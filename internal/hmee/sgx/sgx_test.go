@@ -1,0 +1,479 @@
+package sgx
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"shield5g/internal/simclock"
+)
+
+func testPlatform(t testing.TB) *Platform {
+	t.Helper()
+	p, err := NewPlatform(PlatformConfig{Seed: 42})
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return p
+}
+
+func testConfig() EnclaveConfig {
+	return EnclaveConfig{
+		Name:       "eudm-p-aka",
+		SizeBytes:  512 << 20,
+		MaxThreads: 4,
+		Preheat:    true,
+		TrustedFiles: []MeasuredFile{
+			{Path: "/gramine/libos.so", Size: 2_500_000_000},
+		},
+	}
+}
+
+func build(t testing.TB, p *Platform, cfg EnclaveConfig) *Enclave {
+	t.Helper()
+	e, err := p.Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	t.Cleanup(e.Destroy)
+	return e
+}
+
+func TestBuildLoadTimeNearOneMinute(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	d := e.LoadDuration()
+	if d < 45*time.Second || d > 75*time.Second {
+		t.Fatalf("load duration = %v, want ~1 minute (Fig. 7)", d)
+	}
+}
+
+func TestBuildChargesAccount(t *testing.T) {
+	p := testPlatform(t)
+	var acct simclock.Account
+	ctx := simclock.WithAccount(context.Background(), &acct)
+	e, err := p.Build(ctx, testConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer e.Destroy()
+	if acct.Total() != e.LoadCycles() {
+		t.Fatalf("account = %d, load = %d", acct.Total(), e.LoadCycles())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.Build(context.Background(), EnclaveConfig{SizeBytes: 0, MaxThreads: 4}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := p.Build(context.Background(), EnclaveConfig{SizeBytes: 1 << 20, MaxThreads: 0}); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}
+
+func TestEPCExhaustion(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{Seed: 1, EPCCapacityBytes: 1 << 30})
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	cfg := testConfig()
+	cfg.TrustedFiles = nil
+	e1, err := p.Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("first build: %v", err)
+	}
+	cfg2 := cfg
+	cfg2.SizeBytes = 768 << 20
+	if _, err := p.Build(context.Background(), cfg2); !errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("second build err = %v, want ErrEPCExhausted", err)
+	}
+	// Destroying the first enclave releases EPC for the second.
+	e1.Destroy()
+	if p.EPCInUse() != 0 {
+		t.Fatalf("EPCInUse after destroy = %d", p.EPCInUse())
+	}
+	e2, err := p.Build(context.Background(), cfg2)
+	if err != nil {
+		t.Fatalf("build after destroy: %v", err)
+	}
+	e2.Destroy()
+}
+
+func TestMeasurementDependsOnIdentity(t *testing.T) {
+	p := testPlatform(t)
+	a := build(t, p, testConfig())
+	b := build(t, p, testConfig())
+	if a.Measurement() != b.Measurement() {
+		t.Fatal("identical configs produced different measurements")
+	}
+	cfg := testConfig()
+	cfg.TrustedFiles = append(cfg.TrustedFiles, MeasuredFile{Path: "/evil.so", Size: 10})
+	c := build(t, p, cfg)
+	if a.Measurement() == c.Measurement() {
+		t.Fatal("different trusted files produced identical measurements")
+	}
+}
+
+func TestECallCountsTransitions(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	before := e.Stats()
+	err := e.ECall(context.Background(), 40, 80, func(th *Thread) error {
+		th.Compute(100_000)
+		th.OCall(p.Model().SyscallNative, 64, 64)
+		th.OCall(p.Model().SyscallNative, 64, 64)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	d := e.Stats().Sub(before)
+	if d.ECALLs != 1 || d.OCALLs != 2 {
+		t.Fatalf("delta = %+v, want 1 ECALL / 2 OCALLs", d)
+	}
+	// Each OCALL is one EEXIT+EENTER pair; the ECALL adds one of each.
+	if d.EENTER != 3 || d.EEXIT != 3 {
+		t.Fatalf("delta = %+v, want 3 EENTER / 3 EEXIT", d)
+	}
+}
+
+func TestECallChargesLatency(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	var acct simclock.Account
+	ctx := simclock.WithAccount(context.Background(), &acct)
+	if err := e.ECall(ctx, 0, 0, func(th *Thread) error { return nil }); err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	min := p.Model().EENTER + p.Model().EEXIT
+	if acct.Total() < min {
+		t.Fatalf("charged %d cycles, want >= %d", acct.Total(), min)
+	}
+}
+
+func TestECallErrorPropagates(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	sentinel := errors.New("boom")
+	if err := e.ECall(context.Background(), 0, 0, func(*Thread) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestTCSExhaustion(t *testing.T) {
+	p := testPlatform(t)
+	cfg := testConfig()
+	cfg.MaxThreads = 1
+	e := build(t, p, cfg)
+	err := e.ECall(context.Background(), 0, 0, func(*Thread) error {
+		return e.ECall(context.Background(), 0, 0, func(*Thread) error { return nil })
+	})
+	if !errors.Is(err, ErrTooManyThreads) {
+		t.Fatalf("nested ECall err = %v, want ErrTooManyThreads", err)
+	}
+}
+
+func TestResidentEntries(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	before := e.Stats()
+	th, err := e.EnterResident(context.Background())
+	if err != nil {
+		t.Fatalf("EnterResident: %v", err)
+	}
+	d := e.Stats().Sub(before)
+	if d.EENTER != 1 || d.EEXIT != 0 {
+		t.Fatalf("resident entry delta = %+v, want EENTER=1 EEXIT=0", d)
+	}
+	e.LeaveResident(th)
+	d = e.Stats().Sub(before)
+	if d.EEXIT != 1 {
+		t.Fatalf("after leave delta = %+v, want EEXIT=1", d)
+	}
+}
+
+func TestDestroyedEnclaveRejectsUse(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	e.Destroy()
+	e.Destroy() // idempotent
+	if err := e.ECall(context.Background(), 0, 0, func(*Thread) error { return nil }); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("ECall after destroy = %v, want ErrDestroyed", err)
+	}
+	if _, err := e.EnterResident(context.Background()); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("EnterResident after destroy = %v", err)
+	}
+	if _, err := e.Seal([]byte("x"), nil); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("Seal after destroy = %v", err)
+	}
+	if _, err := e.GenerateQuote([64]byte{}); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("GenerateQuote after destroy = %v", err)
+	}
+}
+
+func TestTouchPreheatAvoidsFaults(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig()) // preheat on, 512 MiB
+	var acct simclock.Account
+	ctx := simclock.WithAccount(context.Background(), &acct)
+	if err := e.ECall(ctx, 0, 0, func(th *Thread) error {
+		th.Touch(64 << 10)
+		return nil
+	}); err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	if faults := e.Stats().PageFaults; faults != 0 {
+		t.Fatalf("preheated 512MiB enclave faulted %d pages", faults)
+	}
+}
+
+func TestTouchDemandPagingWithoutPreheat(t *testing.T) {
+	p := testPlatform(t)
+	cfg := testConfig()
+	cfg.Preheat = false
+	e := build(t, p, cfg)
+	if err := e.ECall(context.Background(), 0, 0, func(th *Thread) error {
+		th.Touch(64 << 10) // 16 pages, none resident yet
+		return nil
+	}); err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	if faults := e.Stats().PageFaults; faults < 16 {
+		t.Fatalf("cold enclave faulted %d pages, want >= 16", faults)
+	}
+}
+
+func TestTouchOversizedEnclavePaysPressure(t *testing.T) {
+	p := testPlatform(t)
+	small := build(t, p, testConfig())
+	cfgBig := testConfig()
+	cfgBig.Name = "big"
+	cfgBig.SizeBytes = 8 << 30
+	big := build(t, p, cfgBig)
+
+	touchMany := func(e *Enclave) uint64 {
+		for i := 0; i < 200; i++ {
+			if err := e.ECall(context.Background(), 0, 0, func(th *Thread) error {
+				th.Touch(256 << 10)
+				return nil
+			}); err != nil {
+				t.Fatalf("ECall: %v", err)
+			}
+		}
+		return e.Stats().PageFaults
+	}
+	smallFaults := touchMany(small)
+	bigFaults := touchMany(big)
+	if bigFaults <= smallFaults {
+		t.Fatalf("8GiB enclave faults (%d) not above 512MiB enclave faults (%d)", bigFaults, smallFaults)
+	}
+}
+
+func TestAccrueUptimeGeneratesAEX(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	before := e.Stats().AEX
+	e.AccrueUptime(10 * time.Second)
+	got := e.Stats().AEX - before
+	// 250 Hz × 4 threads × 10 s = 10000 expected.
+	if got < 9000 || got > 11000 {
+		t.Fatalf("AEX after 10s uptime = %d, want ~10000", got)
+	}
+	if p.Clock().Now() < 10*time.Second {
+		t.Fatal("uptime did not advance the platform clock")
+	}
+}
+
+func TestSecretsAndIntrospection(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	secret := []byte("subscriber-key-465b5ce8")
+	if err := e.ECall(context.Background(), 0, 0, func(th *Thread) error {
+		th.StoreSecret("k", secret)
+		got, ok := th.LoadSecret("k")
+		if !ok || !bytes.Equal(got, secret) {
+			t.Error("in-enclave secret read failed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+
+	// The attacker's view must be ciphertext, not the secret.
+	view, ok := e.Introspect("k")
+	if !ok {
+		t.Fatal("Introspect found nothing")
+	}
+	if bytes.Equal(view, secret) || bytes.Contains(view, []byte("subscriber")) {
+		t.Fatal("introspection leaked plaintext")
+	}
+	if _, ok := e.Introspect("missing"); ok {
+		t.Fatal("Introspect invented a region")
+	}
+
+	// Destroy flushes secrets (Key Issue 5).
+	e.Destroy()
+	if _, ok := e.Introspect("k"); ok {
+		t.Fatal("secret survived enclave teardown")
+	}
+}
+
+func TestLoadSecretCopies(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	if err := e.ECall(context.Background(), 0, 0, func(th *Thread) error {
+		th.StoreSecret("k", []byte{1, 2, 3})
+		got, _ := th.LoadSecret("k")
+		got[0] = 9
+		again, _ := th.LoadSecret("k")
+		if again[0] != 1 {
+			t.Error("LoadSecret returned aliased storage")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	blob, err := e.Seal([]byte("operator-opc"), []byte("aad"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	plain, err := e.Unseal(blob, []byte("aad"))
+	if err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if string(plain) != "operator-opc" {
+		t.Fatalf("Unseal = %q", plain)
+	}
+}
+
+func TestUnsealRejectsTamperAndWrongIdentity(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	blob, err := e.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+
+	tampered := append([]byte(nil), blob...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := e.Unseal(tampered, nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("tampered unseal = %v, want ErrUnseal", err)
+	}
+	if _, err := e.Unseal(blob[:4], nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("short unseal = %v, want ErrUnseal", err)
+	}
+	if _, err := e.Unseal(blob, []byte("wrong-aad")); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("wrong AAD unseal = %v, want ErrUnseal", err)
+	}
+
+	// A different enclave identity must not unseal.
+	cfg := testConfig()
+	cfg.Name = "other"
+	other := build(t, p, cfg)
+	if _, err := other.Unseal(blob, nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("cross-enclave unseal = %v, want ErrUnseal", err)
+	}
+
+	// Same code on a different platform must not unseal either.
+	p2 := testPlatform(t)
+	twin := build(t, p2, testConfig())
+	if _, err := twin.Unseal(blob, nil); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("cross-platform unseal = %v, want ErrUnseal", err)
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	var data [64]byte
+	copy(data[:], "tls-transcript-hash")
+	q, err := e.GenerateQuote(data)
+	if err != nil {
+		t.Fatalf("GenerateQuote: %v", err)
+	}
+	m := e.Measurement()
+	if err := VerifyQuote(p.QuotingPublicKey(), q, &m); err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	if err := VerifyQuote(p.QuotingPublicKey(), q, nil); err != nil {
+		t.Fatalf("VerifyQuote without expectation: %v", err)
+	}
+}
+
+func TestQuoteVerifyFailures(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	q, err := e.GenerateQuote([64]byte{})
+	if err != nil {
+		t.Fatalf("GenerateQuote: %v", err)
+	}
+
+	// Wrong platform key.
+	p2 := testPlatform(t)
+	if err := VerifyQuote(p2.QuotingPublicKey(), q, nil); !errors.Is(err, ErrQuoteSignature) {
+		t.Fatalf("wrong key verify = %v, want ErrQuoteSignature", err)
+	}
+
+	// Tampered report.
+	bad := *q
+	bad.Report.EnclaveName = "impostor"
+	if err := VerifyQuote(p.QuotingPublicKey(), &bad, nil); !errors.Is(err, ErrQuoteSignature) {
+		t.Fatalf("tampered verify = %v, want ErrQuoteSignature", err)
+	}
+
+	// Unexpected measurement.
+	var wrong [32]byte
+	if err := VerifyQuote(p.QuotingPublicKey(), q, &wrong); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatalf("mismatch verify = %v, want ErrMeasurementMismatch", err)
+	}
+
+	if err := VerifyQuote(p.QuotingPublicKey(), nil, nil); err == nil {
+		t.Fatal("nil quote accepted")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := StatsSnapshot{EENTER: 10, EEXIT: 8, AEX: 100, ERESUME: 100, ECALLs: 2, OCALLs: 6, PageFaults: 1}
+	b := StatsSnapshot{EENTER: 25, EEXIT: 20, AEX: 150, ERESUME: 150, ECALLs: 3, OCALLs: 18, PageFaults: 4}
+	d := b.Sub(a)
+	if d.EENTER != 15 || d.EEXIT != 12 || d.AEX != 50 || d.OCALLs != 12 || d.PageFaults != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestConfigReturnsCopy(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	cfg := e.Config()
+	cfg.TrustedFiles[0].Path = "mutated"
+	if e.Config().TrustedFiles[0].Path == "mutated" {
+		t.Fatal("Config returned aliased trusted files")
+	}
+}
+
+func TestBuildDeterministicLoadAcrossSeeds(t *testing.T) {
+	// Same seed, same config: identical modelled load time.
+	mk := func() simclock.Cycles {
+		p, err := NewPlatform(PlatformConfig{Seed: 7})
+		if err != nil {
+			t.Fatalf("NewPlatform: %v", err)
+		}
+		e, err := p.Build(context.Background(), testConfig())
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		defer e.Destroy()
+		return e.LoadCycles()
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("same-seed load cycles differ: %d vs %d", a, b)
+	}
+}

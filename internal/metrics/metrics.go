@@ -1,0 +1,152 @@
+// Package metrics collects latency samples and produces the box-plot style
+// summaries (median, quartiles, whiskers, outlier fraction) the paper's
+// figures report.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates duration samples. It is safe for concurrent use.
+// The zero value is ready to use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// N reports the number of samples recorded.
+func (r *Recorder) N() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Samples returns a copy of the recorded samples.
+func (r *Recorder) Samples() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.samples...)
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Summary is a box-plot style description of a sample distribution.
+type Summary struct {
+	N      int
+	Min    time.Duration
+	Q1     time.Duration
+	Median time.Duration
+	Q3     time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	StdDev time.Duration
+	// OutlierFrac is the fraction of samples beyond the 1.5×IQR whiskers
+	// (the paper reports <5% outliers across its measurements).
+	OutlierFrac float64
+}
+
+// Summarize computes the summary of the recorded samples.
+func (r *Recorder) Summarize() Summary {
+	return Summarize(r.Samples())
+}
+
+// Summarize computes a box-plot summary of the given samples.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+
+	sum := Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.50),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		P95:    Quantile(s, 0.95),
+		P99:    Quantile(s, 0.99),
+	}
+
+	var total float64
+	for _, v := range s {
+		total += float64(v)
+	}
+	mean := total / float64(len(s))
+	sum.Mean = time.Duration(mean)
+
+	var sq float64
+	for _, v := range s {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	sum.StdDev = time.Duration(math.Sqrt(sq / float64(len(s))))
+
+	iqr := sum.Q3 - sum.Q1
+	lo := sum.Q1 - time.Duration(1.5*float64(iqr))
+	hi := sum.Q3 + time.Duration(1.5*float64(iqr))
+	outliers := 0
+	for _, v := range s {
+		if v < lo || v > hi {
+			outliers++
+		}
+	}
+	sum.OutlierFrac = float64(outliers) / float64(len(s))
+	return sum
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of sorted samples using
+// linear interpolation between order statistics.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Ratio reports how many times larger a is than b by median, the figure of
+// merit the paper's Table II uses for SGX-vs-container overhead.
+func Ratio(a, b Summary) float64 {
+	if b.Median == 0 {
+		return math.Inf(1)
+	}
+	return float64(a.Median) / float64(b.Median)
+}
+
+// String renders the summary compactly for experiment output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%v q1=%v med=%v q3=%v max=%v mean=%v p95=%v outliers=%.1f%%",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean, s.P95, s.OutlierFrac*100)
+}

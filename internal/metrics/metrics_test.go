@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	var r Recorder
+	s := r.Summarize()
+	if s.N != 0 || s.Median != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{5 * time.Millisecond})
+	if s.N != 1 || s.Min != 5*time.Millisecond || s.Max != 5*time.Millisecond ||
+		s.Median != 5*time.Millisecond || s.Mean != 5*time.Millisecond {
+		t.Fatalf("single summary = %+v", s)
+	}
+	if s.StdDev != 0 {
+		t.Fatalf("StdDev = %v, want 0", s.StdDev)
+	}
+}
+
+func TestSummarizeKnownDistribution(t *testing.T) {
+	// 1..9 ms: median 5, q1 3, q3 7, mean 5.
+	var samples []time.Duration
+	for i := 1; i <= 9; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	s := Summarize(samples)
+	if s.Median != 5*time.Millisecond {
+		t.Errorf("median = %v", s.Median)
+	}
+	if s.Q1 != 3*time.Millisecond {
+		t.Errorf("q1 = %v", s.Q1)
+	}
+	if s.Q3 != 7*time.Millisecond {
+		t.Errorf("q3 = %v", s.Q3)
+	}
+	if s.Mean != 5*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Min != time.Millisecond || s.Max != 9*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.OutlierFrac != 0 {
+		t.Errorf("outliers = %v, want 0", s.OutlierFrac)
+	}
+}
+
+func TestSummarizeDetectsOutliers(t *testing.T) {
+	samples := make([]time.Duration, 0, 101)
+	for i := 0; i < 100; i++ {
+		samples = append(samples, time.Duration(100+i%3)*time.Microsecond)
+	}
+	samples = append(samples, 10*time.Millisecond)
+	s := Summarize(samples)
+	if s.OutlierFrac <= 0 || s.OutlierFrac > 0.05 {
+		t.Fatalf("OutlierFrac = %v, want (0, 0.05]", s.OutlierFrac)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+	if Quantile(sorted, -1) != 1 {
+		t.Fatal("q<0 not clamped to min")
+	}
+	if Quantile(sorted, 2) != 4 {
+		t.Fatal("q>1 not clamped to max")
+	}
+	// pos = 0.5*(4-1) = 1.5 → interpolate between 2ns and 3ns → 2.5ns,
+	// truncated to 2ns by integer duration arithmetic.
+	if got := Quantile(sorted, 0.5); got != 2 {
+		t.Fatalf("median = %v, want 2ns", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.N() != 800 {
+		t.Fatalf("N = %d, want 800", r.N())
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	var r Recorder
+	r.Add(time.Second)
+	r.Reset()
+	if r.N() != 0 {
+		t.Fatalf("N after reset = %d", r.N())
+	}
+}
+
+func TestSamplesCopy(t *testing.T) {
+	var r Recorder
+	r.Add(time.Second)
+	s := r.Samples()
+	s[0] = 0
+	if r.Samples()[0] != time.Second {
+		t.Fatal("Samples returned aliased storage")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	a := Summarize([]time.Duration{10 * time.Microsecond})
+	b := Summarize([]time.Duration{4 * time.Microsecond})
+	if got := Ratio(a, b); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("Ratio = %v, want 2.5", got)
+	}
+	if !math.IsInf(Ratio(a, Summary{}), 1) {
+		t.Fatal("Ratio with zero denominator not +Inf")
+	}
+}
+
+// Property: summary invariants hold for arbitrary sample sets.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		s := Summarize(samples)
+		return s.N == len(samples) &&
+			s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P95 <= s.P99 && s.P99 <= s.Max &&
+			s.OutlierFrac >= 0 && s.OutlierFrac <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	if got := s.String(); got == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	samples := make([]time.Duration, 500)
+	for i := range samples {
+		samples[i] = time.Duration(i*i%977) * time.Microsecond
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Summarize(samples)
+	}
+}

@@ -1,0 +1,445 @@
+// Package amf implements the Access and Mobility Management Function: the
+// N1/NAS termination point of the core. It runs the UE registration state
+// machine of the paper's Fig. 5 — forwarding the AKA challenge, verifying
+// HXRES* in its SEAF role, confirming RES* with the AUSF, deriving K_AMF
+// through its P-AKA execution environment, activating NAS security,
+// assigning the 5G-GUTI, and anchoring PDU sessions through the SMF.
+package amf
+
+import (
+	"context"
+	"crypto/hmac"
+	"fmt"
+	"sync"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/kdf"
+	"shield5g/internal/nas"
+	"shield5g/internal/nf/ausf"
+	"shield5g/internal/nf/nrf"
+	"shield5g/internal/nf/smf"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
+)
+
+// Service identity.
+const (
+	ServiceName = "amf"
+	NFType      = "AMF"
+)
+
+// ueState tracks a UE's registration progress.
+type ueState int
+
+const (
+	stateIdentifying ueState = iota + 1
+	stateAuthenticating
+	stateSecuring
+	stateAcceptPending
+	stateRegistered
+)
+
+// abba returns the Anti-Bidding down Between Architectures value for this
+// release (TS 33.501 Annex A.7.1). A fresh slice per call keeps the value
+// immutable to handlers.
+func abba() []byte { return []byte{0x00, 0x00} }
+
+// ueContext is the AMF's per-UE state.
+type ueContext struct {
+	state     ueState
+	supi      string
+	authCtxID string
+	rand      []byte
+	hxresStar []byte
+	kseaf     []byte
+	sec       *nas.SecurityContext
+	guti      nas.GUTI
+	resyncOK  bool // one resynchronisation attempt allowed
+	teid      uint32
+}
+
+// Config wires an AMF instance.
+type Config struct {
+	Env      *costmodel.Env
+	Registry *sbi.Registry
+	Invoker  sbi.Invoker
+	// Functions derives K_AMF (eAMF module or monolithic).
+	Functions paka.AMFFunctions
+	// MCC/MNC form the serving PLMN; the serving network name is derived
+	// from them.
+	MCC, MNC string
+	// HMEE marks the instance's trust domain for NRF discovery.
+	HMEE bool
+}
+
+// AMF is the access and mobility VNF.
+type AMF struct {
+	env  *costmodel.Env
+	ausf *ausf.Client
+	smf  *smf.Client
+	nrfc *nrf.Client
+	fns  paka.AMFFunctions
+
+	mcc, mnc string
+	snn      string
+
+	mu       sync.Mutex
+	ues      map[uint64]*ueContext
+	guti     map[uint32]string // TMSI -> SUPI for mobility registration
+	nextTMSI uint32
+}
+
+// New creates an AMF and announces it to the NRF. The AMF's NAS interface
+// faces the gNB over N1/N2 (Go method calls in this simulation), not the
+// SBI, so no SBI server is registered for it.
+func New(ctx context.Context, cfg Config) (*AMF, error) {
+	if cfg.Env == nil || cfg.Registry == nil || cfg.Invoker == nil {
+		return nil, fmt.Errorf("amf: Env, Registry and Invoker are required")
+	}
+	if cfg.Functions == nil {
+		return nil, fmt.Errorf("amf: Functions (AKA execution environment) is required")
+	}
+	if cfg.MCC == "" || cfg.MNC == "" {
+		return nil, fmt.Errorf("amf: serving PLMN (MCC/MNC) is required")
+	}
+	ausfClient, err := ausf.DiscoverClient(ctx, cfg.Invoker, cfg.HMEE)
+	if err != nil {
+		return nil, err
+	}
+	smfClient, err := smf.DiscoverClient(ctx, cfg.Invoker)
+	if err != nil {
+		return nil, err
+	}
+	a := &AMF{
+		env:  cfg.Env,
+		ausf: ausfClient,
+		smf:  smfClient,
+		nrfc: nrf.NewClient(cfg.Invoker),
+		fns:  cfg.Functions,
+		mcc:  cfg.MCC,
+		mnc:  cfg.MNC,
+		snn:  kdf.ServingNetworkName(cfg.MCC, cfg.MNC),
+		ues:  make(map[uint64]*ueContext),
+		guti: make(map[uint32]string),
+	}
+	if err := a.nrfc.Register(ctx, nrf.NFProfile{
+		InstanceID: "amf-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
+	}); err != nil {
+		return nil, fmt.Errorf("amf: NRF registration: %w", err)
+	}
+	return a, nil
+}
+
+// ServingNetworkName reports the SNN this AMF authenticates under.
+func (a *AMF) ServingNetworkName() string { return a.snn }
+
+// RegisteredUEs reports the number of UEs in registered state.
+func (a *AMF) RegisteredUEs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ue := range a.ues {
+		if ue.state == stateRegistered {
+			n++
+		}
+	}
+	return n
+}
+
+// HandleInitialUE processes the first NAS message from a UE (via the gNB's
+// Initial UE Message) and returns the downlink NAS response.
+func (a *AMF) HandleInitialUE(ctx context.Context, ranUEID uint64, nasPDU []byte) ([]byte, error) {
+	msg, err := nas.Decode(nasPDU)
+	if err != nil {
+		return nil, fmt.Errorf("amf: initial NAS: %w", err)
+	}
+	rr, ok := msg.(*nas.RegistrationRequest)
+	if !ok {
+		return nil, fmt.Errorf("amf: initial message is %s, want RegistrationRequest", msg.Type())
+	}
+
+	authReq := &ausf.AuthenticateRequest{ServingNetworkName: a.snn}
+	switch {
+	case rr.Identity.SUCI != nil:
+		// PLMN check: the UE must be asking for this serving network.
+		if rr.Identity.SUCI.MCC != a.mcc || rr.Identity.SUCI.MNC != a.mnc {
+			return nil, fmt.Errorf("amf: UE PLMN %s%s does not match serving PLMN %s%s",
+				rr.Identity.SUCI.MCC, rr.Identity.SUCI.MNC, a.mcc, a.mnc)
+		}
+		authReq.SUCI = rr.Identity.SUCI
+	case rr.Identity.GUTI != nil:
+		// Mobility registration: resolve the temporary identity to the
+		// stored SUPI and re-authenticate (network-initiated re-auth;
+		// the UE never re-exposes its SUCI).
+		g := rr.Identity.GUTI
+		if g.MCC != a.mcc || g.MNC != a.mnc {
+			return nil, fmt.Errorf("amf: GUTI PLMN %s%s does not match serving PLMN %s%s",
+				g.MCC, g.MNC, a.mcc, a.mnc)
+		}
+		a.mu.Lock()
+		supi, known := a.guti[g.TMSI]
+		a.mu.Unlock()
+		if !known {
+			// No stored context (for example the UE moved from another
+			// AMF set): fall back to the identity procedure
+			// (TS 24.501 §5.4.3) and ask for the SUCI.
+			a.mu.Lock()
+			a.ues[ranUEID] = &ueContext{state: stateIdentifying, resyncOK: true}
+			a.mu.Unlock()
+			return nas.Encode(&nas.IdentityRequest{IdentityType: nas.IdentityTypeSUCI})
+		}
+		authReq.SUPI = supi
+	default:
+		return nil, fmt.Errorf("amf: registration carries no identity")
+	}
+
+	auth, err := a.ausf.Authenticate(ctx, authReq)
+	if err != nil {
+		return nil, err
+	}
+
+	ue := &ueContext{
+		state:     stateAuthenticating,
+		authCtxID: auth.AuthCtxID,
+		rand:      auth.RAND,
+		hxresStar: auth.HXRESStar,
+		resyncOK:  true,
+	}
+	a.mu.Lock()
+	a.ues[ranUEID] = ue
+	a.mu.Unlock()
+
+	return a.challenge(auth)
+}
+
+func (a *AMF) challenge(auth *ausf.AuthenticateResponse) ([]byte, error) {
+	req := &nas.AuthenticationRequest{NgKSI: 0, ABBA: abba()}
+	copy(req.RAND[:], auth.RAND)
+	copy(req.AUTN[:], auth.AUTN)
+	return nas.Encode(req)
+}
+
+// HandleUplinkNAS processes a subsequent uplink NAS message. A nil
+// downlink PDU with nil error means no response is due (for example after
+// RegistrationComplete).
+func (a *AMF) HandleUplinkNAS(ctx context.Context, ranUEID uint64, nasPDU []byte) ([]byte, error) {
+	a.mu.Lock()
+	ue, ok := a.ues[ranUEID]
+	a.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("amf: no UE context for RAN UE %d", ranUEID)
+	}
+
+	switch ue.state {
+	case stateIdentifying:
+		return a.handleIdentifying(ctx, ue, nasPDU)
+	case stateAuthenticating:
+		return a.handleAuthenticating(ctx, ranUEID, ue, nasPDU)
+	default:
+		return a.handleProtected(ctx, ranUEID, ue, nasPDU)
+	}
+}
+
+// handleIdentifying completes the identity procedure: the UE answered an
+// IdentityRequest with a fresh SUCI, which restarts authentication.
+func (a *AMF) handleIdentifying(ctx context.Context, ue *ueContext, nasPDU []byte) ([]byte, error) {
+	msg, err := nas.Decode(nasPDU)
+	if err != nil {
+		return nil, fmt.Errorf("amf: identity response: %w", err)
+	}
+	ir, ok := msg.(*nas.IdentityResponse)
+	if !ok {
+		return nil, fmt.Errorf("amf: unexpected %s while identifying", msg.Type())
+	}
+	if ir.Identity.SUCI == nil {
+		return nil, fmt.Errorf("amf: identity response carries no SUCI")
+	}
+	if ir.Identity.SUCI.MCC != a.mcc || ir.Identity.SUCI.MNC != a.mnc {
+		return nil, fmt.Errorf("amf: identified UE PLMN %s%s does not match serving PLMN %s%s",
+			ir.Identity.SUCI.MCC, ir.Identity.SUCI.MNC, a.mcc, a.mnc)
+	}
+	auth, err := a.ausf.Authenticate(ctx, &ausf.AuthenticateRequest{
+		SUCI:               ir.Identity.SUCI,
+		ServingNetworkName: a.snn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ue.state = stateAuthenticating
+	ue.authCtxID = auth.AuthCtxID
+	ue.rand = auth.RAND
+	ue.hxresStar = auth.HXRESStar
+	return a.challenge(auth)
+}
+
+func (a *AMF) handleAuthenticating(ctx context.Context, ranUEID uint64, ue *ueContext, nasPDU []byte) ([]byte, error) {
+	msg, err := nas.Decode(nasPDU)
+	if err != nil {
+		return nil, fmt.Errorf("amf: uplink NAS: %w", err)
+	}
+	switch m := msg.(type) {
+	case *nas.AuthenticationResponse:
+		return a.completeAuth(ctx, ue, m)
+	case *nas.AuthenticationFailure:
+		return a.handleAuthFailure(ctx, ranUEID, ue, m)
+	default:
+		return nil, fmt.Errorf("amf: unexpected %s while authenticating", msg.Type())
+	}
+}
+
+// completeAuth runs the SEAF HXRES* check, home confirmation, K_AMF
+// derivation through the P-AKA environment, and NAS security activation.
+func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.AuthenticationResponse) ([]byte, error) {
+	// SEAF check: HXRES* == SHA-256(RAND || RES*) truncated.
+	hres, err := kdf.HXResStar(ue.rand, m.ResStar[:])
+	if err != nil {
+		return nil, fmt.Errorf("amf: HRES* computation: %w", err)
+	}
+	if !hmac.Equal(hres, ue.hxresStar) {
+		return a.reject(ue)
+	}
+	conf, err := a.ausf.Confirm(ctx, &ausf.ConfirmRequest{AuthCtxID: ue.authCtxID, ResStar: m.ResStar[:]})
+	if err != nil {
+		return a.reject(ue)
+	}
+	ue.supi = conf.SUPI
+	ue.kseaf = conf.KSEAF
+
+	kamf, err := a.fns.DeriveKAMF(ctx, &paka.AMFDeriveKAMFRequest{
+		KSEAF: conf.KSEAF,
+		SUPI:  conf.SUPI,
+		ABBA:  abba(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sec, err := nas.NewSecurityContext(kamf.KAMF)
+	if err != nil {
+		return nil, fmt.Errorf("amf: NAS security context: %w", err)
+	}
+	ue.sec = sec
+	ue.state = stateSecuring
+
+	return sec.Protect(&nas.SecurityModeCommand{
+		NgKSI:        0,
+		IntegrityAlg: nas.AlgNIA2,
+		CipheringAlg: nas.AlgNEA2,
+	}, false)
+}
+
+func (a *AMF) reject(ue *ueContext) ([]byte, error) {
+	ue.state = stateAuthenticating
+	ue.sec = nil
+	return nas.Encode(&nas.AuthenticationReject{})
+}
+
+func (a *AMF) handleAuthFailure(ctx context.Context, _ uint64, ue *ueContext, m *nas.AuthenticationFailure) ([]byte, error) {
+	if m.Cause != nas.CauseSyncFailure || !ue.resyncOK {
+		return a.reject(ue)
+	}
+	ue.resyncOK = false
+	auth, err := a.ausf.Resync(ctx, &ausf.ResyncRequest{AuthCtxID: ue.authCtxID, AUTS: m.AUTS})
+	if err != nil {
+		return a.reject(ue)
+	}
+	ue.authCtxID = auth.AuthCtxID
+	ue.rand = auth.RAND
+	ue.hxresStar = auth.HXRESStar
+	return a.challenge(auth)
+}
+
+func (a *AMF) handleProtected(ctx context.Context, ranUEID uint64, ue *ueContext, nasPDU []byte) ([]byte, error) {
+	if ue.sec == nil {
+		return nil, fmt.Errorf("amf: no NAS security context for RAN UE %d", ranUEID)
+	}
+	msg, err := ue.sec.Unprotect(nasPDU, true)
+	if err != nil {
+		return nil, fmt.Errorf("amf: unprotect uplink NAS: %w", err)
+	}
+
+	switch m := msg.(type) {
+	case *nas.SecurityModeComplete:
+		if ue.state != stateSecuring {
+			return nil, fmt.Errorf("amf: SecurityModeComplete in state %d", ue.state)
+		}
+		guti := a.allocateGUTI(ue.supi)
+		ue.guti = guti
+		ue.state = stateAcceptPending
+		return ue.sec.Protect(&nas.RegistrationAccept{GUTI: guti}, false)
+
+	case *nas.RegistrationComplete:
+		if ue.state != stateAcceptPending {
+			return nil, fmt.Errorf("amf: RegistrationComplete in state %d", ue.state)
+		}
+		ue.state = stateRegistered
+		return nil, nil
+
+	case *nas.PDUSessionEstablishmentRequest:
+		if ue.state != stateRegistered {
+			return nil, fmt.Errorf("amf: PDU session request before registration completes")
+		}
+		sess, err := a.smf.CreateSession(ctx, &smf.CreateSessionRequest{
+			SUPI:      ue.supi,
+			SessionID: m.SessionID,
+			DNN:       m.DNN,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ue.teid = sess.TEID
+		return ue.sec.Protect(&nas.PDUSessionEstablishmentAccept{
+			SessionID: m.SessionID,
+			UEAddress: sess.UEAddress,
+		}, false)
+
+	case *nas.DeregistrationRequest:
+		a.mu.Lock()
+		delete(a.guti, ue.guti.TMSI)
+		delete(a.ues, ranUEID)
+		a.mu.Unlock()
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("amf: unexpected protected %s", msg.Type())
+	}
+}
+
+func (a *AMF) allocateGUTI(supi string) nas.GUTI {
+	a.mu.Lock()
+	a.nextTMSI++
+	tmsi := a.nextTMSI
+	a.guti[tmsi] = supi
+	a.mu.Unlock()
+	return nas.GUTI{
+		MCC:         a.mcc,
+		MNC:         a.mnc,
+		AMFRegionID: 0x01,
+		AMFSetID:    0x001,
+		AMFPointer:  0x01,
+		TMSI:        tmsi,
+	}
+}
+
+// PDUSessionTEID reports the uplink tunnel ID of a UE's PDU session — the
+// information the AMF delivers to the gNB over N2 in a real core.
+func (a *AMF) PDUSessionTEID(ranUEID uint64) (uint32, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ue, ok := a.ues[ranUEID]
+	if !ok || ue.teid == 0 {
+		return 0, false
+	}
+	return ue.teid, true
+}
+
+// SUPIOf reports the authenticated SUPI of a registered RAN UE (tests and
+// status displays).
+func (a *AMF) SUPIOf(ranUEID uint64) (string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ue, ok := a.ues[ranUEID]
+	if !ok || ue.state != stateRegistered {
+		return "", false
+	}
+	return ue.supi, true
+}

@@ -1,0 +1,286 @@
+package amf_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/milenage"
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/nas"
+	"shield5g/internal/nf/amf"
+	"shield5g/internal/nf/ausf"
+	"shield5g/internal/nf/nrf"
+	"shield5g/internal/nf/smf"
+	"shield5g/internal/nf/udm"
+	"shield5g/internal/nf/udr"
+	"shield5g/internal/nf/upf"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
+	"shield5g/internal/ue"
+)
+
+var testK = bytes.Repeat([]byte{0x46}, 16)
+
+type harness struct {
+	amf   *amf.AMF
+	hnKey *suci.HomeNetworkKey
+	env   *costmodel.Env
+	supi  suci.SUPI
+	opc   []byte
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	ctx := context.Background()
+	env := costmodel.NewEnv(nil, 5, nil)
+	reg := sbi.NewRegistry()
+	if _, err := nrf.New(env, reg); err != nil {
+		t.Fatalf("nrf.New: %v", err)
+	}
+	if _, err := udr.New(env, reg); err != nil {
+		t.Fatalf("udr.New: %v", err)
+	}
+	hnKey, err := suci.GenerateHomeNetworkKey(rand.Reader, 1)
+	if err != nil {
+		t.Fatalf("GenerateHomeNetworkKey: %v", err)
+	}
+	monoUDM := paka.NewMonolithicUDM(env)
+	if _, err := udm.New(ctx, udm.Config{
+		Env: env, Registry: reg, Invoker: sbi.NewClient("udm", env, reg),
+		Functions: monoUDM, HomeNetworkKey: hnKey,
+	}); err != nil {
+		t.Fatalf("udm.New: %v", err)
+	}
+	if _, err := ausf.New(ctx, ausf.Config{
+		Env: env, Registry: reg, Invoker: sbi.NewClient("ausf", env, reg),
+		Functions: paka.NewMonolithicAUSF(env),
+	}); err != nil {
+		t.Fatalf("ausf.New: %v", err)
+	}
+	if _, err := upf.New(env, reg); err != nil {
+		t.Fatalf("upf.New: %v", err)
+	}
+	if _, err := smf.New(ctx, smf.Config{Env: env, Registry: reg, Invoker: sbi.NewClient("smf", env, reg)}); err != nil {
+		t.Fatalf("smf.New: %v", err)
+	}
+	a, err := amf.New(ctx, amf.Config{
+		Env: env, Registry: reg, Invoker: sbi.NewClient("amf", env, reg),
+		Functions: paka.NewMonolithicAMF(env),
+		MCC:       "001", MNC: "01",
+	})
+	if err != nil {
+		t.Fatalf("amf.New: %v", err)
+	}
+
+	supi := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000001"}
+	opc, err := milenage.ComputeOPc(testK, make([]byte, 16))
+	if err != nil {
+		t.Fatalf("ComputeOPc: %v", err)
+	}
+	if err := udr.NewClient(sbi.NewClient("prov", env, reg)).Provision(ctx, udr.Subscriber{
+		SUPI: supi.String(), K: testK, OPc: opc,
+		SQN: make([]byte, 6), AMFField: []byte{0x80, 0x00},
+	}); err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	monoUDM.ProvisionSubscriber(supi.String(), testK)
+	return &harness{amf: a, hnKey: hnKey, env: env, supi: supi, opc: opc}
+}
+
+func (h *harness) device(t *testing.T) *ue.UE {
+	t.Helper()
+	d, err := ue.New(ue.Config{
+		SUPI: h.supi, K: testK, OPc: h.opc,
+		HomeNetworkPublicKey: h.hnKey.PublicKey(),
+		HomeNetworkKeyID:     h.hnKey.ID,
+		Env:                  h.env,
+	})
+	if err != nil {
+		t.Fatalf("ue.New: %v", err)
+	}
+	return d
+}
+
+// register drives the NAS exchange directly against the AMF.
+func (h *harness) register(t *testing.T, device *ue.UE, ranUEID uint64) {
+	t.Helper()
+	ctx := context.Background()
+	up, err := device.BuildRegistrationRequest(ctx, h.amf.ServingNetworkName())
+	if err != nil {
+		t.Fatalf("BuildRegistrationRequest: %v", err)
+	}
+	down, err := h.amf.HandleInitialUE(ctx, ranUEID, up)
+	if err != nil {
+		t.Fatalf("HandleInitialUE: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		uplink, done, err := device.HandleDownlinkNAS(ctx, down)
+		if err != nil {
+			t.Fatalf("UE NAS: %v", err)
+		}
+		if uplink == nil {
+			return
+		}
+		down, err = h.amf.HandleUplinkNAS(ctx, ranUEID, uplink)
+		if err != nil {
+			t.Fatalf("HandleUplinkNAS: %v", err)
+		}
+		if down == nil || done {
+			return
+		}
+	}
+	t.Fatal("registration did not converge")
+}
+
+func TestAMFConfigValidation(t *testing.T) {
+	env := costmodel.NewEnv(nil, 1, nil)
+	reg := sbi.NewRegistry()
+	inv := sbi.NewClient("amf", env, reg)
+	if _, err := amf.New(context.Background(), amf.Config{Registry: reg, Invoker: inv}); err == nil {
+		t.Fatal("missing env accepted")
+	}
+	if _, err := amf.New(context.Background(), amf.Config{Env: env, Registry: reg, Invoker: inv, MCC: "001", MNC: "01"}); err == nil {
+		t.Fatal("missing functions accepted")
+	}
+	if _, err := amf.New(context.Background(), amf.Config{Env: env, Registry: reg, Invoker: inv, Functions: paka.NewMonolithicAMF(env)}); err == nil {
+		t.Fatal("missing PLMN accepted")
+	}
+}
+
+func TestServingNetworkName(t *testing.T) {
+	h := newHarness(t)
+	if got := h.amf.ServingNetworkName(); got != "5G:mnc001.mcc001.3gppnetwork.org" {
+		t.Fatalf("SNN = %q", got)
+	}
+}
+
+func TestFullRegistrationStateMachine(t *testing.T) {
+	h := newHarness(t)
+	h.register(t, h.device(t), 1)
+	if h.amf.RegisteredUEs() != 1 {
+		t.Fatalf("RegisteredUEs = %d", h.amf.RegisteredUEs())
+	}
+	supi, ok := h.amf.SUPIOf(1)
+	if !ok || supi != h.supi.String() {
+		t.Fatalf("SUPIOf = %q %v", supi, ok)
+	}
+}
+
+func TestInitialUERejectsGarbage(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	if _, err := h.amf.HandleInitialUE(ctx, 1, []byte{0x00, 0x01}); err == nil {
+		t.Fatal("garbage NAS accepted")
+	}
+	// A non-registration first message is refused.
+	pdu, err := nas.Encode(&nas.AuthenticationResponse{})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := h.amf.HandleInitialUE(ctx, 1, pdu); err == nil {
+		t.Fatal("non-registration initial message accepted")
+	}
+}
+
+func TestInitialUERejectsWrongPLMN(t *testing.T) {
+	h := newHarness(t)
+	wrong := &suci.SUCI{MCC: "310", MNC: "410", RoutingIndicator: "0000",
+		Scheme: suci.SchemeProfileA, HomeKeyID: 1, SchemeOutput: make([]byte, 50)}
+	pdu, err := nas.Encode(&nas.RegistrationRequest{
+		RegistrationType: nas.RegistrationInitial,
+		Identity:         nas.MobileIdentity{SUCI: wrong},
+	})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	_, err = h.amf.HandleInitialUE(context.Background(), 1, pdu)
+	if err == nil || !strings.Contains(err.Error(), "PLMN") {
+		t.Fatalf("wrong-PLMN err = %v", err)
+	}
+}
+
+func TestUplinkUnknownUE(t *testing.T) {
+	h := newHarness(t)
+	pdu, err := nas.Encode(&nas.AuthenticationResponse{})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := h.amf.HandleUplinkNAS(context.Background(), 42, pdu); err == nil {
+		t.Fatal("unknown RAN UE accepted")
+	}
+}
+
+func TestWrongResStarGetsReject(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	device := h.device(t)
+	up, err := device.BuildRegistrationRequest(ctx, h.amf.ServingNetworkName())
+	if err != nil {
+		t.Fatalf("BuildRegistrationRequest: %v", err)
+	}
+	if _, err := h.amf.HandleInitialUE(ctx, 1, up); err != nil {
+		t.Fatalf("HandleInitialUE: %v", err)
+	}
+	// Impostor response with a garbage RES*.
+	bad, err := nas.Encode(&nas.AuthenticationResponse{ResStar: [16]byte{1, 2, 3}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	down, err := h.amf.HandleUplinkNAS(ctx, 1, bad)
+	if err != nil {
+		t.Fatalf("HandleUplinkNAS: %v", err)
+	}
+	msg, err := nas.Decode(down)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if _, ok := msg.(*nas.AuthenticationReject); !ok {
+		t.Fatalf("downlink = %s, want AuthenticationReject", msg.Type())
+	}
+	if h.amf.RegisteredUEs() != 0 {
+		t.Fatal("impostor registered")
+	}
+}
+
+func TestPDUSessionLifecycle(t *testing.T) {
+	h := newHarness(t)
+	ctx := context.Background()
+	device := h.device(t)
+	h.register(t, device, 1)
+
+	up, err := device.BuildPDUSessionRequest(ctx, 1, "internet")
+	if err != nil {
+		t.Fatalf("BuildPDUSessionRequest: %v", err)
+	}
+	down, err := h.amf.HandleUplinkNAS(ctx, 1, up)
+	if err != nil {
+		t.Fatalf("PDU session uplink: %v", err)
+	}
+	if _, _, err := device.HandleDownlinkNAS(ctx, down); err != nil {
+		t.Fatalf("PDU accept: %v", err)
+	}
+	if device.UEAddress() == "" {
+		t.Fatal("no UE address")
+	}
+	teid, ok := h.amf.PDUSessionTEID(1)
+	if !ok || teid == 0 {
+		t.Fatalf("TEID = %d %v", teid, ok)
+	}
+	if _, ok := h.amf.PDUSessionTEID(99); ok {
+		t.Fatal("TEID for unknown UE")
+	}
+}
+
+func TestMultipleUEsIndependentContexts(t *testing.T) {
+	h := newHarness(t)
+	for i := uint64(1); i <= 3; i++ {
+		h.register(t, h.device(t), i)
+	}
+	if h.amf.RegisteredUEs() != 3 {
+		t.Fatalf("RegisteredUEs = %d, want 3", h.amf.RegisteredUEs())
+	}
+}

@@ -1,0 +1,276 @@
+// Package ausf implements the Authentication Server Function: it anchors
+// 5G-AKA in the home network, fetching HE AVs from the UDM, deriving the
+// Security Edge AV (HXRES*, K_SEAF) through its P-AKA execution
+// environment, verifying the UE's RES*, and releasing K_SEAF to the
+// serving network on success (paper Fig. 5 step 4).
+package ausf
+
+import (
+	"context"
+	"crypto/hmac"
+	"fmt"
+	"sync"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/nf/nrf"
+	"shield5g/internal/nf/udm"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
+)
+
+// Service identity.
+const (
+	ServiceName = "ausf"
+	NFType      = "AUSF"
+)
+
+// SBI endpoint paths.
+const (
+	PathAuthenticate = "/nausf-auth/v1/ue-authentications"
+	PathConfirm      = "/nausf-auth/v1/ue-authentications/confirm"
+	PathResync       = "/nausf-auth/v1/ue-authentications/resync"
+)
+
+// AuthenticateRequest starts a 5G-AKA run for a UE.
+type AuthenticateRequest struct {
+	SUCI               *suci.SUCI `json:"suci,omitempty"`
+	SUPI               string     `json:"supi,omitempty"`
+	ServingNetworkName string     `json:"serving_network_name"`
+}
+
+// AuthenticateResponse carries the SE AV material for the serving network:
+// RAND, AUTN and HXRES* (never XRES* itself).
+type AuthenticateResponse struct {
+	AuthCtxID string `json:"auth_ctx_id"`
+	RAND      []byte `json:"rand"`
+	AUTN      []byte `json:"autn"`
+	HXRESStar []byte `json:"hxres_star"`
+}
+
+// ConfirmRequest delivers the UE's RES* for home-network verification.
+type ConfirmRequest struct {
+	AuthCtxID string `json:"auth_ctx_id"`
+	ResStar   []byte `json:"res_star"`
+}
+
+// ConfirmResponse releases the anchor key on success.
+type ConfirmResponse struct {
+	SUPI  string `json:"supi"`
+	KSEAF []byte `json:"kseaf"`
+}
+
+// ResyncRequest forwards a UE synchronisation failure to the home network
+// and returns a fresh SE AV.
+type ResyncRequest struct {
+	AuthCtxID string `json:"auth_ctx_id"`
+	AUTS      []byte `json:"auts"`
+}
+
+// session is one in-flight authentication.
+type session struct {
+	supi     string
+	snn      string
+	rand     []byte
+	xresStar []byte
+	kseaf    []byte
+}
+
+// Config wires an AUSF instance.
+type Config struct {
+	Env      *costmodel.Env
+	Registry *sbi.Registry
+	Invoker  sbi.Invoker
+	// Functions derives HXRES*/K_SEAF (eAUSF module or monolithic).
+	Functions paka.AUSFFunctions
+	// HMEE marks the instance's trust domain for NRF discovery.
+	HMEE bool
+}
+
+// AUSF is the authentication server VNF.
+type AUSF struct {
+	env    *costmodel.Env
+	server *sbi.Server
+	udm    *udm.Client
+	nrfc   *nrf.Client
+	fns    paka.AUSFFunctions
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+}
+
+// New creates an AUSF, registers its SBI server and announces it to the
+// NRF.
+func New(ctx context.Context, cfg Config) (*AUSF, error) {
+	if cfg.Env == nil || cfg.Registry == nil || cfg.Invoker == nil {
+		return nil, fmt.Errorf("ausf: Env, Registry and Invoker are required")
+	}
+	if cfg.Functions == nil {
+		return nil, fmt.Errorf("ausf: Functions (AKA execution environment) is required")
+	}
+	// Discover the UDM through the NRF — for an HMEE-enabled AUSF the
+	// home network function must also live in the higher trust domain
+	// (the 3GPP trust-domain placement of the paper's discussion).
+	udmClient, err := udm.DiscoverClient(ctx, cfg.Invoker, cfg.HMEE)
+	if err != nil {
+		return nil, err
+	}
+	a := &AUSF{
+		env:      cfg.Env,
+		server:   sbi.NewServer(ServiceName, cfg.Env),
+		udm:      udmClient,
+		nrfc:     nrf.NewClient(cfg.Invoker),
+		fns:      cfg.Functions,
+		sessions: make(map[string]*session),
+	}
+	a.server.Handle(PathAuthenticate, sbi.JSONHandler(a.handleAuthenticate))
+	a.server.Handle(PathConfirm, sbi.JSONHandler(a.handleConfirm))
+	a.server.Handle(PathResync, sbi.JSONHandler(a.handleResync))
+	if err := cfg.Registry.Register(a.server); err != nil {
+		return nil, err
+	}
+	if err := a.nrfc.Register(ctx, nrf.NFProfile{
+		InstanceID: "ausf-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
+	}); err != nil {
+		return nil, fmt.Errorf("ausf: NRF registration: %w", err)
+	}
+	return a, nil
+}
+
+func (a *AUSF) handleAuthenticate(ctx context.Context, req *AuthenticateRequest) (*AuthenticateResponse, error) {
+	if req.ServingNetworkName == "" {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_MISSING", "serving network name required")
+	}
+	return a.newChallenge(ctx, req.SUCI, req.SUPI, req.ServingNetworkName)
+}
+
+// newChallenge fetches an HE AV and turns it into an SE AV session.
+func (a *AUSF) newChallenge(ctx context.Context, id *suci.SUCI, supi, snn string) (*AuthenticateResponse, error) {
+	he, err := a.udm.GenerateAuthData(ctx, &udm.GenerateAuthDataRequest{
+		SUCI:               id,
+		SUPI:               supi,
+		ServingNetworkName: snn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	se, err := a.fns.DeriveSE(ctx, &paka.AUSFDeriveSERequest{
+		RAND:     he.RAND,
+		XRESStar: he.XRESStar,
+		KAUSF:    he.KAUSF,
+		SNN:      snn,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	a.mu.Lock()
+	a.nextID++
+	ctxID := fmt.Sprintf("authctx-%d", a.nextID)
+	a.sessions[ctxID] = &session{
+		supi:     he.SUPI,
+		snn:      snn,
+		rand:     he.RAND,
+		xresStar: he.XRESStar,
+		kseaf:    se.KSEAF,
+	}
+	a.mu.Unlock()
+
+	return &AuthenticateResponse{
+		AuthCtxID: ctxID,
+		RAND:      he.RAND,
+		AUTN:      he.AUTN,
+		HXRESStar: se.HXRESStar,
+	}, nil
+}
+
+func (a *AUSF) handleConfirm(_ context.Context, req *ConfirmRequest) (*ConfirmResponse, error) {
+	a.mu.Lock()
+	s, ok := a.sessions[req.AuthCtxID]
+	if ok {
+		delete(a.sessions, req.AuthCtxID)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return nil, sbi.Problem(404, "Not Found", "CONTEXT_NOT_FOUND", "auth context %s", req.AuthCtxID)
+	}
+	// Home-network control of authentication: compare RES* with the
+	// stored XRES* (TS 33.501 §6.1.3.2).
+	if !hmac.Equal(req.ResStar, s.xresStar) {
+		return nil, sbi.Problem(403, "Forbidden", "AUTHENTICATION_REJECTED", "RES* mismatch for %s", s.supi)
+	}
+	return &ConfirmResponse{SUPI: s.supi, KSEAF: s.kseaf}, nil
+}
+
+func (a *AUSF) handleResync(ctx context.Context, req *ResyncRequest) (*AuthenticateResponse, error) {
+	a.mu.Lock()
+	s, ok := a.sessions[req.AuthCtxID]
+	if ok {
+		delete(a.sessions, req.AuthCtxID)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return nil, sbi.Problem(404, "Not Found", "CONTEXT_NOT_FOUND", "auth context %s", req.AuthCtxID)
+	}
+	if err := a.udm.Resync(ctx, &udm.ResyncRequest{SUPI: s.supi, RAND: s.rand, AUTS: req.AUTS}); err != nil {
+		return nil, err
+	}
+	// Fresh vector after the home network rebased the SQN.
+	return a.newChallenge(ctx, nil, s.supi, s.snn)
+}
+
+// PendingSessions reports in-flight authentications (tests/status).
+func (a *AUSF) PendingSessions() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sessions)
+}
+
+// Client is the AMF/SEAF-side helper for AUSF calls.
+type Client struct {
+	invoker sbi.Invoker
+	service string
+}
+
+// NewClient wraps an SBI transport for AUSF calls against the default
+// service name.
+func NewClient(invoker sbi.Invoker) *Client {
+	return &Client{invoker: invoker, service: ServiceName}
+}
+
+// DiscoverClient resolves an AUSF instance through the NRF.
+func DiscoverClient(ctx context.Context, invoker sbi.Invoker, requireHMEE bool) (*Client, error) {
+	p, err := nrf.NewClient(invoker).Discover(ctx, NFType, requireHMEE)
+	if err != nil {
+		return nil, fmt.Errorf("ausf: discovery: %w", err)
+	}
+	return &Client{invoker: invoker, service: p.Service}, nil
+}
+
+// Authenticate starts an AKA run.
+func (c *Client) Authenticate(ctx context.Context, req *AuthenticateRequest) (*AuthenticateResponse, error) {
+	var resp AuthenticateResponse
+	if err := c.invoker.Post(ctx, c.service, PathAuthenticate, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Confirm delivers RES* and collects K_SEAF.
+func (c *Client) Confirm(ctx context.Context, req *ConfirmRequest) (*ConfirmResponse, error) {
+	var resp ConfirmResponse
+	if err := c.invoker.Post(ctx, c.service, PathConfirm, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Resync reports an AUTS and collects a fresh challenge.
+func (c *Client) Resync(ctx context.Context, req *ResyncRequest) (*AuthenticateResponse, error) {
+	var resp AuthenticateResponse
+	if err := c.invoker.Post(ctx, c.service, PathResync, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,189 @@
+// Package nrf implements the Network Repository Function: NF instance
+// registration, heartbeat and discovery over the Nnrf service-based
+// interface. Every VNF in the slice registers here and discovers its peers
+// through it, as in the paper's OAI deployment.
+package nrf
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/sbi"
+)
+
+// ServiceName is the NRF's own SBI service name.
+const ServiceName = "nrf"
+
+// SBI endpoint paths.
+const (
+	PathRegister   = "/nnrf-nfm/v1/nf-instances/register"
+	PathDeregister = "/nnrf-nfm/v1/nf-instances/deregister"
+	PathHeartbeat  = "/nnrf-nfm/v1/nf-instances/heartbeat"
+	PathDiscover   = "/nnrf-disc/v1/nf-instances"
+)
+
+// NFProfile describes one registered network function instance.
+type NFProfile struct {
+	InstanceID string `json:"instance_id"`
+	NFType     string `json:"nf_type"` // "UDM", "AUSF", "AMF", ...
+	Service    string `json:"service"` // SBI service name for routing
+	// HMEE reports whether the instance runs on an HMEE-enabled host —
+	// the 3GPP trust-domain attribute the paper's discussion builds on.
+	HMEE bool `json:"hmee"`
+}
+
+// RegisterRequest registers or replaces an NF profile.
+type RegisterRequest struct {
+	Profile NFProfile `json:"profile"`
+}
+
+// RegisterResponse acknowledges registration.
+type RegisterResponse struct {
+	HeartbeatSeconds int `json:"heartbeat_seconds"`
+}
+
+// DeregisterRequest removes an NF instance.
+type DeregisterRequest struct {
+	InstanceID string `json:"instance_id"`
+}
+
+// HeartbeatRequest refreshes an instance's liveness.
+type HeartbeatRequest struct {
+	InstanceID string `json:"instance_id"`
+}
+
+// Empty is an empty response body.
+type Empty struct{}
+
+// DiscoverRequest searches instances by NF type. RequireHMEE restricts
+// results to higher-trust-domain hosts.
+type DiscoverRequest struct {
+	NFType      string `json:"nf_type"`
+	RequireHMEE bool   `json:"require_hmee,omitempty"`
+}
+
+// DiscoverResponse lists matching profiles.
+type DiscoverResponse struct {
+	Profiles []NFProfile `json:"profiles"`
+}
+
+// NRF is the repository function.
+type NRF struct {
+	server *sbi.Server
+
+	mu        sync.Mutex
+	instances map[string]NFProfile
+	lastSeen  map[string]time.Time
+	now       func() time.Time
+}
+
+// New creates an NRF and registers its SBI server in the registry.
+func New(env *costmodel.Env, registry *sbi.Registry) (*NRF, error) {
+	n := &NRF{
+		server:    sbi.NewServer(ServiceName, env),
+		instances: make(map[string]NFProfile),
+		lastSeen:  make(map[string]time.Time),
+		now:       time.Now,
+	}
+	n.server.Handle(PathRegister, sbi.JSONHandler(n.handleRegister))
+	n.server.Handle(PathDeregister, sbi.JSONHandler(n.handleDeregister))
+	n.server.Handle(PathHeartbeat, sbi.JSONHandler(n.handleHeartbeat))
+	n.server.Handle(PathDiscover, sbi.JSONHandler(n.handleDiscover))
+	if err := registry.Register(n.server); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *NRF) handleRegister(_ context.Context, req *RegisterRequest) (*RegisterResponse, error) {
+	if req.Profile.InstanceID == "" || req.Profile.NFType == "" || req.Profile.Service == "" {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_MISSING", "instance_id, nf_type and service are required")
+	}
+	n.mu.Lock()
+	n.instances[req.Profile.InstanceID] = req.Profile
+	n.lastSeen[req.Profile.InstanceID] = n.now()
+	n.mu.Unlock()
+	return &RegisterResponse{HeartbeatSeconds: 10}, nil
+}
+
+func (n *NRF) handleDeregister(_ context.Context, req *DeregisterRequest) (*Empty, error) {
+	n.mu.Lock()
+	delete(n.instances, req.InstanceID)
+	delete(n.lastSeen, req.InstanceID)
+	n.mu.Unlock()
+	return &Empty{}, nil
+}
+
+func (n *NRF) handleHeartbeat(_ context.Context, req *HeartbeatRequest) (*Empty, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.instances[req.InstanceID]; !ok {
+		return nil, sbi.Problem(404, "Not Found", "RESOURCE_NOT_FOUND", "instance %s not registered", req.InstanceID)
+	}
+	n.lastSeen[req.InstanceID] = n.now()
+	return &Empty{}, nil
+}
+
+func (n *NRF) handleDiscover(_ context.Context, req *DiscoverRequest) (*DiscoverResponse, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []NFProfile
+	for _, p := range n.instances {
+		if p.NFType != req.NFType {
+			continue
+		}
+		if req.RequireHMEE && !p.HMEE {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].InstanceID < out[j].InstanceID })
+	return &DiscoverResponse{Profiles: out}, nil
+}
+
+// InstanceCount reports the number of registered instances (for tests and
+// status displays).
+func (n *NRF) InstanceCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.instances)
+}
+
+// Client is the NF-side helper for NRF interactions.
+type Client struct {
+	invoker sbi.Invoker
+}
+
+// NewClient wraps an SBI transport for NRF calls.
+func NewClient(invoker sbi.Invoker) *Client { return &Client{invoker: invoker} }
+
+// Register announces an NF instance.
+func (c *Client) Register(ctx context.Context, p NFProfile) error {
+	return c.invoker.Post(ctx, ServiceName, PathRegister, &RegisterRequest{Profile: p}, nil)
+}
+
+// Deregister removes an NF instance.
+func (c *Client) Deregister(ctx context.Context, instanceID string) error {
+	return c.invoker.Post(ctx, ServiceName, PathDeregister, &DeregisterRequest{InstanceID: instanceID}, nil)
+}
+
+// Heartbeat refreshes liveness.
+func (c *Client) Heartbeat(ctx context.Context, instanceID string) error {
+	return c.invoker.Post(ctx, ServiceName, PathHeartbeat, &HeartbeatRequest{InstanceID: instanceID}, nil)
+}
+
+// Discover finds instances of an NF type. It returns the SBI service name
+// of the first match.
+func (c *Client) Discover(ctx context.Context, nfType string, requireHMEE bool) (NFProfile, error) {
+	var resp DiscoverResponse
+	if err := c.invoker.Post(ctx, ServiceName, PathDiscover, &DiscoverRequest{NFType: nfType, RequireHMEE: requireHMEE}, &resp); err != nil {
+		return NFProfile{}, err
+	}
+	if len(resp.Profiles) == 0 {
+		return NFProfile{}, sbi.Problem(404, "Not Found", "TARGET_NF_NOT_FOUND", "no %s instance registered", nfType)
+	}
+	return resp.Profiles[0], nil
+}

@@ -1,0 +1,127 @@
+package nrf
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/sbi"
+)
+
+func harness(t *testing.T) (*NRF, *Client) {
+	t.Helper()
+	env := costmodel.NewEnv(nil, 1, nil)
+	reg := sbi.NewRegistry()
+	n, err := New(env, reg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n, NewClient(sbi.NewClient("test", env, reg))
+}
+
+func TestRegisterAndDiscover(t *testing.T) {
+	n, c := harness(t)
+	ctx := context.Background()
+	if err := c.Register(ctx, NFProfile{InstanceID: "udm-1", NFType: "UDM", Service: "udm"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.Register(ctx, NFProfile{InstanceID: "udm-2", NFType: "UDM", Service: "udm-b", HMEE: true}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if n.InstanceCount() != 2 {
+		t.Fatalf("InstanceCount = %d", n.InstanceCount())
+	}
+
+	p, err := c.Discover(ctx, "UDM", false)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if p.InstanceID != "udm-1" { // stable order: lowest instance ID first
+		t.Fatalf("Discover = %+v", p)
+	}
+
+	// HMEE-restricted discovery returns only the higher trust domain.
+	p, err = c.Discover(ctx, "UDM", true)
+	if err != nil {
+		t.Fatalf("Discover HMEE: %v", err)
+	}
+	if p.InstanceID != "udm-2" || !p.HMEE {
+		t.Fatalf("HMEE Discover = %+v", p)
+	}
+}
+
+func TestDiscoverNoMatch(t *testing.T) {
+	_, c := harness(t)
+	_, err := c.Discover(context.Background(), "AMF", false)
+	var pd *sbi.ProblemDetails
+	if !errors.As(err, &pd) || pd.Status != 404 {
+		t.Fatalf("Discover err = %v, want 404", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, c := harness(t)
+	err := c.Register(context.Background(), NFProfile{NFType: "UDM", Service: "udm"})
+	var pd *sbi.ProblemDetails
+	if !errors.As(err, &pd) || pd.Status != 400 {
+		t.Fatalf("missing instance ID err = %v, want 400", err)
+	}
+	if err := c.Register(context.Background(), NFProfile{InstanceID: "x", Service: "y"}); err == nil {
+		t.Fatal("missing NF type accepted")
+	}
+	if err := c.Register(context.Background(), NFProfile{InstanceID: "x", NFType: "Y"}); err == nil {
+		t.Fatal("missing service accepted")
+	}
+}
+
+func TestRegisterReplacesProfile(t *testing.T) {
+	n, c := harness(t)
+	ctx := context.Background()
+	if err := c.Register(ctx, NFProfile{InstanceID: "udm-1", NFType: "UDM", Service: "udm"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.Register(ctx, NFProfile{InstanceID: "udm-1", NFType: "UDM", Service: "udm", HMEE: true}); err != nil {
+		t.Fatalf("re-Register: %v", err)
+	}
+	if n.InstanceCount() != 1 {
+		t.Fatalf("InstanceCount = %d, want 1 (replace)", n.InstanceCount())
+	}
+	p, err := c.Discover(ctx, "UDM", true)
+	if err != nil || !p.HMEE {
+		t.Fatalf("profile not replaced: %+v %v", p, err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	n, c := harness(t)
+	ctx := context.Background()
+	if err := c.Register(ctx, NFProfile{InstanceID: "smf-1", NFType: "SMF", Service: "smf"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.Deregister(ctx, "smf-1"); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if n.InstanceCount() != 0 {
+		t.Fatalf("InstanceCount = %d", n.InstanceCount())
+	}
+	if _, err := c.Discover(ctx, "SMF", false); err == nil {
+		t.Fatal("deregistered instance discovered")
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	_, c := harness(t)
+	ctx := context.Background()
+	if err := c.Register(ctx, NFProfile{InstanceID: "amf-1", NFType: "AMF", Service: "amf"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.Heartbeat(ctx, "amf-1"); err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	err := c.Heartbeat(ctx, "ghost")
+	var pd *sbi.ProblemDetails
+	if !errors.As(err, &pd) || pd.Status != 404 {
+		t.Fatalf("ghost heartbeat err = %v, want 404", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package udm implements the Unified Data Management function: SUCI
+// de-concealment with the home-network private key, authentication-vector
+// orchestration against the UDR, and offload of the sensitive AKA
+// cryptography to its P-AKA execution environment (the eUDM module when
+// extracted, the in-process functions in the monolithic baseline), exactly
+// as in the paper's modified message flow (Fig. 5 steps 2-3).
+package udm
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/nf/nrf"
+	"shield5g/internal/nf/udr"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
+)
+
+// Service identity.
+const (
+	ServiceName = "udm"
+	NFType      = "UDM"
+)
+
+// SBI endpoint paths.
+const (
+	PathGenerateAuthData = "/nudm-ueau/v1/generate-auth-data"
+	PathResync           = "/nudm-ueau/v1/resync"
+)
+
+// suciDeconcealCycles is the X25519 + AES-CTR + HMAC cost of Profile A
+// de-concealment on the testbed CPU.
+const suciDeconcealCycles = 240_000
+
+// GenerateAuthDataRequest asks the UDM (home network) for a fresh HE AV.
+type GenerateAuthDataRequest struct {
+	SUCI               *suci.SUCI `json:"suci,omitempty"`
+	SUPI               string     `json:"supi,omitempty"` // re-auth with known identity
+	ServingNetworkName string     `json:"serving_network_name"`
+}
+
+// GenerateAuthDataResponse is the HE AV plus the de-concealed SUPI.
+type GenerateAuthDataResponse struct {
+	SUPI     string `json:"supi"`
+	RAND     []byte `json:"rand"`
+	AUTN     []byte `json:"autn"`
+	XRESStar []byte `json:"xres_star"`
+	KAUSF    []byte `json:"kausf"`
+}
+
+// ResyncRequest reports a UE synchronisation failure (AUTS) for SQN
+// recovery.
+type ResyncRequest struct {
+	SUPI string `json:"supi"`
+	RAND []byte `json:"rand"`
+	AUTS []byte `json:"auts"`
+}
+
+// Empty is an empty response body.
+type Empty struct{}
+
+// Config wires a UDM instance.
+type Config struct {
+	Env *costmodel.Env
+	// Registry hosts the UDM's SBI server.
+	Registry *sbi.Registry
+	// Invoker reaches the UDR, NRF and (when extracted) the eUDM module.
+	Invoker sbi.Invoker
+	// Functions is the AKA execution environment.
+	Functions paka.UDMFunctions
+	// HomeNetworkKey de-conceals SUCIs.
+	HomeNetworkKey *suci.HomeNetworkKey
+	// HMEE marks this instance as running in a higher trust domain for
+	// NRF discovery.
+	HMEE bool
+	// Entropy overrides RAND generation (tests); nil selects crypto/rand.
+	Entropy io.Reader
+}
+
+// UDM is the data-management VNF.
+type UDM struct {
+	env     *costmodel.Env
+	server  *sbi.Server
+	udr     *udr.Client
+	nrfc    *nrf.Client
+	fns     paka.UDMFunctions
+	hnKey   *suci.HomeNetworkKey
+	entropy io.Reader
+}
+
+// New creates a UDM, registers its SBI server and announces it to the NRF.
+func New(ctx context.Context, cfg Config) (*UDM, error) {
+	if cfg.Env == nil || cfg.Registry == nil || cfg.Invoker == nil {
+		return nil, fmt.Errorf("udm: Env, Registry and Invoker are required")
+	}
+	if cfg.Functions == nil {
+		return nil, fmt.Errorf("udm: Functions (AKA execution environment) is required")
+	}
+	if cfg.HomeNetworkKey == nil {
+		return nil, fmt.Errorf("udm: HomeNetworkKey is required")
+	}
+	entropy := cfg.Entropy
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	u := &UDM{
+		env:     cfg.Env,
+		server:  sbi.NewServer(ServiceName, cfg.Env),
+		udr:     udr.NewClient(cfg.Invoker),
+		nrfc:    nrf.NewClient(cfg.Invoker),
+		fns:     cfg.Functions,
+		hnKey:   cfg.HomeNetworkKey,
+		entropy: entropy,
+	}
+	u.server.Handle(PathGenerateAuthData, sbi.JSONHandler(u.handleGenerateAuthData))
+	u.server.Handle(PathResync, sbi.JSONHandler(u.handleResync))
+	if err := cfg.Registry.Register(u.server); err != nil {
+		return nil, err
+	}
+	if err := u.nrfc.Register(ctx, nrf.NFProfile{
+		InstanceID: "udm-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
+	}); err != nil {
+		return nil, fmt.Errorf("udm: NRF registration: %w", err)
+	}
+	return u, nil
+}
+
+func (u *UDM) handleGenerateAuthData(ctx context.Context, req *GenerateAuthDataRequest) (*GenerateAuthDataResponse, error) {
+	supi := req.SUPI
+	if supi == "" {
+		switch {
+		case req.SUCI == nil:
+			return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_MISSING", "SUCI or SUPI required")
+		case req.SUCI.Scheme == suci.SchemeNull:
+			// Null protection scheme (test networks): no deconcealment.
+			id, err := req.SUCI.NullSUPI()
+			if err != nil {
+				return nil, sbi.Problem(403, "Forbidden", "DECONCEALMENT_FAILURE", "%v", err)
+			}
+			supi = id.String()
+		default:
+			u.env.Charge(ctx, suciDeconcealCycles)
+			id, err := u.hnKey.Deconceal(req.SUCI)
+			if err != nil {
+				return nil, sbi.Problem(403, "Forbidden", "DECONCEALMENT_FAILURE", "%v", err)
+			}
+			supi = id.String()
+		}
+	}
+	if req.ServingNetworkName == "" {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_MISSING", "serving network name required")
+	}
+
+	auth, err := u.udr.NextAuth(ctx, supi)
+	if err != nil {
+		return nil, err
+	}
+
+	randBytes := make([]byte, 16)
+	if _, err := io.ReadFull(u.entropy, randBytes); err != nil {
+		return nil, sbi.Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "RAND generation: %v", err)
+	}
+
+	av, err := u.fns.GenerateAV(ctx, &paka.UDMGenerateAVRequest{
+		SUPI:  supi,
+		OPc:   auth.OPc,
+		RAND:  randBytes,
+		SQN:   auth.SQN,
+		AMFID: auth.AMFField,
+		SNN:   req.ServingNetworkName,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GenerateAuthDataResponse{
+		SUPI:     supi,
+		RAND:     av.RAND,
+		AUTN:     av.AUTN,
+		XRESStar: av.XRESStar,
+		KAUSF:    av.KAUSF,
+	}, nil
+}
+
+func (u *UDM) handleResync(ctx context.Context, req *ResyncRequest) (*Empty, error) {
+	sub, err := u.udr.Get(ctx, req.SUPI)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := u.fns.Resync(ctx, &paka.UDMResyncRequest{
+		SUPI: req.SUPI,
+		OPc:  sub.OPc,
+		RAND: req.RAND,
+		AUTS: req.AUTS,
+	})
+	if err != nil {
+		return nil, sbi.Problem(403, "Forbidden", "SYNC_FAILURE", "%v", err)
+	}
+	if err := u.udr.Resync(ctx, req.SUPI, resp.SQNMS); err != nil {
+		return nil, err
+	}
+	return &Empty{}, nil
+}
+
+// Client is the AUSF-side helper for UDM calls.
+type Client struct {
+	invoker sbi.Invoker
+	service string
+}
+
+// NewClient wraps an SBI transport for UDM calls against the default
+// service name.
+func NewClient(invoker sbi.Invoker) *Client {
+	return &Client{invoker: invoker, service: ServiceName}
+}
+
+// DiscoverClient resolves a UDM instance through the NRF (restricted to
+// HMEE-enabled hosts when requireHMEE is set) and returns a client bound
+// to the discovered service.
+func DiscoverClient(ctx context.Context, invoker sbi.Invoker, requireHMEE bool) (*Client, error) {
+	p, err := nrf.NewClient(invoker).Discover(ctx, NFType, requireHMEE)
+	if err != nil {
+		return nil, fmt.Errorf("udm: discovery: %w", err)
+	}
+	return &Client{invoker: invoker, service: p.Service}, nil
+}
+
+// GenerateAuthData requests a fresh HE AV.
+func (c *Client) GenerateAuthData(ctx context.Context, req *GenerateAuthDataRequest) (*GenerateAuthDataResponse, error) {
+	var resp GenerateAuthDataResponse
+	if err := c.invoker.Post(ctx, c.service, PathGenerateAuthData, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Resync reports an AUTS for sequence-number recovery.
+func (c *Client) Resync(ctx context.Context, req *ResyncRequest) error {
+	return c.invoker.Post(ctx, c.service, PathResync, req, nil)
+}

@@ -1,0 +1,247 @@
+// Package udr implements the Unified Data Repository: the credential
+// storage unit for subscribers. The UDM fetches authentication subscription
+// data (K, OPc, SQN, AMF field) from here when generating authentication
+// vectors, and writes SQN updates back (increment per vector,
+// resynchronisation after AUTS).
+package udr
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/sbi"
+)
+
+// ServiceName is the UDR's SBI service name.
+const ServiceName = "udr"
+
+// SBI endpoint paths.
+const (
+	PathProvision = "/nudr-dr/v1/subscription-data/provision"
+	PathNextAuth  = "/nudr-dr/v1/subscription-data/next-auth"
+	PathResync    = "/nudr-dr/v1/subscription-data/resync"
+	PathGet       = "/nudr-dr/v1/subscription-data/get"
+)
+
+// sqnStep is the sequence-number increment per generated vector
+// (TS 33.102 Annex C array scheme: 32 = one IND slot).
+const sqnStep = 32
+
+// Subscriber is one provisioned subscription record.
+type Subscriber struct {
+	SUPI string `json:"supi"`
+	// K is the 16-byte long-term subscriber key.
+	K []byte `json:"k"`
+	// OPc is the derived operator key.
+	OPc []byte `json:"opc"`
+	// SQN is the 6-byte network-side sequence number.
+	SQN []byte `json:"sqn"`
+	// AMFField is the 2-byte authentication management field (the
+	// "separation bit" must be set for 5G AKA, giving 0x8000).
+	AMFField []byte `json:"amf_field"`
+}
+
+func (s *Subscriber) validate() error {
+	if s.SUPI == "" {
+		return fmt.Errorf("udr: empty SUPI")
+	}
+	if len(s.K) != 16 {
+		return fmt.Errorf("udr: K length %d, want 16", len(s.K))
+	}
+	if len(s.OPc) != 16 {
+		return fmt.Errorf("udr: OPc length %d, want 16", len(s.OPc))
+	}
+	if len(s.SQN) != 6 {
+		return fmt.Errorf("udr: SQN length %d, want 6", len(s.SQN))
+	}
+	if len(s.AMFField) != 2 {
+		return fmt.Errorf("udr: AMF field length %d, want 2", len(s.AMFField))
+	}
+	return nil
+}
+
+// ProvisionRequest adds or replaces a subscriber.
+type ProvisionRequest struct {
+	Subscriber Subscriber `json:"subscriber"`
+}
+
+// Empty is an empty response body.
+type Empty struct{}
+
+// NextAuthRequest fetches the subscriber's auth material and atomically
+// advances the SQN for one new vector.
+type NextAuthRequest struct {
+	SUPI string `json:"supi"`
+}
+
+// NextAuthResponse returns the material the UDM feeds into AV generation.
+// The long-term key K is deliberately NOT part of this response: it is
+// delivered to the AKA execution environment (the eUDM P-AKA enclave or
+// the monolithic function store) once at provisioning time, so the UDM VNF
+// itself never handles it per request.
+type NextAuthResponse struct {
+	OPc      []byte `json:"opc"`
+	SQN      []byte `json:"sqn"` // the SQN to use for this vector
+	AMFField []byte `json:"amf_field"`
+}
+
+// ResyncRequest overwrites the network SQN after a UE resynchronisation:
+// the new value starts above the UE's reported SQN_MS.
+type ResyncRequest struct {
+	SUPI  string `json:"supi"`
+	SQNMS []byte `json:"sqn_ms"`
+}
+
+// GetRequest reads a subscriber record without advancing state.
+type GetRequest struct {
+	SUPI string `json:"supi"`
+}
+
+// GetResponse returns the stored record.
+type GetResponse struct {
+	Subscriber Subscriber `json:"subscriber"`
+}
+
+// UDR is the repository.
+type UDR struct {
+	server *sbi.Server
+
+	mu   sync.Mutex
+	subs map[string]*Subscriber
+}
+
+// New creates a UDR and registers its SBI server.
+func New(env *costmodel.Env, registry *sbi.Registry) (*UDR, error) {
+	u := &UDR{
+		server: sbi.NewServer(ServiceName, env),
+		subs:   make(map[string]*Subscriber),
+	}
+	u.server.Handle(PathProvision, sbi.JSONHandler(u.handleProvision))
+	u.server.Handle(PathNextAuth, sbi.JSONHandler(u.handleNextAuth))
+	u.server.Handle(PathResync, sbi.JSONHandler(u.handleResync))
+	u.server.Handle(PathGet, sbi.JSONHandler(u.handleGet))
+	if err := registry.Register(u.server); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (u *UDR) handleProvision(_ context.Context, req *ProvisionRequest) (*Empty, error) {
+	s := req.Subscriber
+	if err := s.validate(); err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "%v", err)
+	}
+	cp := s
+	cp.K = append([]byte(nil), s.K...)
+	cp.OPc = append([]byte(nil), s.OPc...)
+	cp.SQN = append([]byte(nil), s.SQN...)
+	cp.AMFField = append([]byte(nil), s.AMFField...)
+	u.mu.Lock()
+	u.subs[s.SUPI] = &cp
+	u.mu.Unlock()
+	return &Empty{}, nil
+}
+
+func (u *UDR) handleNextAuth(_ context.Context, req *NextAuthRequest) (*NextAuthResponse, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	s, ok := u.subs[req.SUPI]
+	if !ok {
+		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "subscriber %s", req.SUPI)
+	}
+	// Advance the SQN first, then hand out the new value, so that two
+	// consecutive vectors never share a sequence number.
+	advanceSQN(s.SQN, sqnStep)
+	return &NextAuthResponse{
+		OPc:      append([]byte(nil), s.OPc...),
+		SQN:      append([]byte(nil), s.SQN...),
+		AMFField: append([]byte(nil), s.AMFField...),
+	}, nil
+}
+
+func (u *UDR) handleResync(_ context.Context, req *ResyncRequest) (*Empty, error) {
+	if len(req.SQNMS) != 6 {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "SQN_MS length %d", len(req.SQNMS))
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	s, ok := u.subs[req.SUPI]
+	if !ok {
+		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "subscriber %s", req.SUPI)
+	}
+	copy(s.SQN, req.SQNMS)
+	advanceSQN(s.SQN, sqnStep)
+	return &Empty{}, nil
+}
+
+func (u *UDR) handleGet(_ context.Context, req *GetRequest) (*GetResponse, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	s, ok := u.subs[req.SUPI]
+	if !ok {
+		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "subscriber %s", req.SUPI)
+	}
+	cp := *s
+	cp.K = append([]byte(nil), s.K...)
+	cp.OPc = append([]byte(nil), s.OPc...)
+	cp.SQN = append([]byte(nil), s.SQN...)
+	cp.AMFField = append([]byte(nil), s.AMFField...)
+	return &GetResponse{Subscriber: cp}, nil
+}
+
+// SubscriberCount reports the number of provisioned subscribers.
+func (u *UDR) SubscriberCount() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.subs)
+}
+
+// advanceSQN adds step to the 48-bit big-endian sequence number in place,
+// wrapping modulo 2^48.
+func advanceSQN(sqn []byte, step uint64) {
+	var buf [8]byte
+	copy(buf[2:], sqn)
+	v := binary.BigEndian.Uint64(buf[:])
+	v = (v + step) & 0xFFFFFFFFFFFF
+	binary.BigEndian.PutUint64(buf[:], v)
+	copy(sqn, buf[2:])
+}
+
+// Client is the UDM-side helper for UDR calls.
+type Client struct {
+	invoker sbi.Invoker
+}
+
+// NewClient wraps an SBI transport for UDR calls.
+func NewClient(invoker sbi.Invoker) *Client { return &Client{invoker: invoker} }
+
+// Provision installs a subscriber record.
+func (c *Client) Provision(ctx context.Context, s Subscriber) error {
+	return c.invoker.Post(ctx, ServiceName, PathProvision, &ProvisionRequest{Subscriber: s}, nil)
+}
+
+// NextAuth fetches auth material and advances the SQN.
+func (c *Client) NextAuth(ctx context.Context, supi string) (*NextAuthResponse, error) {
+	var resp NextAuthResponse
+	if err := c.invoker.Post(ctx, ServiceName, PathNextAuth, &NextAuthRequest{SUPI: supi}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Resync rebases the network SQN after UE resynchronisation.
+func (c *Client) Resync(ctx context.Context, supi string, sqnMS []byte) error {
+	return c.invoker.Post(ctx, ServiceName, PathResync, &ResyncRequest{SUPI: supi, SQNMS: sqnMS}, nil)
+}
+
+// Get reads a subscriber record.
+func (c *Client) Get(ctx context.Context, supi string) (*Subscriber, error) {
+	var resp GetResponse
+	if err := c.invoker.Post(ctx, ServiceName, PathGet, &GetRequest{SUPI: supi}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp.Subscriber, nil
+}

@@ -1,0 +1,115 @@
+package paka
+
+import (
+	"crypto/hmac"
+	"errors"
+	"fmt"
+
+	"shield5g/internal/crypto/kdf"
+	"shield5g/internal/crypto/milenage"
+)
+
+// AKA errors.
+var (
+	// ErrUnknownSubscriber reports a SUPI with no provisioned key.
+	ErrUnknownSubscriber = errors.New("paka: unknown subscriber")
+	// ErrResyncMAC reports an AUTS whose MAC-S does not verify.
+	ErrResyncMAC = errors.New("paka: AUTS MAC-S verification failed")
+)
+
+// GenerateAV executes the eUDM P-AKA function set: MILENAGE f1 and f2345
+// over the subscriber key, AUTN assembly, and the XRES*/K_AUSF derivations
+// (the "Derive/Execute" column of Table I for the eUDM module).
+func GenerateAV(k []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, error) {
+	c, err := milenage.New(k, req.OPc)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM: %w", err)
+	}
+	macA, err := c.F1(req.RAND, req.SQN, req.AMFID)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM f1: %w", err)
+	}
+	res, ck, ik, ak, err := c.F2345(req.RAND)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM f2345: %w", err)
+	}
+	sqnAK, err := kdf.XorSQNAK(req.SQN, ak)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM: %w", err)
+	}
+	autn, err := kdf.BuildAUTN(sqnAK, req.AMFID, macA)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM AUTN: %w", err)
+	}
+	xres, err := kdf.ResStar(ck, ik, req.SNN, req.RAND, res)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM XRES*: %w", err)
+	}
+	kausf, err := kdf.KAUSF(ck, ik, req.SNN, sqnAK)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM K_AUSF: %w", err)
+	}
+	return &UDMGenerateAVResponse{
+		RAND:     append([]byte(nil), req.RAND...),
+		AUTN:     autn,
+		XRESStar: xres,
+		KAUSF:    kausf,
+	}, nil
+}
+
+// Resync executes the eUDM-side AUTS verification (TS 33.102 §6.3.5): it
+// recovers SQN_MS with AK* = f5*(RAND) and checks MAC-S = f1*(SQN_MS,
+// AMF*=0x0000). This also uses the long-term key and therefore belongs
+// inside the enclave.
+func Resync(k []byte, req *UDMResyncRequest) (*UDMResyncResponse, error) {
+	if len(req.AUTS) != 14 {
+		return nil, fmt.Errorf("paka: AUTS length %d, want 14", len(req.AUTS))
+	}
+	c, err := milenage.New(k, req.OPc)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM resync: %w", err)
+	}
+	akStar, err := c.F5Star(req.RAND)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM f5*: %w", err)
+	}
+	concealed := req.AUTS[:6]
+	macS := req.AUTS[6:]
+	sqnMS, err := kdf.XorSQNAK(concealed, akStar)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM resync: %w", err)
+	}
+	// The resynchronisation AMF is all-zero (TS 33.102 §6.3.3).
+	wantMAC, err := c.F1Star(req.RAND, sqnMS, []byte{0x00, 0x00})
+	if err != nil {
+		return nil, fmt.Errorf("paka: eUDM f1*: %w", err)
+	}
+	if !hmac.Equal(macS, wantMAC) {
+		return nil, ErrResyncMAC
+	}
+	return &UDMResyncResponse{SQNMS: sqnMS}, nil
+}
+
+// DeriveSE executes the eAUSF P-AKA function set: HXRES* hashing and
+// K_SEAF derivation.
+func DeriveSE(req *AUSFDeriveSERequest) (*AUSFDeriveSEResponse, error) {
+	hxres, err := kdf.HXResStar(req.RAND, req.XRESStar)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eAUSF HXRES*: %w", err)
+	}
+	kseaf, err := kdf.KSEAF(req.KAUSF, req.SNN)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eAUSF K_SEAF: %w", err)
+	}
+	return &AUSFDeriveSEResponse{HXRESStar: hxres, KSEAF: kseaf}, nil
+}
+
+// DeriveKAMF executes the eAMF P-AKA function: K_AMF derivation from
+// K_SEAF.
+func DeriveKAMF(req *AMFDeriveKAMFRequest) (*AMFDeriveKAMFResponse, error) {
+	kamf, err := kdf.KAMF(req.KSEAF, req.SUPI, req.ABBA)
+	if err != nil {
+		return nil, fmt.Errorf("paka: eAMF K_AMF: %w", err)
+	}
+	return &AMFDeriveKAMFResponse{KAMF: kamf}, nil
+}

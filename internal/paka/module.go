@@ -1,0 +1,418 @@
+package paka
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/hmee/gramine"
+	"shield5g/internal/hmee/sev"
+	"shield5g/internal/hmee/sgx"
+	"shield5g/internal/metrics"
+	"shield5g/internal/sbi"
+)
+
+// Config describes one P-AKA module deployment.
+type Config struct {
+	// Kind selects eUDM, eAUSF or eAMF.
+	Kind ModuleKind
+	// Isolation is Container or SGX. Monolithic mode has no module
+	// process; use NewMonolithic* in client.go instead.
+	Isolation Isolation
+	// Env supplies the shared cost environment.
+	Env *costmodel.Env
+	// Platform is the SGX host; required when Isolation is SGX.
+	Platform *sgx.Platform
+	// Registry is where the module's SBI server registers.
+	Registry *sbi.Registry
+
+	// EnclaveSizeBytes overrides the 512 MiB default (Fig. 8 sweeps).
+	EnclaveSizeBytes uint64
+	// MaxThreads overrides the 4-thread default (Fig. 8 sweeps).
+	MaxThreads int
+	// DisablePreheat turns off sgx.preheat_enclave.
+	DisablePreheat bool
+	// Exitless enables Gramine's switchless OCALLs (§V-B7 ablation;
+	// the paper flags the feature as not production-ready). SGX only.
+	Exitless bool
+	// UserLevelTCP links an mTCP-style user-level network stack into
+	// the module, collapsing the per-request syscall census at the cost
+	// of a larger TCB (§V-B7 ablation).
+	UserLevelTCP bool
+	// SignKey signs the GSC image; generated when nil.
+	SignKey ed25519.PrivateKey
+}
+
+// Module is one deployed P-AKA microservice.
+type Module struct {
+	kind      ModuleKind
+	isolation Isolation
+	profile   Profile
+	env       *costmodel.Env
+	runtime   Runtime
+	server    *sbi.Server
+	registry  *sbi.Registry
+
+	// Latency recorders feeding the experiments: the module-side
+	// functional (L_F) and total (L_T) windows of every served request,
+	// plus the full server-side residence (the service time used by the
+	// horizontal-scaling experiment).
+	functional *metrics.Recorder
+	total      *metrics.Recorder
+	serverSide *metrics.Recorder
+
+	secretNames []string
+}
+
+// New deploys a P-AKA module under the configured isolation mode. For SGX
+// the full GSC build + enclave load cost is charged to ctx's account.
+func New(ctx context.Context, cfg Config) (*Module, error) {
+	profile, ok := Profiles()[cfg.Kind]
+	if !ok {
+		return nil, fmt.Errorf("paka: unknown module kind %d", cfg.Kind)
+	}
+	if cfg.Env == nil {
+		return nil, errors.New("paka: Config.Env is required")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("paka: Config.Registry is required")
+	}
+
+	m := &Module{
+		kind:       cfg.Kind,
+		isolation:  cfg.Isolation,
+		profile:    profile,
+		env:        cfg.Env,
+		registry:   cfg.Registry,
+		functional: &metrics.Recorder{},
+		total:      &metrics.Recorder{},
+		serverSide: &metrics.Recorder{},
+	}
+
+	switch cfg.Isolation {
+	case Container:
+		m.runtime = newNativeRuntime(cfg.Env)
+	case SGX:
+		if cfg.Platform == nil {
+			return nil, errors.New("paka: SGX isolation requires Config.Platform")
+		}
+		rt, err := buildSGXRuntime(ctx, cfg, profile)
+		if err != nil {
+			return nil, err
+		}
+		m.runtime = rt
+	case SEV:
+		rt, err := newSEVRuntime(ctx, cfg.Env, cfg.Kind.ServiceName()+"-vm", profile.ImageBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.runtime = rt
+	default:
+		return nil, fmt.Errorf("paka: isolation %s not deployable as a module", cfg.Isolation)
+	}
+
+	// The module's own sbi.Server carries no env: all server-side costs
+	// are modelled by the runtime's request path, which would otherwise
+	// be double-charged.
+	m.server = sbi.NewServer(cfg.Kind.ServiceName(), nil)
+	m.registerEndpoints()
+	if err := cfg.Registry.Register(m.server); err != nil {
+		m.runtime.Shutdown()
+		return nil, err
+	}
+	return m, nil
+}
+
+func buildSGXRuntime(ctx context.Context, cfg Config, profile Profile) (Runtime, error) {
+	manifest := gramine.DefaultManifest("/app/" + cfg.Kind.ServiceName())
+	if cfg.EnclaveSizeBytes != 0 {
+		manifest.EnclaveSizeBytes = cfg.EnclaveSizeBytes
+	}
+	if cfg.MaxThreads != 0 {
+		manifest.MaxThreads = cfg.MaxThreads
+	}
+	manifest.PreheatEnclave = !cfg.DisablePreheat
+	if cfg.Exitless {
+		manifest.Exitless = true
+		// Switchless calls need a dedicated untrusted helper thread.
+		if manifest.MaxThreads < gramine.HelperThreads+2 {
+			manifest.MaxThreads = gramine.HelperThreads + 2
+		}
+	}
+
+	signKey := cfg.SignKey
+	if signKey == nil {
+		var err error
+		_, signKey, err = ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("paka: generate GSC sign key: %w", err)
+		}
+	}
+	si, err := gramine.BuildShielded(moduleImage(cfg.Kind, profile, cfg.UserLevelTCP), manifest, signKey)
+	if err != nil {
+		return nil, fmt.Errorf("paka: GSC build: %w", err)
+	}
+	var opts []gramine.LaunchOption
+	if cfg.UserLevelTCP {
+		opts = append(opts, gramine.WithSyscallProfile(gramine.UserTCPSyscallProfile()))
+	}
+	return newSGXRuntime(ctx, cfg.Platform, si, opts...)
+}
+
+// moduleImage synthesises the module's container image: the paper's images
+// are OAI-derived Ubuntu images of a couple of gigabytes whose contents
+// GSC measures as trusted files. Linking the user-level TCP stack adds its
+// libraries to the image — and therefore to the measured TCB.
+func moduleImage(kind ModuleKind, profile Profile, userTCP bool) gramine.ContainerImage {
+	total := profile.ImageBytes
+	img := gramine.ContainerImage{
+		Name: kind.ServiceName() + ":v1.5.0",
+		Files: []gramine.ImageFile{
+			{Path: "/usr/lib/x86_64-linux-gnu/libc.so.6", Size: total * 40 / 100},
+			{Path: "/usr/lib/x86_64-linux-gnu/libssl.so.3", Size: total * 25 / 100},
+			{Path: "/usr/lib/x86_64-linux-gnu/libpistache.so", Size: total * 15 / 100},
+			{Path: "/app/" + kind.ServiceName(), Size: total * 10 / 100},
+			{Path: "/usr/share/ca-certificates/operator.pem", Size: total * 10 / 100},
+			{Path: "/proc/self/status", Size: 1}, // excluded by GSC
+		},
+	}
+	if userTCP {
+		img.Files = append(img.Files,
+			gramine.ImageFile{Path: "/usr/lib/x86_64-linux-gnu/libmtcp.so", Size: 24_000_000},
+			gramine.ImageFile{Path: "/usr/lib/x86_64-linux-gnu/libdpdk.so", Size: 36_000_000},
+		)
+	}
+	return img
+}
+
+// registerEndpoints wires the kind-specific handlers.
+func (m *Module) registerEndpoints() {
+	switch m.kind {
+	case EUDM:
+		m.server.Handle(PathUDMGenerateAV, m.endpoint(m.handleGenerateAV))
+		m.server.Handle(PathUDMResync, m.endpoint(m.handleResync))
+	case EAUSF:
+		m.server.Handle(PathAUSFDeriveSE, m.endpoint(m.handleDeriveSE))
+	case EAMF:
+		m.server.Handle(PathAMFDeriveKAMF, m.endpoint(m.handleDeriveKAMF))
+	}
+}
+
+// endpoint wraps a handler with the runtime's modelled request path and
+// the module's calibrated functional cost, recording the L_F/L_T windows.
+func (m *Module) endpoint(handler func(ctx context.Context, ex Exec, body []byte) ([]byte, error)) sbi.HandlerFunc {
+	return func(ctx context.Context, body []byte) ([]byte, error) {
+		var out []byte
+		bd, err := m.runtime.ServeRequest(ctx, m.profile.InBytes, m.profile.OutBytes, func(ex Exec) error {
+			fn := m.env.Jitter.LogNormal(m.profile.FnCycles, m.profile.FnSigma)
+			if m.isolation == SGX {
+				fn += m.profile.SGXExtraCycles
+			}
+			ex.Compute(fn)
+			ex.Touch(m.profile.HeapBytes)
+			var herr error
+			out, herr = handler(ctx, ex, body)
+			return herr
+		})
+		if err != nil {
+			return nil, err
+		}
+		model := m.env.Model
+		m.functional.Add(model.Duration(bd.Functional))
+		m.total.Add(model.Duration(bd.Total))
+		m.serverSide.Add(model.Duration(bd.ServerSide))
+		return out, nil
+	}
+}
+
+func (m *Module) handleGenerateAV(_ context.Context, ex Exec, body []byte) ([]byte, error) {
+	var req UDMGenerateAVRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
+	}
+	k, ok := ex.LoadSecret(subscriberSecret(req.SUPI))
+	if !ok {
+		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, req.SUPI)
+	}
+	resp, err := GenerateAV(k, &req)
+	if err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
+	}
+	return json.Marshal(resp)
+}
+
+func (m *Module) handleResync(_ context.Context, ex Exec, body []byte) ([]byte, error) {
+	var req UDMResyncRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
+	}
+	k, ok := ex.LoadSecret(subscriberSecret(req.SUPI))
+	if !ok {
+		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, req.SUPI)
+	}
+	resp, err := Resync(k, &req)
+	if err != nil {
+		return nil, sbi.Problem(403, "Forbidden", "SYNC_FAILURE", "%v", err)
+	}
+	return json.Marshal(resp)
+}
+
+func (m *Module) handleDeriveSE(_ context.Context, _ Exec, body []byte) ([]byte, error) {
+	var req AUSFDeriveSERequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
+	}
+	resp, err := DeriveSE(&req)
+	if err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
+	}
+	return json.Marshal(resp)
+}
+
+func (m *Module) handleDeriveKAMF(_ context.Context, _ Exec, body []byte) ([]byte, error) {
+	var req AMFDeriveKAMFRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
+	}
+	resp, err := DeriveKAMF(&req)
+	if err != nil {
+		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
+	}
+	return json.Marshal(resp)
+}
+
+func subscriberSecret(supi string) string { return "subscriber-k:" + supi }
+
+// ProvisionSubscriber installs a subscriber's long-term key into the
+// module's memory — inside the enclave when SGX-isolated, so the key
+// never appears in attacker-visible memory afterwards. Only meaningful
+// for the eUDM module.
+func (m *Module) ProvisionSubscriber(ctx context.Context, supi string, k []byte) error {
+	if m.kind != EUDM {
+		return fmt.Errorf("paka: %s does not hold subscriber keys", m.kind)
+	}
+	name := subscriberSecret(supi)
+	err := m.runtime.Do(ctx, func(ex Exec) error {
+		ex.StoreSecret(name, k)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("paka: provision %s: %w", supi, err)
+	}
+	m.secretNames = append(m.secretNames, name)
+	return nil
+}
+
+// MemoryDump is the privileged attacker's view of the module's secret
+// regions (the Key Issue 7 memory-introspection scenario): for a plain
+// container it yields the plaintext keys; for an SGX module it yields MEE
+// ciphertext.
+func (m *Module) MemoryDump() map[string][]byte {
+	out := make(map[string][]byte, len(m.secretNames))
+	for _, name := range m.secretNames {
+		switch rt := m.runtime.(type) {
+		case *sgxRuntime:
+			if d, ok := rt.enclave().Introspect(name); ok {
+				out[name] = d
+			}
+		case *sevRuntime:
+			if d, ok := rt.machine.Introspect(name); ok {
+				out[name] = d
+			}
+		case *nativeRuntime:
+			if d, ok := rt.dump(name); ok {
+				out[name] = d
+			}
+		}
+	}
+	return out
+}
+
+// Kind reports the module kind.
+func (m *Module) Kind() ModuleKind { return m.kind }
+
+// Isolation reports the module's deployment mode.
+func (m *Module) Isolation() Isolation { return m.isolation }
+
+// Profile returns the module's calibrated profile.
+func (m *Module) Profile() Profile { return m.profile }
+
+// ServiceName is the module's SBI service name.
+func (m *Module) ServiceName() string { return m.kind.ServiceName() }
+
+// LoadDuration is the modelled deployment time (Fig. 7 when SGX).
+func (m *Module) LoadDuration() time.Duration { return m.runtime.LoadDuration() }
+
+// Stats snapshots the module's SGX counters (zero for containers).
+func (m *Module) Stats() sgx.StatsSnapshot { return m.runtime.Stats() }
+
+// AccrueUptime models the module staying deployed for d of virtual time.
+func (m *Module) AccrueUptime(d time.Duration) { m.runtime.AccrueUptime(d) }
+
+// Warm reports whether the module has served its first request.
+func (m *Module) Warm() bool { return m.runtime.Warm() }
+
+// HostTCBBytes approximates the host software a non-enclave deployment
+// must additionally trust: kernel, container engine and system services.
+// Used for the TCB comparison in the optimization ablation.
+const HostTCBBytes = 4 << 30
+
+// TCBBytes reports the module's trusted computing base: for SGX, the bytes
+// measured into the enclave; for a plain container, the image plus the
+// entire host software stack that can read its memory.
+func (m *Module) TCBBytes() uint64 {
+	switch rt := m.runtime.(type) {
+	case *sgxRuntime:
+		return rt.inst.TCBBytes()
+	case *sevRuntime:
+		return rt.machine.TCBBytes()
+	default:
+		return m.profile.ImageBytes + HostTCBBytes
+	}
+}
+
+// Machine exposes the module's confidential VM; nil when not
+// SEV-isolated.
+func (m *Module) Machine() *sev.Machine {
+	if rt, ok := m.runtime.(*sevRuntime); ok {
+		return rt.machine
+	}
+	return nil
+}
+
+// Enclave exposes the module's enclave for sealing/attestation; nil when
+// not SGX-isolated.
+func (m *Module) Enclave() *sgx.Enclave {
+	if rt, ok := m.runtime.(*sgxRuntime); ok {
+		return rt.enclave()
+	}
+	return nil
+}
+
+// FunctionalLatency returns the recorder of module-side L_F samples.
+func (m *Module) FunctionalLatency() *metrics.Recorder { return m.functional }
+
+// TotalLatency returns the recorder of module-side L_T samples.
+func (m *Module) TotalLatency() *metrics.Recorder { return m.total }
+
+// ServerSideLatency returns the recorder of full server-side residence
+// times (the per-request service time of the module).
+func (m *Module) ServerSideLatency() *metrics.Recorder { return m.serverSide }
+
+// ResetRecorders clears the latency recorders between experiment phases.
+func (m *Module) ResetRecorders() {
+	m.functional.Reset()
+	m.total.Reset()
+	m.serverSide.Reset()
+}
+
+// Stop deregisters and shuts the module down.
+func (m *Module) Stop() {
+	m.registry.Deregister(m.server.Name())
+	m.runtime.Shutdown()
+}

@@ -1,0 +1,426 @@
+package paka
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/kdf"
+	"shield5g/internal/crypto/milenage"
+	"shield5g/internal/hmee/sgx"
+	"shield5g/internal/sbi"
+	"shield5g/internal/simclock"
+)
+
+var (
+	testK    = []byte{0x46, 0x5b, 0x5c, 0xe8, 0xb1, 0x99, 0xb4, 0x9f, 0xaa, 0x5f, 0x0a, 0x2e, 0xe2, 0x38, 0xa6, 0xbc}
+	testOPc  = []byte{0xcd, 0x63, 0xcb, 0x71, 0x95, 0x4a, 0x9f, 0x4e, 0x48, 0xa5, 0x99, 0x4e, 0x37, 0xa0, 0x2b, 0xaf}
+	testRAND = []byte{0x23, 0x55, 0x3c, 0xbe, 0x96, 0x37, 0xa8, 0x9d, 0x21, 0x8a, 0xe6, 0x4d, 0xae, 0x47, 0xbf, 0x35}
+	testSQN  = []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x21}
+	testAMF  = []byte{0x80, 0x00}
+	testSNN  = "5G:mnc001.mcc001.3gppnetwork.org"
+	testSUPI = "imsi-001010000000001"
+)
+
+func avRequest() *UDMGenerateAVRequest {
+	return &UDMGenerateAVRequest{
+		SUPI:  testSUPI,
+		OPc:   testOPc,
+		RAND:  testRAND,
+		SQN:   testSQN,
+		AMFID: testAMF,
+		SNN:   testSNN,
+	}
+}
+
+func TestGenerateAVMatchesDirectDerivation(t *testing.T) {
+	resp, err := GenerateAV(testK, avRequest())
+	if err != nil {
+		t.Fatalf("GenerateAV: %v", err)
+	}
+	if len(resp.RAND) != 16 || len(resp.AUTN) != 16 || len(resp.XRESStar) != 16 || len(resp.KAUSF) != 32 {
+		t.Fatalf("output sizes wrong: %d %d %d %d", len(resp.RAND), len(resp.AUTN), len(resp.XRESStar), len(resp.KAUSF))
+	}
+
+	// Re-derive with the primitives and compare.
+	c, err := milenage.New(testK, testOPc)
+	if err != nil {
+		t.Fatalf("milenage.New: %v", err)
+	}
+	res, ck, ik, ak, err := c.F2345(testRAND)
+	if err != nil {
+		t.Fatalf("F2345: %v", err)
+	}
+	sqnAK, err := kdf.XorSQNAK(testSQN, ak)
+	if err != nil {
+		t.Fatalf("XorSQNAK: %v", err)
+	}
+	wantXRES, err := kdf.ResStar(ck, ik, testSNN, testRAND, res)
+	if err != nil {
+		t.Fatalf("ResStar: %v", err)
+	}
+	if !bytes.Equal(resp.XRESStar, wantXRES) {
+		t.Fatal("XRES* mismatch")
+	}
+	wantKAUSF, err := kdf.KAUSF(ck, ik, testSNN, sqnAK)
+	if err != nil {
+		t.Fatalf("KAUSF: %v", err)
+	}
+	if !bytes.Equal(resp.KAUSF, wantKAUSF) {
+		t.Fatal("K_AUSF mismatch")
+	}
+	// AUTN structure: SQN^AK || AMF || MAC-A.
+	gotSQNAK, gotAMF, _, err := kdf.SplitAUTN(resp.AUTN)
+	if err != nil {
+		t.Fatalf("SplitAUTN: %v", err)
+	}
+	if !bytes.Equal(gotSQNAK, sqnAK) || !bytes.Equal(gotAMF, testAMF) {
+		t.Fatal("AUTN structure wrong")
+	}
+}
+
+func TestGenerateAVBadInputs(t *testing.T) {
+	req := avRequest()
+	req.OPc = req.OPc[:8]
+	if _, err := GenerateAV(testK, req); err == nil {
+		t.Fatal("short OPc accepted")
+	}
+	req = avRequest()
+	req.SQN = nil
+	if _, err := GenerateAV(testK, req); err == nil {
+		t.Fatal("nil SQN accepted")
+	}
+	if _, err := GenerateAV(testK[:4], avRequest()); err == nil {
+		t.Fatal("short K accepted")
+	}
+}
+
+func TestResyncRoundTrip(t *testing.T) {
+	// Build an AUTS the way a UE would (TS 33.102 §6.3.3).
+	c, err := milenage.New(testK, testOPc)
+	if err != nil {
+		t.Fatalf("milenage.New: %v", err)
+	}
+	sqnMS := []byte{0x00, 0x00, 0x00, 0x00, 0x01, 0x42}
+	akStar, err := c.F5Star(testRAND)
+	if err != nil {
+		t.Fatalf("F5Star: %v", err)
+	}
+	concealed, err := kdf.XorSQNAK(sqnMS, akStar)
+	if err != nil {
+		t.Fatalf("XorSQNAK: %v", err)
+	}
+	macS, err := c.F1Star(testRAND, sqnMS, []byte{0, 0})
+	if err != nil {
+		t.Fatalf("F1Star: %v", err)
+	}
+	auts := append(append([]byte{}, concealed...), macS...)
+
+	resp, err := Resync(testK, &UDMResyncRequest{SUPI: testSUPI, OPc: testOPc, RAND: testRAND, AUTS: auts})
+	if err != nil {
+		t.Fatalf("Resync: %v", err)
+	}
+	if !bytes.Equal(resp.SQNMS, sqnMS) {
+		t.Fatalf("SQN_MS = %x, want %x", resp.SQNMS, sqnMS)
+	}
+
+	// Tampered AUTS must fail.
+	auts[13] ^= 1
+	if _, err := Resync(testK, &UDMResyncRequest{SUPI: testSUPI, OPc: testOPc, RAND: testRAND, AUTS: auts}); !errors.Is(err, ErrResyncMAC) {
+		t.Fatalf("tampered AUTS err = %v, want ErrResyncMAC", err)
+	}
+	if _, err := Resync(testK, &UDMResyncRequest{OPc: testOPc, RAND: testRAND, AUTS: auts[:10]}); err == nil {
+		t.Fatal("short AUTS accepted")
+	}
+}
+
+func TestDeriveSEAndKAMFChain(t *testing.T) {
+	av, err := GenerateAV(testK, avRequest())
+	if err != nil {
+		t.Fatalf("GenerateAV: %v", err)
+	}
+	se, err := DeriveSE(&AUSFDeriveSERequest{RAND: av.RAND, XRESStar: av.XRESStar, KAUSF: av.KAUSF, SNN: testSNN})
+	if err != nil {
+		t.Fatalf("DeriveSE: %v", err)
+	}
+	if len(se.HXRESStar) != 16 || len(se.KSEAF) != 32 {
+		t.Fatalf("SE sizes: %d %d", len(se.HXRESStar), len(se.KSEAF))
+	}
+	wantHX, err := kdf.HXResStar(av.RAND, av.XRESStar)
+	if err != nil {
+		t.Fatalf("HXResStar: %v", err)
+	}
+	if !bytes.Equal(se.HXRESStar, wantHX) {
+		t.Fatal("HXRES* mismatch")
+	}
+
+	amf, err := DeriveKAMF(&AMFDeriveKAMFRequest{KSEAF: se.KSEAF, SUPI: testSUPI, ABBA: []byte{0, 0}})
+	if err != nil {
+		t.Fatalf("DeriveKAMF: %v", err)
+	}
+	wantKAMF, err := kdf.KAMF(se.KSEAF, testSUPI, []byte{0, 0})
+	if err != nil {
+		t.Fatalf("KAMF: %v", err)
+	}
+	if !bytes.Equal(amf.KAMF, wantKAMF) {
+		t.Fatal("K_AMF mismatch")
+	}
+
+	if _, err := DeriveSE(&AUSFDeriveSERequest{RAND: av.RAND[:3], XRESStar: av.XRESStar, KAUSF: av.KAUSF}); err == nil {
+		t.Fatal("short RAND accepted")
+	}
+	if _, err := DeriveKAMF(&AMFDeriveKAMFRequest{KSEAF: se.KSEAF[:3]}); err == nil {
+		t.Fatal("short K_SEAF accepted")
+	}
+}
+
+// --- module deployment tests ---
+
+type harness struct {
+	env      *costmodel.Env
+	platform *sgx.Platform
+	registry *sbi.Registry
+	client   *sbi.Client
+}
+
+func newHarness(t *testing.T, seed uint64) *harness {
+	t.Helper()
+	env := costmodel.NewEnv(nil, seed, nil)
+	p, err := sgx.NewPlatform(sgx.PlatformConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	reg := sbi.NewRegistry()
+	return &harness{
+		env:      env,
+		platform: p,
+		registry: reg,
+		client:   sbi.NewClient("udm", env, reg),
+	}
+}
+
+func (h *harness) module(t *testing.T, kind ModuleKind, iso Isolation) *Module {
+	t.Helper()
+	m, err := New(context.Background(), Config{
+		Kind:      kind,
+		Isolation: iso,
+		Env:       h.env,
+		Platform:  h.platform,
+		Registry:  h.registry,
+	})
+	if err != nil {
+		t.Fatalf("New(%s, %s): %v", kind, iso, err)
+	}
+	t.Cleanup(m.Stop)
+	return m
+}
+
+func TestModuleConfigValidation(t *testing.T) {
+	h := newHarness(t, 1)
+	if _, err := New(context.Background(), Config{Kind: ModuleKind(99), Isolation: Container, Env: h.env, Registry: h.registry}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := New(context.Background(), Config{Kind: EUDM, Isolation: Container, Registry: h.registry}); err == nil {
+		t.Fatal("nil env accepted")
+	}
+	if _, err := New(context.Background(), Config{Kind: EUDM, Isolation: Container, Env: h.env}); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	if _, err := New(context.Background(), Config{Kind: EUDM, Isolation: SGX, Env: h.env, Registry: h.registry}); err == nil {
+		t.Fatal("SGX without platform accepted")
+	}
+	if _, err := New(context.Background(), Config{Kind: EUDM, Isolation: Monolithic, Env: h.env, Registry: h.registry}); err == nil {
+		t.Fatal("monolithic module accepted")
+	}
+	// Thread counts below Gramine's minimum must be rejected.
+	if _, err := New(context.Background(), Config{Kind: EUDM, Isolation: SGX, Env: h.env, Platform: h.platform, Registry: h.registry, MaxThreads: 2}); err == nil {
+		t.Fatal("2-thread SGX module accepted")
+	}
+}
+
+func TestEUDMModuleEndToEnd(t *testing.T) {
+	for _, iso := range []Isolation{Container, SGX} {
+		t.Run(iso.String(), func(t *testing.T) {
+			h := newHarness(t, 2)
+			m := h.module(t, EUDM, iso)
+			if err := m.ProvisionSubscriber(context.Background(), testSUPI, testK); err != nil {
+				t.Fatalf("ProvisionSubscriber: %v", err)
+			}
+			udm := NewRemoteUDM(h.client, h.env)
+			resp, err := udm.GenerateAV(context.Background(), avRequest())
+			if err != nil {
+				t.Fatalf("GenerateAV: %v", err)
+			}
+			want, err := GenerateAV(testK, avRequest())
+			if err != nil {
+				t.Fatalf("direct GenerateAV: %v", err)
+			}
+			if !bytes.Equal(resp.XRESStar, want.XRESStar) || !bytes.Equal(resp.KAUSF, want.KAUSF) {
+				t.Fatal("module output differs from direct derivation")
+			}
+			if m.FunctionalLatency().N() != 1 || m.TotalLatency().N() != 1 {
+				t.Fatal("latency recorders not fed")
+			}
+			if udm.Response().Initial.N() != 1 {
+				t.Fatal("initial response not recorded")
+			}
+		})
+	}
+}
+
+func TestEUDMUnknownSubscriber(t *testing.T) {
+	h := newHarness(t, 3)
+	h.module(t, EUDM, Container)
+	udm := NewRemoteUDM(h.client, h.env)
+	_, err := udm.GenerateAV(context.Background(), avRequest())
+	var pd *sbi.ProblemDetails
+	if !errors.As(err, &pd) || pd.Status != 404 {
+		t.Fatalf("err = %v, want 404", err)
+	}
+}
+
+func TestModuleMemoryDumpContainerLeaksSGXDoesNot(t *testing.T) {
+	h := newHarness(t, 4)
+
+	plain := h.module(t, EUDM, Container)
+	if err := plain.ProvisionSubscriber(context.Background(), testSUPI, testK); err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	dump := plain.MemoryDump()
+	if len(dump) != 1 {
+		t.Fatalf("container dump regions = %d", len(dump))
+	}
+	for _, data := range dump {
+		if !bytes.Equal(data, testK) {
+			t.Fatal("container dump should reveal the plaintext key")
+		}
+	}
+	plain.Stop()
+
+	h2 := newHarness(t, 5)
+	shielded := h2.module(t, EUDM, SGX)
+	if err := shielded.ProvisionSubscriber(context.Background(), testSUPI, testK); err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	for _, data := range shielded.MemoryDump() {
+		if bytes.Equal(data, testK) || bytes.Contains(data, testK[:8]) {
+			t.Fatal("SGX dump leaked the plaintext key")
+		}
+	}
+	if shielded.Enclave() == nil {
+		t.Fatal("SGX module has no enclave handle")
+	}
+	if plainEnclave := plain.Enclave(); plainEnclave != nil {
+		t.Fatal("container module has an enclave handle")
+	}
+}
+
+func TestProvisionOnNonUDMModuleFails(t *testing.T) {
+	h := newHarness(t, 6)
+	m := h.module(t, EAUSF, Container)
+	if err := m.ProvisionSubscriber(context.Background(), testSUPI, testK); err == nil {
+		t.Fatal("provisioning into eAUSF accepted")
+	}
+}
+
+func TestAUSFAndAMFModulesServe(t *testing.T) {
+	h := newHarness(t, 7)
+	h.module(t, EAUSF, SGX)
+	h.module(t, EAMF, SGX)
+
+	av, err := GenerateAV(testK, avRequest())
+	if err != nil {
+		t.Fatalf("GenerateAV: %v", err)
+	}
+	ausf := NewRemoteAUSF(h.client, h.env)
+	se, err := ausf.DeriveSE(context.Background(), &AUSFDeriveSERequest{RAND: av.RAND, XRESStar: av.XRESStar, KAUSF: av.KAUSF, SNN: testSNN})
+	if err != nil {
+		t.Fatalf("DeriveSE: %v", err)
+	}
+	amf := NewRemoteAMF(h.client, h.env)
+	kamf, err := amf.DeriveKAMF(context.Background(), &AMFDeriveKAMFRequest{KSEAF: se.KSEAF, SUPI: testSUPI, ABBA: []byte{0, 0}})
+	if err != nil {
+		t.Fatalf("DeriveKAMF: %v", err)
+	}
+	if len(kamf.KAMF) != 32 {
+		t.Fatalf("K_AMF length = %d", len(kamf.KAMF))
+	}
+}
+
+func TestMonolithicMatchesModule(t *testing.T) {
+	env := costmodel.NewEnv(nil, 8, nil)
+	mono := NewMonolithicUDM(env)
+	mono.ProvisionSubscriber(testSUPI, testK)
+	got, err := mono.GenerateAV(context.Background(), avRequest())
+	if err != nil {
+		t.Fatalf("monolithic GenerateAV: %v", err)
+	}
+	want, err := GenerateAV(testK, avRequest())
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if !bytes.Equal(got.KAUSF, want.KAUSF) {
+		t.Fatal("monolithic derivation differs")
+	}
+	if _, err := mono.GenerateAV(context.Background(), &UDMGenerateAVRequest{SUPI: "imsi-unknown"}); !errors.Is(err, ErrUnknownSubscriber) {
+		t.Fatalf("unknown subscriber err = %v", err)
+	}
+
+	ausf := NewMonolithicAUSF(env)
+	if _, err := ausf.DeriveSE(context.Background(), &AUSFDeriveSERequest{RAND: want.RAND, XRESStar: want.XRESStar, KAUSF: want.KAUSF, SNN: testSNN}); err != nil {
+		t.Fatalf("monolithic DeriveSE: %v", err)
+	}
+	amf := NewMonolithicAMF(env)
+	if _, err := amf.DeriveKAMF(context.Background(), &AMFDeriveKAMFRequest{KSEAF: make([]byte, 32), SUPI: testSUPI}); err != nil {
+		t.Fatalf("monolithic DeriveKAMF: %v", err)
+	}
+
+	// Monolithic calls charge functional compute to the account.
+	var acct simclock.Account
+	ctx := simclock.WithAccount(context.Background(), &acct)
+	if _, err := mono.GenerateAV(ctx, avRequest()); err != nil {
+		t.Fatalf("GenerateAV: %v", err)
+	}
+	if acct.Total() == 0 {
+		t.Fatal("monolithic call charged nothing")
+	}
+}
+
+func TestKindAndIsolationStrings(t *testing.T) {
+	if EUDM.String() != "eUDM" || EAUSF.String() != "eAUSF" || EAMF.String() != "eAMF" {
+		t.Fatal("kind names wrong")
+	}
+	if ModuleKind(0).String() != "unknown" || ModuleKind(0).ServiceName() != "unknown-paka" {
+		t.Fatal("unknown kind names wrong")
+	}
+	if Monolithic.String() != "monolithic" || Container.String() != "container" || SGX.String() != "sgx" {
+		t.Fatal("isolation names wrong")
+	}
+	if Isolation(9).String() != "unknown" {
+		t.Fatal("unknown isolation name wrong")
+	}
+	if len(Kinds()) != 3 {
+		t.Fatal("Kinds() wrong")
+	}
+}
+
+func TestModuleAccessors(t *testing.T) {
+	h := newHarness(t, 9)
+	m := h.module(t, EUDM, SGX)
+	if m.Kind() != EUDM || m.Isolation() != SGX || m.ServiceName() != "eudm-paka" {
+		t.Fatal("accessors wrong")
+	}
+	if m.Profile().InBytes != 40 {
+		t.Fatal("profile not exposed")
+	}
+	if m.Warm() {
+		t.Fatal("module warm before first request")
+	}
+	if m.LoadDuration() <= 0 {
+		t.Fatal("no load duration")
+	}
+	m.AccrueUptime(0)
+	m.ResetRecorders()
+}

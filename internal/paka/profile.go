@@ -1,0 +1,145 @@
+// Package paka implements the paper's primary contribution: the Protected
+// AKA (P-AKA) modules — eUDM, eAUSF and eAMF — the security-critical 5G-AKA
+// functions extracted from their parent VNFs into standalone REST
+// microservices that can run unprotected (plain container) or inside SGX
+// enclaves via Gramine shielded containers.
+//
+// Each module exposes exactly the enclave interface of the paper's Table I:
+// the eUDM module generates the HE authentication vector (RAND, AUTN,
+// XRES*, K_AUSF), the eAUSF module derives HXRES* and K_SEAF, and the eAMF
+// module derives K_AMF.
+package paka
+
+import (
+	"shield5g/internal/simclock"
+)
+
+// ModuleKind identifies one of the three P-AKA modules.
+type ModuleKind int
+
+// The P-AKA modules, in the order the paper lists them.
+const (
+	EUDM ModuleKind = iota + 1
+	EAUSF
+	EAMF
+)
+
+// String names the module the way the paper does.
+func (k ModuleKind) String() string {
+	switch k {
+	case EUDM:
+		return "eUDM"
+	case EAUSF:
+		return "eAUSF"
+	case EAMF:
+		return "eAMF"
+	default:
+		return "unknown"
+	}
+}
+
+// ServiceName is the SBI service name of the module.
+func (k ModuleKind) ServiceName() string {
+	switch k {
+	case EUDM:
+		return "eudm-paka"
+	case EAUSF:
+		return "eausf-paka"
+	case EAMF:
+		return "eamf-paka"
+	default:
+		return "unknown-paka"
+	}
+}
+
+// Kinds lists all modules in paper order.
+func Kinds() []ModuleKind { return []ModuleKind{EUDM, EAUSF, EAMF} }
+
+// Profile captures a module's boundary interface (Table I) and its
+// calibrated execution-cost parameters.
+//
+// FnCycles is the container-mode functional latency (the paper's L_F); the
+// SGX penalty on top of it is mechanistic — memory-encryption overhead and
+// in-window transitions — except for SGXExtraCycles, a small per-module
+// constant covering in-enclave allocator and page-walk behaviour that is
+// calibrated so the per-module L_F overheads land on the paper's Table II
+// (1.2x, 1.3x, 1.5x).
+type Profile struct {
+	Kind ModuleKind
+
+	// InBytes and OutBytes are the canonical enclave boundary sizes.
+	// The paper's Table I values are 40/80 (eUDM), 66/40 (eAUSF) and
+	// 32/32 (eAMF); our eAUSF output is 48 because we implement the
+	// TS 33.501 16-byte HXRES* (the paper lists 8).
+	InBytes  int
+	OutBytes int
+
+	// FnCycles is the median container-mode functional compute.
+	FnCycles simclock.Cycles
+	// FnSigma is the log-normal spread of the functional latency.
+	FnSigma float64
+	// SGXExtraCycles is the calibrated extra in-enclave cost.
+	SGXExtraCycles simclock.Cycles
+	// HeapBytes is the heap the handler touches per request.
+	HeapBytes uint64
+	// ImageBytes is the GSC container image size measured as trusted
+	// files (drives the Fig. 7 load time).
+	ImageBytes uint64
+}
+
+// Profiles returns the calibrated per-module profiles. At the platform's
+// 2.4 GHz: eUDM L_F ≈ 45 µs, eAUSF ≈ 38 µs, eAMF ≈ 31 µs in container
+// mode, matching the ordering and magnitudes of Fig. 9a (the eUDM module
+// moves the most boundary bytes and is the slowest).
+func Profiles() map[ModuleKind]Profile {
+	return map[ModuleKind]Profile{
+		EUDM: {
+			Kind:           EUDM,
+			InBytes:        40, // OPc 16 + RAND 16 + SQN 6 + AMFid 2
+			OutBytes:       80, // RAND 16 + XRES* 16 + K_AUSF 32 + AUTN 16
+			FnCycles:       108_000,
+			FnSigma:        0.055,
+			SGXExtraCycles: 0,
+			HeapBytes:      12 << 10,
+			ImageBytes:     2_620_000_000,
+		},
+		EAUSF: {
+			Kind:           EAUSF,
+			InBytes:        66, // RAND 16 + XRES* 16 + SNN 2 + K_AUSF 32
+			OutBytes:       48, // K_SEAF 32 + HXRES* 16 (spec; paper lists 8)
+			FnCycles:       91_200,
+			FnSigma:        0.055,
+			SGXExtraCycles: 4_800,
+			HeapBytes:      10 << 10,
+			ImageBytes:     2_720_000_000,
+		},
+		EAMF: {
+			Kind:           EAMF,
+			InBytes:        32, // K_SEAF 32
+			OutBytes:       32, // K_AMF 32
+			FnCycles:       74_400,
+			FnSigma:        0.055,
+			SGXExtraCycles: 15_600,
+			HeapBytes:      8 << 10,
+			ImageBytes:     2_420_000_000,
+		},
+	}
+}
+
+// PaperTable1 records the paper's published Table I byte counts for the
+// EXPERIMENTS.md comparison.
+type PaperTable1Row struct {
+	Module   string
+	InBytes  int
+	OutBytes int
+	Derives  string
+}
+
+// PaperTable1 returns the published Table I rows.
+func PaperTable1() []PaperTable1Row {
+	return []PaperTable1Row{
+		{Module: "eUDM", InBytes: 40, OutBytes: 80, Derives: "f1, f2345, KAUSF, AUTN"},
+		{Module: "eAUSF", InBytes: 66, OutBytes: 40, Derives: "KSEAF, HXRES*"},
+		{Module: "eAMF", InBytes: 32, OutBytes: 32, Derives: "KAMF"},
+	}
+}

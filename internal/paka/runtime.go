@@ -1,0 +1,322 @@
+package paka
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/hmee/gramine"
+	"shield5g/internal/hmee/sev"
+	"shield5g/internal/hmee/sgx"
+	"shield5g/internal/simclock"
+)
+
+// Isolation selects how a P-AKA module is deployed, mirroring the paper's
+// three comparison points.
+type Isolation int
+
+// Isolation modes.
+const (
+	// Monolithic keeps the AKA functions inside the parent VNF (the
+	// unmodified OAI baseline).
+	Monolithic Isolation = iota + 1
+	// Container extracts the functions into a plain Docker container.
+	Container
+	// SGX runs the extracted container inside an SGX enclave via
+	// Gramine shielded containers.
+	SGX
+	// SEV runs the extracted container inside an AMD SEV-SNP–style
+	// confidential VM — the alternative HMEE the paper discusses in
+	// §IV-C: no refactoring, no per-syscall transitions, but a far
+	// larger trusted computing base.
+	SEV
+)
+
+// String names the isolation mode.
+func (i Isolation) String() string {
+	switch i {
+	case Monolithic:
+		return "monolithic"
+	case Container:
+		return "container"
+	case SGX:
+		return "sgx"
+	case SEV:
+		return "sev"
+	default:
+		return "unknown"
+	}
+}
+
+// Exec is the execution surface a module handler charges its work
+// through. Inside an enclave it is the *sgx.Thread (memory-encryption
+// overhead, AEX draws, EPC faults); in a plain container it charges native
+// costs.
+type Exec interface {
+	// Compute charges n cycles of handler execution.
+	Compute(n simclock.Cycles)
+	// Touch charges access to n bytes of heap.
+	Touch(nBytes uint64)
+	// StoreSecret places sensitive material in the runtime's memory.
+	StoreSecret(name string, data []byte)
+	// LoadSecret reads sensitive material back.
+	LoadSecret(name string) ([]byte, bool)
+}
+
+// The enclave thread is an Exec.
+var _ Exec = (*sgx.Thread)(nil)
+
+// Breakdown re-exports the per-request latency windows.
+type Breakdown = gramine.Breakdown
+
+// Runtime hosts a module's request loop under one isolation mode.
+type Runtime interface {
+	// ServeRequest runs one request through the modelled server path.
+	ServeRequest(ctx context.Context, inBytes, outBytes int, handler func(Exec) error) (Breakdown, error)
+	// Do runs fn on the runtime's execution surface outside any request
+	// (provisioning, maintenance).
+	Do(ctx context.Context, fn func(Exec) error) error
+	// LoadDuration is the modelled deployment time (Fig. 7 for SGX).
+	LoadDuration() time.Duration
+	// Stats snapshots SGX counters (zero for non-SGX runtimes).
+	Stats() sgx.StatsSnapshot
+	// AccrueUptime models d of deployed residency.
+	AccrueUptime(d time.Duration)
+	// Warm reports whether the first request has been served.
+	Warm() bool
+	// Shutdown stops the runtime and releases its resources.
+	Shutdown()
+}
+
+// --- SGX runtime (Gramine shielded container) ---
+
+type sgxRuntime struct {
+	inst *gramine.Instance
+}
+
+// newSGXRuntime launches the shielded image on the platform.
+func newSGXRuntime(ctx context.Context, p *sgx.Platform, si *gramine.ShieldedImage, opts ...gramine.LaunchOption) (Runtime, error) {
+	inst, err := gramine.Launch(ctx, p, si, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &sgxRuntime{inst: inst}, nil
+}
+
+func (r *sgxRuntime) ServeRequest(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	return r.inst.ServeRequest(ctx, in, out, func(th *sgx.Thread) error { return handler(th) })
+}
+
+func (r *sgxRuntime) Do(ctx context.Context, fn func(Exec) error) error {
+	return r.inst.Do(ctx, func(th *sgx.Thread) error { return fn(th) })
+}
+
+func (r *sgxRuntime) LoadDuration() time.Duration  { return r.inst.LoadDuration() }
+func (r *sgxRuntime) Stats() sgx.StatsSnapshot     { return r.inst.Stats() }
+func (r *sgxRuntime) AccrueUptime(d time.Duration) { r.inst.AccrueUptime(d) }
+func (r *sgxRuntime) Warm() bool                   { return r.inst.Warm() }
+func (r *sgxRuntime) Shutdown()                    { r.inst.Shutdown() }
+
+// enclave exposes the underlying enclave for sealing/attestation/
+// introspection demos; nil for non-SGX runtimes.
+func (r *sgxRuntime) enclave() *sgx.Enclave { return r.inst.Enclave() }
+
+// --- SEV runtime (confidential VM) ---
+
+type sevRuntime struct {
+	machine *sev.Machine
+}
+
+// newSEVRuntime launches the module inside a confidential VM.
+func newSEVRuntime(ctx context.Context, env *costmodel.Env, name string, appImageBytes uint64) (Runtime, error) {
+	machine, err := sev.Launch(ctx, env, sev.Config{Name: name, AppImageBytes: appImageBytes})
+	if err != nil {
+		return nil, err
+	}
+	return &sevRuntime{machine: machine}, nil
+}
+
+func (r *sevRuntime) ServeRequest(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	return r.machine.ServeRequest(ctx, in, out, func(ex sev.Exec) error { return handler(ex) })
+}
+
+func (r *sevRuntime) Do(ctx context.Context, fn func(Exec) error) error {
+	return r.machine.Do(ctx, func(ex sev.Exec) error { return fn(ex) })
+}
+
+func (r *sevRuntime) LoadDuration() time.Duration  { return r.machine.LoadDuration() }
+func (r *sevRuntime) Stats() sgx.StatsSnapshot     { return sgx.StatsSnapshot{} }
+func (r *sevRuntime) AccrueUptime(d time.Duration) {}
+func (r *sevRuntime) Warm() bool                   { return r.machine.Warm() }
+func (r *sevRuntime) Shutdown()                    { r.machine.Stop() }
+
+// The guest execution surface satisfies the runtime contract.
+var _ Exec = sev.Exec{}
+
+// --- native runtime (plain container) ---
+
+// containerStartup is the modelled plain-container deployment time; the
+// paper's Fig. 7 contrast is that the same image loads in well under a
+// second without an enclave.
+const containerStartup = 400 * time.Millisecond
+
+// nativeWarmupCycles models the first request's lazy library loading in a
+// plain container (no trusted-file verification, so far cheaper than the
+// enclave's warm-up).
+const nativeWarmupCycles = 2_000_000
+
+type nativeRuntime struct {
+	env      *costmodel.Env
+	syscalls gramine.SyscallProfile
+
+	mu      sync.Mutex
+	running bool
+	warm    bool
+	secrets map[string][]byte
+}
+
+func newNativeRuntime(env *costmodel.Env) *nativeRuntime {
+	return &nativeRuntime{
+		env:      env,
+		syscalls: gramine.DefaultSyscallProfile(),
+		running:  true,
+		secrets:  make(map[string][]byte),
+	}
+}
+
+type nativeExec struct {
+	ctx context.Context
+	rt  *nativeRuntime
+}
+
+func (e nativeExec) Compute(n simclock.Cycles) { e.rt.env.Charge(e.ctx, n) }
+
+func (e nativeExec) Touch(nBytes uint64) {
+	e.rt.env.Charge(e.ctx, simclock.Cycles(nBytes)*e.rt.env.Model.CopyPerByte)
+}
+
+func (e nativeExec) StoreSecret(name string, data []byte) {
+	e.rt.mu.Lock()
+	e.rt.secrets[name] = append([]byte(nil), data...)
+	e.rt.mu.Unlock()
+}
+
+func (e nativeExec) LoadSecret(name string) ([]byte, bool) {
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	d, ok := e.rt.secrets[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+var _ Exec = nativeExec{}
+
+// errStopped reports use of a stopped native runtime.
+var errStopped = errors.New("paka: runtime stopped")
+
+func (r *nativeRuntime) ServeRequest(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return Breakdown{}, errStopped
+	}
+	first := !r.warm
+	r.warm = true
+	r.mu.Unlock()
+
+	m := r.env.Model
+	// Pin the request account so callers without one still get coherent
+	// latency windows.
+	acct := simclock.AccountFrom(ctx)
+	ctx = simclock.WithAccount(ctx, acct)
+	charge := func(n simclock.Cycles) { r.env.Charge(ctx, n) }
+	syscall := func(bytes int) {
+		charge(m.SyscallNative + simclock.Cycles(bytes)*m.CopyPerByte)
+	}
+	start := acct.Total()
+
+	if first {
+		charge(nativeWarmupCycles)
+		charge(m.TLSHandshakeServer)
+	}
+
+	jig := int(r.env.Jitter.Uint64n(3))
+	for k := 0; k < r.syscalls.Pre+jig; k++ {
+		syscall(32)
+	}
+
+	totalStart := acct.Total()
+	for k := 0; k < r.syscalls.Read; k++ {
+		syscall(in/r.syscalls.Read + 1)
+	}
+	charge(m.TLSRecordCost(in) + m.HTTPCost(in))
+
+	fnStart := acct.Total()
+	for k := 0; k < r.syscalls.InHandler; k++ {
+		syscall(16)
+	}
+	err := handler(nativeExec{ctx: ctx, rt: r})
+	fnEnd := acct.Total()
+
+	charge(m.HTTPCost(out) + m.TLSRecordCost(out))
+	for k := 0; k < r.syscalls.Write; k++ {
+		syscall(out/r.syscalls.Write + 1)
+	}
+	totalEnd := acct.Total()
+
+	for k := 0; k < r.syscalls.Post; k++ {
+		syscall(32)
+	}
+
+	return Breakdown{
+		Functional: fnEnd - fnStart,
+		Total:      totalEnd - totalStart,
+		ServerSide: acct.Total() - start,
+	}, err
+}
+
+func (r *nativeRuntime) Do(ctx context.Context, fn func(Exec) error) error {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return errStopped
+	}
+	r.mu.Unlock()
+	return fn(nativeExec{ctx: ctx, rt: r})
+}
+
+func (r *nativeRuntime) LoadDuration() time.Duration { return containerStartup }
+
+func (r *nativeRuntime) Stats() sgx.StatsSnapshot { return sgx.StatsSnapshot{} }
+
+func (r *nativeRuntime) AccrueUptime(d time.Duration) { r.env.Clock.AdvanceDuration(d) }
+
+func (r *nativeRuntime) Warm() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.warm
+}
+
+func (r *nativeRuntime) Shutdown() {
+	r.mu.Lock()
+	r.running = false
+	for k := range r.secrets {
+		delete(r.secrets, k)
+	}
+	r.mu.Unlock()
+}
+
+// dump is the attacker's view of the plain container's memory: plaintext.
+func (r *nativeRuntime) dump(name string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.secrets[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}

@@ -1,0 +1,74 @@
+package paka
+
+// SBI endpoint paths exposed by the P-AKA modules.
+const (
+	PathUDMGenerateAV = "/eudm-paka/v1/generate-av"
+	PathUDMResync     = "/eudm-paka/v1/resync"
+	PathAUSFDeriveSE  = "/eausf-paka/v1/derive-se"
+	PathAMFDeriveKAMF = "/eamf-paka/v1/derive-kamf"
+)
+
+// UDMGenerateAVRequest asks the eUDM P-AKA module for a Home Environment
+// authentication vector. The subscriber's long-term key K never crosses
+// this boundary: it is provisioned into the module (sealed, when running
+// in SGX) and looked up by SUPI. OPc, RAND, SQN and AMFid are the enclave
+// inputs of the paper's Table I.
+type UDMGenerateAVRequest struct {
+	SUPI  string `json:"supi"`
+	OPc   []byte `json:"opc"`   // 16 bytes
+	RAND  []byte `json:"rand"`  // 16 bytes
+	SQN   []byte `json:"sqn"`   // 6 bytes
+	AMFID []byte `json:"amfid"` // 2 bytes (authentication management field)
+	SNN   string `json:"snn"`   // serving network name for KAUSF/XRES*
+}
+
+// UDMGenerateAVResponse is the HE AV material: the enclave outputs of
+// Table I.
+type UDMGenerateAVResponse struct {
+	RAND     []byte `json:"rand"`      // 16 bytes
+	AUTN     []byte `json:"autn"`      // 16 bytes
+	XRESStar []byte `json:"xres_star"` // 16 bytes
+	KAUSF    []byte `json:"kausf"`     // 32 bytes
+}
+
+// UDMResyncRequest asks the eUDM module to verify an AUTS
+// resynchronisation token and recover the UE's sequence number
+// (TS 33.102 §6.3.5, executed inside the enclave because it uses K).
+type UDMResyncRequest struct {
+	SUPI string `json:"supi"`
+	OPc  []byte `json:"opc"`
+	RAND []byte `json:"rand"`
+	AUTS []byte `json:"auts"` // SQN_MS^AK* (6) || MAC-S (8)
+}
+
+// UDMResyncResponse returns the recovered UE sequence number.
+type UDMResyncResponse struct {
+	SQNMS []byte `json:"sqn_ms"` // 6 bytes
+}
+
+// AUSFDeriveSERequest asks the eAUSF P-AKA module to turn the HE AV into
+// Security Edge AV material.
+type AUSFDeriveSERequest struct {
+	RAND     []byte `json:"rand"`      // 16 bytes
+	XRESStar []byte `json:"xres_star"` // 16 bytes
+	KAUSF    []byte `json:"kausf"`     // 32 bytes
+	SNN      string `json:"snn"`
+}
+
+// AUSFDeriveSEResponse carries HXRES* and the anchor key K_SEAF.
+type AUSFDeriveSEResponse struct {
+	HXRESStar []byte `json:"hxres_star"` // 16 bytes (TS 33.501; paper lists 8)
+	KSEAF     []byte `json:"kseaf"`      // 32 bytes
+}
+
+// AMFDeriveKAMFRequest asks the eAMF P-AKA module for K_AMF.
+type AMFDeriveKAMFRequest struct {
+	KSEAF []byte `json:"kseaf"` // 32 bytes
+	SUPI  string `json:"supi"`
+	ABBA  []byte `json:"abba"`
+}
+
+// AMFDeriveKAMFResponse carries the derived K_AMF.
+type AMFDeriveKAMFResponse struct {
+	KAMF []byte `json:"kamf"` // 32 bytes
+}

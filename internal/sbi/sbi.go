@@ -1,0 +1,248 @@
+// Package sbi implements the 5G service-based interface plumbing: JSON
+// REST endpoints between network functions, 3GPP ProblemDetails error
+// reporting, and two interchangeable transports — an in-process transport
+// that charges modelled TLS/HTTP/loopback costs to virtual time (used by
+// the experiments), and a real net/http transport (used by the runnable
+// binaries).
+//
+// In the paper every VNF and P-AKA module is an HTTPS REST server on the
+// OAI Docker bridge; the cost structure of those hops (TLS records, HTTP
+// framing, kernel loopback) is what this package models.
+package sbi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"shield5g/internal/costmodel"
+)
+
+// ProblemDetails is the 3GPP TS 29.500 error body carried on SBI failures.
+type ProblemDetails struct {
+	Title  string `json:"title"`
+	Status int    `json:"status"`
+	Detail string `json:"detail,omitempty"`
+	Cause  string `json:"cause,omitempty"`
+}
+
+// Error implements error.
+func (p *ProblemDetails) Error() string {
+	return fmt.Sprintf("sbi: %d %s: %s (%s)", p.Status, p.Title, p.Detail, p.Cause)
+}
+
+// Problem builds a ProblemDetails error.
+func Problem(status int, title, cause, format string, args ...any) *ProblemDetails {
+	return &ProblemDetails{
+		Title:  title,
+		Status: status,
+		Cause:  cause,
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// HandlerFunc serves one SBI endpoint: JSON request bytes in, JSON
+// response bytes out. Returning a *ProblemDetails preserves status and
+// cause across the transport; any other error becomes a 500.
+type HandlerFunc func(ctx context.Context, body []byte) ([]byte, error)
+
+// Server is one NF service instance exposing SBI endpoints.
+type Server struct {
+	name string
+	env  *costmodel.Env
+
+	mu       sync.RWMutex
+	handlers map[string]HandlerFunc
+}
+
+// NewServer creates a named SBI server charging costs through env.
+func NewServer(name string, env *costmodel.Env) *Server {
+	return &Server{name: name, env: env, handlers: make(map[string]HandlerFunc)}
+}
+
+// Name returns the service name used for discovery and routing.
+func (s *Server) Name() string { return s.name }
+
+// Handle registers an endpoint handler for path.
+func (s *Server) Handle(path string, h HandlerFunc) {
+	s.mu.Lock()
+	s.handlers[path] = h
+	s.mu.Unlock()
+}
+
+// Paths lists the registered endpoint paths.
+func (s *Server) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for p := range s.handlers {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (s *Server) lookup(path string) (HandlerFunc, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.handlers[path]
+	return h, ok
+}
+
+// serve dispatches one request, charging server-side record processing.
+func (s *Server) serve(ctx context.Context, path string, body []byte) ([]byte, error) {
+	if s.env != nil {
+		m := s.env.Model
+		s.env.Charge(ctx, m.TLSRecordCost(len(body))+m.HTTPCost(len(body)))
+	}
+	h, ok := s.lookup(path)
+	if !ok {
+		return nil, Problem(404, "Not Found", "RESOURCE_NOT_FOUND", "%s has no endpoint %s", s.name, path)
+	}
+	resp, err := h(ctx, body)
+	if s.env != nil && err == nil {
+		m := s.env.Model
+		s.env.Charge(ctx, m.TLSRecordCost(len(resp))+m.HTTPCost(len(resp)))
+	}
+	return resp, err
+}
+
+// Registry resolves service names to in-process servers. It stands in for
+// the Docker bridge DNS of the paper's deployment.
+type Registry struct {
+	mu      sync.RWMutex
+	servers map[string]*Server
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{servers: make(map[string]*Server)}
+}
+
+// Register adds a server; duplicate names are an error.
+func (r *Registry) Register(s *Server) error {
+	if s == nil {
+		return errors.New("sbi: nil server")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.servers[s.Name()]; dup {
+		return fmt.Errorf("sbi: service %q already registered", s.Name())
+	}
+	r.servers[s.Name()] = s
+	return nil
+}
+
+// Deregister removes a server by name.
+func (r *Registry) Deregister(name string) {
+	r.mu.Lock()
+	delete(r.servers, name)
+	r.mu.Unlock()
+}
+
+// Lookup resolves a service name.
+func (r *Registry) Lookup(name string) (*Server, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.servers[name]
+	return s, ok
+}
+
+// Names lists registered service names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.servers))
+	for n := range r.servers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Client issues SBI requests from one NF to others over the in-process
+// modelled transport. It charges the client-side TLS/HTTP processing, the
+// loopback round trip, and a mutual-TLS handshake on the first contact
+// with each peer (3GPP TS 33.210 inter-NF security).
+type Client struct {
+	from     string
+	env      *costmodel.Env
+	registry *Registry
+
+	mu        sync.Mutex
+	connected map[string]bool
+}
+
+// NewClient creates a client identified as from.
+func NewClient(from string, env *costmodel.Env, registry *Registry) *Client {
+	return &Client{from: from, env: env, registry: registry, connected: make(map[string]bool)}
+}
+
+// Post marshals req, invokes service's path endpoint, and unmarshals the
+// response into resp (which may be nil to discard).
+func (c *Client) Post(ctx context.Context, service, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("sbi: marshal request to %s%s: %w", service, path, err)
+	}
+
+	srv, ok := c.registry.Lookup(service)
+	if !ok {
+		return Problem(503, "Service Unavailable", "TARGET_NF_NOT_REACHABLE", "%s cannot reach %s", c.from, service)
+	}
+
+	m := c.env.Model
+	// First contact pays the mutual TLS handshake on both sides.
+	c.mu.Lock()
+	fresh := !c.connected[service]
+	c.connected[service] = true
+	c.mu.Unlock()
+	if fresh {
+		c.env.Charge(ctx, m.TLSHandshakeClient+m.TLSHandshakeServer)
+	}
+
+	// Client-side request processing and the bridge round trip.
+	c.env.Charge(ctx, m.HTTPCost(len(body))+m.TLSRecordCost(len(body)))
+	c.env.Charge(ctx, c.env.Jitter.Scale(m.LoopbackRTT, 0.15))
+
+	out, err := srv.serve(ctx, path, body)
+	if err != nil {
+		var pd *ProblemDetails
+		if errors.As(err, &pd) {
+			return pd
+		}
+		return Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "%s%s: %v", service, path, err)
+	}
+
+	// Client-side response processing.
+	c.env.Charge(ctx, m.HTTPCost(len(out))+m.TLSRecordCost(len(out)))
+
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(out, resp); err != nil {
+		return fmt.Errorf("sbi: unmarshal response from %s%s: %w", service, path, err)
+	}
+	return nil
+}
+
+// JSONHandler adapts a typed request/response function into a HandlerFunc.
+func JSONHandler[Req, Resp any](fn func(ctx context.Context, req *Req) (*Resp, error)) HandlerFunc {
+	return func(ctx context.Context, body []byte) ([]byte, error) {
+		var req Req
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
+			}
+		}
+		resp, err := fn(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return nil, Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "encode: %v", err)
+		}
+		return out, nil
+	}
+}

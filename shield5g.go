@@ -1,0 +1,149 @@
+// Package shield5g is a from-scratch Go reproduction of "Towards
+// Shielding 5G Control Plane Functions" (DSN 2024): a 5G core network
+// whose security-critical 5G-AKA functions are extracted into P-AKA
+// microservices and shielded inside simulated SGX enclaves via a
+// Gramine-style LibOS, together with the complete measurement harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// The top-level package re-exports the supported public API; the
+// implementation lives under internal/.
+//
+// Quick start:
+//
+//	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{Isolation: shield5g.SGX})
+//	sub, err := tb.AddSubscriber(ctx, key, nil)
+//	sess, err := tb.Register(ctx, sub)
+package shield5g
+
+import (
+	"context"
+	"crypto/ed25519"
+	"io"
+
+	"shield5g/internal/core"
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/deploy"
+	"shield5g/internal/experiments"
+	"shield5g/internal/gnb"
+	"shield5g/internal/hmee/sgx"
+	"shield5g/internal/keyissues"
+	"shield5g/internal/paka"
+	"shield5g/internal/ue"
+)
+
+// Isolation selects how the AKA functions are deployed.
+type Isolation = paka.Isolation
+
+// Isolation modes: the unmodified baseline, the extracted container, and
+// the enclave-shielded deployment.
+const (
+	Monolithic = paka.Monolithic
+	Container  = paka.Container
+	SGX        = paka.SGX
+	// SEV deploys the modules in AMD SEV-SNP-style confidential VMs —
+	// the alternative HMEE backend of the paper's §IV-C discussion.
+	SEV = paka.SEV
+)
+
+// SliceConfig configures a network slice deployment.
+type SliceConfig = deploy.SliceConfig
+
+// Slice is a running network slice.
+type Slice = deploy.Slice
+
+// Testbed is a deployed slice with provisioning and registration helpers.
+type Testbed = core.Testbed
+
+// Subscriber is a provisioned subscriber and its UE device.
+type Subscriber = core.Subscriber
+
+// SUPI is a subscription permanent identifier (IMSI form).
+type SUPI = suci.SUPI
+
+// UE is a simulated device.
+type UE = ue.UE
+
+// COTSProfile reproduces commercial-device behaviour (see OnePlus8).
+type COTSProfile = ue.COTSProfile
+
+// RadioProfile models the access-side latency of the RAN.
+type RadioProfile = gnb.RadioProfile
+
+// Session is an attached UE's RAN context.
+type Session = gnb.Session
+
+// ExperimentConfig controls experiment scale and reproducibility.
+type ExperimentConfig = experiments.Config
+
+// KeyIssue is one TR 33.848 key-issue row of the paper's Table V.
+type KeyIssue = keyissues.KeyIssue
+
+// NewTestbed deploys a network slice under the configured isolation mode.
+func NewTestbed(ctx context.Context, cfg SliceConfig) (*Testbed, error) {
+	return core.NewTestbed(ctx, cfg)
+}
+
+// GNBSIM returns the simulated-RAN radio profile used for mass
+// experiments.
+func GNBSIM() RadioProfile { return gnb.GNBSIM() }
+
+// USRPX310 returns the paper's OTA software-defined-radio profile.
+func USRPX310() RadioProfile { return gnb.USRPX310() }
+
+// OnePlus8 returns the paper's OTA test device profile.
+func OnePlus8() COTSProfile { return ue.OnePlus8() }
+
+// Experiments lists the reproducible tables and figures.
+func Experiments() []string { return core.ExperimentNames() }
+
+// RunExperiment regenerates one named table or figure, writing the
+// paper-style rows to w.
+func RunExperiment(ctx context.Context, name string, cfg ExperimentConfig, w io.Writer) error {
+	return core.RunExperiment(ctx, name, cfg, w)
+}
+
+// RunAllExperiments regenerates every table and figure in order.
+func RunAllExperiments(ctx context.Context, cfg ExperimentConfig, w io.Writer) error {
+	return core.RunAll(ctx, cfg, w)
+}
+
+// CSVExperiments lists the experiments that support raw-series CSV export.
+func CSVExperiments() []string { return core.CSVExperiments() }
+
+// WriteExperimentCSV runs one experiment and writes its raw series as CSV
+// (for regenerating the paper's plots with external tooling).
+func WriteExperimentCSV(ctx context.Context, name string, cfg ExperimentConfig, w io.Writer) error {
+	return core.WriteExperimentCSV(ctx, name, cfg, w)
+}
+
+// KeyIssues returns the paper's Table V assessment.
+func KeyIssues() []KeyIssue { return keyissues.Table() }
+
+// ModuleKind identifies one of the three P-AKA modules.
+type ModuleKind = paka.ModuleKind
+
+// The P-AKA modules of the paper's Table I.
+const (
+	EUDM  = paka.EUDM
+	EAUSF = paka.EAUSF
+	EAMF  = paka.EAMF
+)
+
+// Module is one deployed P-AKA microservice.
+type Module = paka.Module
+
+// Enclave is a simulated SGX enclave (sealing, attestation,
+// introspection).
+type Enclave = sgx.Enclave
+
+// Quote is an attestation quote signed by the platform quoting key.
+type Quote = sgx.Quote
+
+// VerifyQuote checks an attestation quote against the platform's quoting
+// public key and, optionally, an expected enclave measurement.
+func VerifyQuote(qePub ed25519.PublicKey, q *Quote, expectedMeasurement *[32]byte) error {
+	return sgx.VerifyQuote(qePub, q, expectedMeasurement)
+}
+
+// ErrUnseal reports sealed data that the unsealing enclave cannot open.
+var ErrUnseal = sgx.ErrUnseal

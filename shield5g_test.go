@@ -1,0 +1,98 @@
+package shield5g_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"shield5g"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start path through
+// the root package only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{
+		Isolation: shield5g.SGX,
+		MCC:       "001", MNC: "01",
+		Seed: 77,
+	})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+
+	sub, err := tb.AddSubscriber(ctx, bytes.Repeat([]byte{0x12}, 16), nil)
+	if err != nil {
+		t.Fatalf("AddSubscriber: %v", err)
+	}
+	sess, err := tb.Register(ctx, sub)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := sess.EstablishPDUSession(ctx, 1, "internet"); err != nil {
+		t.Fatalf("EstablishPDUSession: %v", err)
+	}
+	echo, err := sess.SendData(ctx, []byte("api-test"))
+	if err != nil {
+		t.Fatalf("SendData: %v", err)
+	}
+	if !bytes.Contains(echo, []byte("api-test")) {
+		t.Fatalf("echo = %q", echo)
+	}
+}
+
+func TestPublicExperimentList(t *testing.T) {
+	names := shield5g.Experiments()
+	if len(names) != 14 {
+		t.Fatalf("experiments = %v", names)
+	}
+	var buf bytes.Buffer
+	if err := shield5g.RunExperiment(context.Background(), "table1", shield5g.ExperimentConfig{}, &buf); err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Fatal("table1 output missing")
+	}
+}
+
+func TestPublicKeyIssues(t *testing.T) {
+	kis := shield5g.KeyIssues()
+	if len(kis) != 13 {
+		t.Fatalf("key issues = %d", len(kis))
+	}
+}
+
+func TestPublicProfilesAndRadios(t *testing.T) {
+	if shield5g.GNBSIM().Name != "gnbsim" || shield5g.USRPX310().Name != "usrp-x310" {
+		t.Fatal("radio profiles wrong")
+	}
+	p := shield5g.OnePlus8()
+	if p.Model != "OnePlus 8" {
+		t.Fatalf("profile = %+v", p)
+	}
+	if shield5g.Monolithic.String() != "monolithic" || shield5g.SGX.String() != "sgx" {
+		t.Fatal("isolation names wrong")
+	}
+}
+
+// TestPublicAttestationSurface checks the sealing/attestation re-exports.
+func TestPublicAttestationSurface(t *testing.T) {
+	ctx := context.Background()
+	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{Isolation: shield5g.SGX, Seed: 78})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+
+	enclave := tb.Slice.Modules[shield5g.EUDM].Enclave()
+	q, err := enclave.GenerateQuote([64]byte{1})
+	if err != nil {
+		t.Fatalf("GenerateQuote: %v", err)
+	}
+	m := enclave.Measurement()
+	if err := shield5g.VerifyQuote(tb.Slice.Platform.QuotingPublicKey(), q, &m); err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+}
