@@ -14,7 +14,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json $(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper (500 samples each).
 experiments:

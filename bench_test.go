@@ -11,7 +11,11 @@ package shield5g_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
+	"sync"
 	"testing"
 
 	"shield5g"
@@ -316,6 +320,129 @@ func BenchmarkE2ESessionSetup(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(totalVirtual/float64(b.N), "virtual-ms/setup")
+		})
+	}
+}
+
+// parallelRegPoint is one driver mode of BenchmarkRegisterManyParallel,
+// exported to BENCH_parallel_registration.json when BENCH_JSON is set.
+type parallelRegPoint struct {
+	Mode              string  `json:"mode"`
+	Parallelism       int     `json:"parallelism"`
+	UEs               int     `json:"ues"`
+	WallMS            float64 `json:"wall_ms"`
+	WallRegsPerSec    float64 `json:"wall_regs_per_sec"`
+	VirtualRegsPerSec float64 `json:"virtual_regs_per_sec"`
+}
+
+type parallelRegReport struct {
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Points      []parallelRegPoint `json:"points"`
+	SpeedupWall float64            `json:"speedup_wall,omitempty"`
+}
+
+var parallelRegState struct {
+	sync.Mutex
+	report parallelRegReport
+}
+
+// recordParallelBench accumulates the sub-benchmark results and, when the
+// BENCH_JSON env var names a path, writes the JSON report after each mode
+// so a partial run still leaves a valid file.
+func recordParallelBench(b *testing.B, p parallelRegPoint) {
+	parallelRegState.Lock()
+	defer parallelRegState.Unlock()
+	r := &parallelRegState.report
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.Points = append(r.Points, p)
+	var seq, par float64
+	for _, pt := range r.Points {
+		if pt.Parallelism == 1 {
+			seq = pt.WallMS
+		} else if pt.Parallelism > 1 {
+			par = pt.WallMS
+		}
+	}
+	if seq > 0 && par > 0 {
+		r.SpeedupWall = seq / par
+	}
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench report: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+}
+
+// BenchmarkRegisterManyParallel measures the mass-registration driver's
+// wall-clock throughput sequentially and with an 8-worker pool over the
+// lock-striped SGX core. On a multicore host the parallel mode's
+// regs/s-wall should scale with cores; on a single-core host (GOMAXPROCS
+// =1) the two modes are expected to tie. Set BENCH_JSON to a path to dump
+// the comparison as JSON.
+func BenchmarkRegisterManyParallel(b *testing.B) {
+	const ues = 1000
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel8", 8},
+	} {
+		b.Run(fmt.Sprintf("%s-ues%d", mode.name, ues), func(b *testing.B) {
+			ctx := context.Background()
+			tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{Isolation: shield5g.SGX, Seed: 1})
+			if err != nil {
+				b.Fatalf("NewTestbed: %v", err)
+			}
+			defer tb.Close()
+			warm, err := tb.AddSubscriber(ctx, benchKey, nil)
+			if err != nil {
+				b.Fatalf("AddSubscriber: %v", err)
+			}
+			if _, err := tb.Register(ctx, warm); err != nil {
+				b.Fatalf("warm Register: %v", err)
+			}
+
+			newUE := func(int) (*shield5g.UE, error) {
+				sub, err := tb.AddSubscriber(ctx, benchKey, nil)
+				if err != nil {
+					return nil, err
+				}
+				return sub.UE, nil
+			}
+
+			var last *shield5g.MassResult
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := tb.Slice.GNB.RegisterManyWith(ctx, shield5g.MassOptions{
+					N: ues, NewUE: newUE, Parallelism: mode.parallelism,
+				})
+				if err != nil {
+					b.Fatalf("RegisterManyWith: %v", err)
+				}
+				if res.Failed > 0 {
+					b.Fatalf("%d registrations failed: %v", res.Failed, res.FirstErrors)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(last.WallRegsPerSec, "regs/s-wall")
+			b.ReportMetric(last.VirtualRegsPerSec, "regs/s-virtual")
+			recordParallelBench(b, parallelRegPoint{
+				Mode:              mode.name,
+				Parallelism:       mode.parallelism,
+				UEs:               ues,
+				WallMS:            float64(last.Wall.Microseconds()) / 1e3,
+				WallRegsPerSec:    last.WallRegsPerSec,
+				VirtualRegsPerSec: last.VirtualRegsPerSec,
+			})
 		})
 	}
 }

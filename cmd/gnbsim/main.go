@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gnbsim [-n 100] [-isolation sgx|container|monolithic] [-seed N]
+//	gnbsim [-n 100] [-parallel 1] [-isolation sgx|container|monolithic] [-seed N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"shield5g"
@@ -24,6 +25,7 @@ func main() {
 
 func run() int {
 	n := flag.Int("n", 100, "number of UEs to register")
+	parallel := flag.Int("parallel", 1, "concurrent registration workers (1 = sequential, deterministic)")
 	isolation := flag.String("isolation", "sgx", "AKA isolation: monolithic, container or sgx")
 	seed := flag.Uint64("seed", 1, "jitter seed")
 	flag.Parse()
@@ -49,37 +51,46 @@ func run() int {
 		}
 	}
 
-	ok, failed := 0, 0
-	setups := make([]time.Duration, 0, *n)
-	for i := 0; i < *n; i++ {
-		k := make([]byte, 16)
-		if _, err := rand.Read(k); err != nil {
-			fmt.Fprintf(os.Stderr, "gnbsim: entropy: %v\n", err)
-			return 1
-		}
-		sub, err := tb.AddSubscriber(ctx, k, nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "gnbsim: provision UE %d: %v\n", i, err)
-			return 1
-		}
-		sess, err := tb.Register(ctx, sub)
-		if err != nil {
-			failed++
-			continue
-		}
-		ok++
-		setups = append(setups, sess.SetupTime)
+	result, err := tb.Slice.GNB.RegisterManyWith(ctx, shield5g.MassOptions{
+		N: *n,
+		NewUE: func(i int) (*shield5g.UE, error) {
+			k := make([]byte, 16)
+			if _, err := rand.Read(k); err != nil {
+				return nil, fmt.Errorf("entropy: %w", err)
+			}
+			sub, err := tb.AddSubscriber(ctx, k, nil)
+			if err != nil {
+				return nil, err
+			}
+			return sub.UE, nil
+		},
+		Parallelism: *parallel,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnbsim: %v\n", err)
+		return 1
 	}
 
-	var sum time.Duration
-	for _, d := range setups {
-		sum += d
+	fmt.Printf("registered %d/%d UEs (%d failed) with %d worker(s)\n",
+		result.Registered, *n, result.Failed, result.Parallelism)
+	if result.Registered > 0 {
+		sum := result.SetupTimes.Summarize()
+		fmt.Printf("session setup: median %v mean %v (virtual)\n",
+			sum.Median.Round(time.Microsecond), sum.Mean.Round(time.Microsecond))
+		fmt.Printf("throughput: %.0f regs/s wall, %.1f regs/s virtual (wall %v, virtual %v)\n",
+			result.WallRegsPerSec, result.VirtualRegsPerSec,
+			result.Wall.Round(time.Millisecond), result.Virtual.Round(time.Millisecond))
 	}
-	fmt.Printf("registered %d/%d UEs (%d failed)\n", ok, *n, failed)
-	if len(setups) > 0 {
-		fmt.Printf("mean session setup: %v (virtual)\n", (sum / time.Duration(len(setups))).Round(time.Microsecond))
-	}
-	if failed > 0 {
+	if result.Failed > 0 {
+		classes := make([]string, 0, len(result.FailureCounts))
+		for class := range result.FailureCounts {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Fprintf(os.Stderr, "gnbsim: %d failure(s) [%s], first: %v\n",
+				result.FailureCounts[class], class, result.FirstErrors[class])
+		}
 		return 1
 	}
 	return 0

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"shield5g/internal/crypto/milenage"
 	"shield5g/internal/crypto/suci"
@@ -25,7 +26,9 @@ type Testbed struct {
 	// Slice is the running deployment.
 	Slice *deploy.Slice
 
-	nextMSIN int
+	// nextMSIN is atomic so AddSubscriber can be called from parallel
+	// mass-registration provisioning callbacks.
+	nextMSIN atomic.Int64
 }
 
 // NewTestbed deploys a slice. For SGX isolation this includes the full
@@ -35,7 +38,9 @@ func NewTestbed(ctx context.Context, cfg deploy.SliceConfig) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Testbed{Slice: s, nextMSIN: 1}, nil
+	t := &Testbed{Slice: s}
+	t.nextMSIN.Store(1)
+	return t, nil
 }
 
 // Close tears the slice down.
@@ -54,11 +59,10 @@ type Subscriber struct {
 // USIM credentials. A nil profile provisions a simulator UE; pass
 // ue.OnePlus8() for the paper's COTS device behaviour.
 func (t *Testbed) AddSubscriber(ctx context.Context, k []byte, profile *ue.COTSProfile) (*Subscriber, error) {
-	t.nextMSIN++
 	supi := suci.SUPI{
 		MCC:  t.Slice.Config.MCC,
 		MNC:  t.Slice.Config.MNC,
-		MSIN: fmt.Sprintf("%010d", t.nextMSIN),
+		MSIN: fmt.Sprintf("%010d", t.nextMSIN.Add(1)),
 	}
 	if len(k) != 16 {
 		return nil, fmt.Errorf("core: subscriber key length %d, want 16", len(k))
@@ -151,6 +155,10 @@ func ExperimentRegistry() map[string]Experiment {
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.Scale(ctx, cfg)
 			}),
+		"massreg": render("massreg", "Concurrent mass-registration sweep of the parallel gNBSIM driver",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.MassReg(ctx, cfg)
+			}),
 		"e2e": render("e2e", "End-to-end session setup and the SGX share",
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.E2E(ctx, cfg)
@@ -228,6 +236,13 @@ func csvWriters() map[string]func(ctx context.Context, cfg experiments.Config, w
 		},
 		"scale": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
 			r, err := experiments.Scale(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"massreg": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.MassReg(ctx, cfg)
 			if err != nil {
 				return err
 			}

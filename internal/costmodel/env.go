@@ -39,3 +39,11 @@ func (e *Env) Charge(ctx context.Context, n simclock.Cycles) {
 	e.Clock.Advance(n)
 	e.Realizer.Realize(n)
 }
+
+// JitterFor returns the jitter source for the request in ctx: the
+// per-worker stream when the parallel driver attached one, otherwise the
+// env's shared root source (the sequential path, whose draw order must
+// stay identical to the seed implementation).
+func (e *Env) JitterFor(ctx context.Context) *simclock.Jitter {
+	return simclock.JitterFrom(ctx, e.Jitter)
+}

@@ -9,12 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shield5g/internal/costmodel"
 	"shield5g/internal/metrics"
 	"shield5g/internal/nf/amf"
 	"shield5g/internal/nf/upf"
+	"shield5g/internal/sbi"
 	"shield5g/internal/simclock"
 	"shield5g/internal/ue"
 )
@@ -68,8 +70,7 @@ type GNB struct {
 	mnc   string
 	radio RadioProfile
 
-	mu        sync.Mutex
-	nextRANUE uint64
+	nextRANUE atomic.Uint64
 }
 
 // New creates a gNB.
@@ -131,10 +132,7 @@ func (g *GNB) RegisterUE(ctx context.Context, device *ue.UE) (*Session, error) {
 	ctx = simclock.WithAccount(ctx, acct)
 	start := acct.Total()
 
-	g.mu.Lock()
-	g.nextRANUE++
-	ranUEID := g.nextRANUE
-	g.mu.Unlock()
+	ranUEID := g.nextRANUE.Add(1)
 
 	uplink, err := device.BuildRegistrationRequest(ctx, g.amf.ServingNetworkName())
 	if err != nil {
@@ -163,10 +161,7 @@ func (g *GNB) ReRegisterUE(ctx context.Context, device *ue.UE) (*Session, error)
 	ctx = simclock.WithAccount(ctx, acct)
 	start := acct.Total()
 
-	g.mu.Lock()
-	g.nextRANUE++
-	ranUEID := g.nextRANUE
-	g.mu.Unlock()
+	ranUEID := g.nextRANUE.Add(1)
 
 	uplink, err := device.BuildReRegistrationRequest(ctx, g.amf.ServingNetworkName())
 	if err != nil {
@@ -225,7 +220,7 @@ func (g *GNB) driveRegistration(ctx context.Context, device *ue.UE, ranUEID uint
 
 // chargeRadio charges one access-side NAS round trip.
 func (g *GNB) chargeRadio(ctx context.Context) {
-	g.env.Charge(ctx, g.env.Jitter.Scale(g.radio.RTTCycles, 0.1))
+	g.env.Charge(ctx, g.env.JitterFor(ctx).Scale(g.radio.RTTCycles, 0.1))
 }
 
 // RANUEID exposes the session's RAN identifier.
@@ -291,27 +286,214 @@ type MassResult struct {
 	Registered int
 	Failed     int
 	SetupTimes *metrics.Recorder
+
+	// Parallelism is the worker count the run actually used.
+	Parallelism int
+	// Wall is the real elapsed time of the driver loop.
+	Wall time.Duration
+	// Virtual is the shared virtual-clock advance over the run — the
+	// simulated core's aggregate busy time across all registrations.
+	Virtual time.Duration
+	// WallRegsPerSec is successful registrations per second of wall
+	// clock; VirtualRegsPerSec is the same rate against virtual time.
+	WallRegsPerSec    float64
+	VirtualRegsPerSec float64
+	// FailureCounts tallies failed registrations by failure class (the
+	// SBI ProblemDetails cause, or "internal" for everything else);
+	// FirstErrors keeps the first error observed per class so failures
+	// are diagnosable instead of being swallowed into a bare count.
+	FailureCounts map[string]int
+	FirstErrors   map[string]error
+}
+
+// MassOptions configures a mass-registration run.
+type MassOptions struct {
+	// N is the number of UEs to register.
+	N int
+	// NewUE provisions the i'th device. Under parallel runs it may be
+	// called from multiple goroutines and must be safe for that.
+	NewUE func(i int) (*ue.UE, error)
+	// Parallelism is the worker count; values <= 1 select the
+	// sequential driver, whose virtual-time draws are bit-for-bit
+	// identical run to run for a fixed env seed. Parallel runs are
+	// seed-reproducible per worker: worker w draws from the independent
+	// stream Jitter.Stream(w+1) and handles exactly the indices
+	// i % Parallelism == w, in order.
+	Parallelism int
+}
+
+// failureClass buckets a registration error for MassResult accounting:
+// SBI ProblemDetails keep their 3GPP cause string, everything else is
+// "internal".
+func failureClass(err error) string {
+	var pd *sbi.ProblemDetails
+	if errors.As(err, &pd) {
+		if pd.Cause != "" {
+			return pd.Cause
+		}
+		return fmt.Sprintf("http-%d", pd.Status)
+	}
+	return "internal"
+}
+
+func (r *MassResult) recordFailure(err error) {
+	class := failureClass(err)
+	r.Failed++
+	r.FailureCounts[class]++
+	if _, seen := r.FirstErrors[class]; !seen {
+		r.FirstErrors[class] = err
+	}
+}
+
+// finish stamps the throughput figures once counts are final.
+func (r *MassResult) finish(wall time.Duration, virtual time.Duration) {
+	r.Wall = wall
+	r.Virtual = virtual
+	if s := wall.Seconds(); s > 0 {
+		r.WallRegsPerSec = float64(r.Registered) / s
+	}
+	if s := virtual.Seconds(); s > 0 {
+		r.VirtualRegsPerSec = float64(r.Registered) / s
+	}
 }
 
 // RegisterMany registers n freshly-provisioned UEs back to back, the way
 // the paper drives gNBSIM for its large-scale measurements. newUE is
-// called per index to provision the device.
+// called per index to provision the device. It is the sequential driver;
+// use RegisterManyWith for a parallel run.
 func (g *GNB) RegisterMany(ctx context.Context, n int, newUE func(i int) (*ue.UE, error)) (*MassResult, error) {
-	result := &MassResult{SetupTimes: &metrics.Recorder{}}
-	for i := 0; i < n; i++ {
-		device, err := newUE(i)
+	return g.RegisterManyWith(ctx, MassOptions{N: n, NewUE: newUE})
+}
+
+// RegisterManyWith runs a mass registration according to opts. With
+// Parallelism <= 1 it drives registrations back to back on the caller's
+// goroutine; otherwise it fans the index space out over a bounded pool of
+// workers, each with its own metrics recorder, failure tally, and
+// deterministic jitter stream, and merges the per-worker results when the
+// pool drains. A provisioning error stops the run (cancelling in-flight
+// workers) and is returned alongside the partial result.
+func (g *GNB) RegisterManyWith(ctx context.Context, opts MassOptions) (*MassResult, error) {
+	result := &MassResult{
+		SetupTimes:    metrics.NewRecorder(opts.N),
+		Parallelism:   opts.Parallelism,
+		FailureCounts: make(map[string]int),
+		FirstErrors:   make(map[string]error),
+	}
+	if result.Parallelism < 1 {
+		result.Parallelism = 1
+	}
+	wallStart := time.Now()
+	virtualStart := g.env.Clock.Elapsed()
+	var err error
+	if result.Parallelism == 1 {
+		err = g.registerSequential(ctx, opts, result)
+	} else {
+		err = g.registerParallel(ctx, opts, result)
+	}
+	result.finish(time.Since(wallStart), g.env.Model.Duration(g.env.Clock.Elapsed()-virtualStart))
+	return result, err
+}
+
+// registerSequential is the seed driver loop: same call order, same
+// jitter draws, same early return on provisioning failure.
+func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *MassResult) error {
+	for i := 0; i < opts.N; i++ {
+		device, err := opts.NewUE(i)
 		if err != nil {
-			return result, fmt.Errorf("gnb: provision UE %d: %w", i, err)
+			return fmt.Errorf("gnb: provision UE %d: %w", i, err)
 		}
 		var acct simclock.Account
 		sctx := simclock.WithAccount(ctx, &acct)
 		sess, err := g.RegisterUE(sctx, device)
 		if err != nil {
-			result.Failed++
+			result.recordFailure(err)
 			continue
 		}
 		result.Registered++
 		result.SetupTimes.Add(sess.SetupTime)
 	}
-	return result, nil
+	return nil
+}
+
+// registerParallel fans registrations out over opts.Parallelism workers.
+// Worker w owns the index stripe i % P == w and processes it in order,
+// drawing virtual-time jitter from the independent stream
+// env.Jitter.Stream(w+1) so a parallel run's cost draws are reproducible
+// for a fixed seed regardless of goroutine interleaving.
+func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *MassResult) error {
+	workers := opts.Parallelism
+	if workers > opts.N {
+		workers = opts.N
+	}
+	result.Parallelism = workers
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type workerResult struct {
+		registered int
+		setups     *metrics.Recorder
+		failures   map[string]int
+		firstErrs  map[string]error
+		provision  error
+	}
+	perWorker := make([]workerResult, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wr := &perWorker[w]
+			wr.setups = metrics.NewRecorder(opts.N/workers + 1)
+			wr.failures = make(map[string]int)
+			wr.firstErrs = make(map[string]error)
+			stream := g.env.Jitter.Stream(uint64(w) + 1)
+			for i := w; i < opts.N; i += workers {
+				if wctx.Err() != nil {
+					return
+				}
+				device, err := opts.NewUE(i)
+				if err != nil {
+					wr.provision = fmt.Errorf("gnb: provision UE %d: %w", i, err)
+					cancel()
+					return
+				}
+				var acct simclock.Account
+				sctx := simclock.WithAccount(wctx, &acct)
+				sctx = simclock.WithJitter(sctx, stream)
+				sess, err := g.RegisterUE(sctx, device)
+				if err != nil {
+					class := failureClass(err)
+					wr.failures[class]++
+					if _, seen := wr.firstErrs[class]; !seen {
+						wr.firstErrs[class] = err
+					}
+					continue
+				}
+				wr.registered++
+				wr.setups.Add(sess.SetupTime)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var firstProvision error
+	for w := range perWorker {
+		wr := &perWorker[w]
+		result.Registered += wr.registered
+		if wr.setups != nil {
+			result.SetupTimes.Merge(wr.setups)
+		}
+		for class, n := range wr.failures {
+			result.Failed += n
+			result.FailureCounts[class] += n
+			if _, seen := result.FirstErrors[class]; !seen {
+				result.FirstErrors[class] = wr.firstErrs[class]
+			}
+		}
+		if wr.provision != nil && firstProvision == nil {
+			firstProvision = wr.provision
+		}
+	}
+	return firstProvision
 }

@@ -235,7 +235,9 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 	p := i.platform
 	m := p.Model()
 	acct := simclock.AccountFrom(ctx)
-	th := i.proc.WithAccount(acct)
+	// Bind the resident process thread to this request's account and (in
+	// parallel mode) its per-worker jitter stream.
+	th := i.proc.WithRequest(simclock.WithAccount(ctx, acct))
 	start := acct.Total()
 
 	if first {
@@ -259,7 +261,7 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 		}
 	}
 
-	jig := int(p.Jitter().Uint64n(3))
+	jig := int(simclock.JitterFrom(ctx, p.Jitter()).Uint64n(3))
 	for k := 0; k < i.syscalls.Pre+jig; k++ {
 		ocall(m.SyscallNative, 16, 16)
 	}
@@ -306,7 +308,7 @@ func (i *Instance) Do(ctx context.Context, fn func(*sgx.Thread) error) error {
 		return ErrNotRunning
 	}
 	i.mu.Unlock()
-	return fn(i.proc.WithAccount(simclock.AccountFrom(ctx)))
+	return fn(i.proc.WithRequest(ctx))
 }
 
 // AccrueUptime models the instance staying deployed for d of virtual time

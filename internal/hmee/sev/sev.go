@@ -231,7 +231,7 @@ func (m *Machine) ServeRequest(ctx context.Context, inBytes, outBytes int, handl
 	vmexit()
 	vmexit()
 
-	jig := int(env.Jitter.Uint64n(3))
+	jig := int(env.JitterFor(ctx).Uint64n(3))
 	for k := 0; k < m.syscalls.Pre+jig; k++ {
 		syscall(32)
 	}

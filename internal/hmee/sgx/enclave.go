@@ -81,10 +81,13 @@ type Enclave struct {
 
 	stats Stats
 
-	mu      sync.Mutex
-	state   State
-	secrets map[string][]byte // shielded in-enclave data (plaintext inside)
-	faulted uint64            // heap pages already faulted in
+	// state and faulted are atomics so the request hot path (liveness
+	// check, demand-paging claim) never serialises concurrent threads.
+	state   atomic.Int32
+	faulted atomic.Uint64 // heap pages already faulted in
+
+	secretMu sync.RWMutex
+	secrets  map[string][]byte // shielded in-enclave data (plaintext inside)
 }
 
 // Build constructs, measures and initializes an enclave, charging the full
@@ -110,9 +113,9 @@ func (p *Platform) Build(ctx context.Context, cfg EnclaveConfig) (*Enclave, erro
 		platform: p,
 		cfg:      cfg,
 		tcs:      make(chan struct{}, cfg.MaxThreads),
-		state:    StateBuilt,
 		secrets:  make(map[string][]byte),
 	}
+	e.state.Store(int32(StateBuilt))
 
 	// Measurement: hash the configuration and every trusted file, in
 	// order, the way EADD/EEXTEND folds page contents into MRENCLAVE.
@@ -136,7 +139,7 @@ func (p *Platform) Build(ctx context.Context, cfg EnclaveConfig) (*Enclave, erro
 	cost += simclock.Cycles(fileBytes) * m.TrustedFileHashPerByte
 	if cfg.Preheat {
 		cost += pages * m.PreheatPerPage
-		e.faulted = costmodel.PagesFor(cfg.SizeBytes)
+		e.faulted.Store(costmodel.PagesFor(cfg.SizeBytes))
 	}
 	// Gramine + glibc bootstrap issues several hundred OCALLs while
 	// reading the manifest and loading shared libraries, plus a
@@ -190,16 +193,14 @@ func (e *Enclave) LoadDuration() time.Duration {
 // Destroy tears the enclave down, releasing its committed EPC and flushing
 // in-enclave secrets (the cache-flush requirement of Key Issue 5).
 func (e *Enclave) Destroy() {
-	e.mu.Lock()
-	if e.state == StateDestroyed {
-		e.mu.Unlock()
+	if !e.state.CompareAndSwap(int32(StateBuilt), int32(StateDestroyed)) {
 		return
 	}
-	e.state = StateDestroyed
+	e.secretMu.Lock()
 	for k := range e.secrets {
 		delete(e.secrets, k)
 	}
-	e.mu.Unlock()
+	e.secretMu.Unlock()
 
 	p := e.platform
 	p.mu.Lock()
@@ -211,9 +212,7 @@ func (e *Enclave) Destroy() {
 }
 
 func (e *Enclave) live() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	switch e.state {
+	switch State(e.state.Load()) {
 	case StateBuilt:
 		return nil
 	case StateDestroyed:
@@ -230,6 +229,18 @@ func (e *Enclave) live() error {
 type Thread struct {
 	enclave *Enclave
 	acct    *simclock.Account
+	// jitter, when non-nil, overrides the platform jitter for this
+	// thread's stochastic draws (AEX arrivals, paging pressure) — the
+	// per-worker stream of a parallel request.
+	jitter *simclock.Jitter
+}
+
+// rng returns the jitter source for this thread's stochastic draws.
+func (t *Thread) rng() *simclock.Jitter {
+	if t.jitter != nil {
+		return t.jitter
+	}
+	return t.enclave.platform.jitter
 }
 
 // ECall enters the enclave on a free TCS slot, runs fn as the in-enclave
@@ -294,7 +305,20 @@ func (e *Enclave) LeaveResident(t *Thread) {
 // WithAccount rebinds the thread's cost account; used when one resident
 // LibOS thread serves many independent requests.
 func (t *Thread) WithAccount(acct *simclock.Account) *Thread {
-	return &Thread{enclave: t.enclave, acct: acct}
+	return &Thread{enclave: t.enclave, acct: acct, jitter: t.jitter}
+}
+
+// WithRequest rebinds the thread to the request carried by ctx: its cost
+// account and, when the parallel driver attached one, its per-worker
+// jitter stream. With neither attached the thread behaves exactly like
+// the sequential seed implementation (throwaway account, platform
+// jitter).
+func (t *Thread) WithRequest(ctx context.Context) *Thread {
+	return &Thread{
+		enclave: t.enclave,
+		acct:    simclock.AccountFrom(ctx),
+		jitter:  simclock.JitterFrom(ctx, nil),
+	}
 }
 
 // OCall models the thread leaving the enclave to have the untrusted
@@ -344,7 +368,7 @@ func (t *Thread) Compute(n simclock.Cycles) {
 	cost := n + n*meeOverheadPct/100
 
 	seconds := float64(n) / float64(m.FrequencyHz)
-	aex := p.jitter.Poisson(seconds * m.AEXRatePerThreadHz)
+	aex := t.rng().Poisson(seconds * m.AEXRatePerThreadHz)
 	if aex > 0 {
 		e.stats.AEX.Add(uint64(aex))
 		e.stats.ERESUME.Add(uint64(aex))
@@ -363,19 +387,24 @@ func (t *Thread) Touch(nBytes uint64) {
 	m := p.model
 	pages := costmodel.PagesFor(nBytes)
 
+	// Claim not-yet-faulted pages with a CAS loop so concurrent first
+	// touches never double-charge a page and never serialise on a lock.
 	var faults uint64
-	e.mu.Lock()
 	total := costmodel.PagesFor(e.cfg.SizeBytes)
-	if e.faulted < total {
-		remaining := total - e.faulted
-		if pages < remaining {
-			faults = pages
-		} else {
-			faults = remaining
+	for {
+		done := e.faulted.Load()
+		if done >= total {
+			break
 		}
-		e.faulted += faults
+		claim := total - done
+		if pages < claim {
+			claim = pages
+		}
+		if e.faulted.CompareAndSwap(done, done+claim) {
+			faults = claim
+			break
+		}
 	}
-	e.mu.Unlock()
 
 	// Residual paging pressure grows with committed enclave size: the
 	// kernel balances a larger resident set, so reclaim touches big
@@ -387,7 +416,7 @@ func (t *Thread) Touch(nBytes uint64) {
 	if excess > 0 {
 		lambda = 0.04 * (excess / pressurePages) * float64(pages)
 	}
-	faults += uint64(p.jitter.Poisson(lambda))
+	faults += uint64(t.rng().Poisson(lambda))
 
 	if faults > 0 {
 		e.stats.PageFaults.Add(faults)
@@ -404,16 +433,18 @@ func (t *Thread) Touch(nBytes uint64) {
 // Issues 7 and 15.
 func (t *Thread) StoreSecret(name string, data []byte) {
 	e := t.enclave
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.secretMu.Lock()
+	defer e.secretMu.Unlock()
 	e.secrets[name] = append([]byte(nil), data...)
 }
 
-// LoadSecret reads sensitive material back from enclave memory.
+// LoadSecret reads sensitive material back from enclave memory. Reads
+// share the lock so concurrent AV generations for different subscribers
+// do not serialise on the key store.
 func (t *Thread) LoadSecret(name string) ([]byte, bool) {
 	e := t.enclave
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.secretMu.RLock()
+	defer e.secretMu.RUnlock()
 	d, ok := e.secrets[name]
 	if !ok {
 		return nil, false
@@ -425,14 +456,14 @@ func (t *Thread) LoadSecret(name string) ([]byte, bool) {
 // engine, co-resident root) gets of the enclave's memory for the named
 // region: the Memory Encryption Engine ciphertext, never the plaintext.
 func (e *Enclave) Introspect(name string) ([]byte, bool) {
-	e.mu.Lock()
+	e.secretMu.RLock()
 	plain, ok := e.secrets[name]
 	if !ok {
-		e.mu.Unlock()
+		e.secretMu.RUnlock()
 		return nil, false
 	}
 	plain = append([]byte(nil), plain...)
-	e.mu.Unlock()
+	e.secretMu.RUnlock()
 
 	// Deterministic keystream derived from the platform sealing root and
 	// enclave id stands in for the MEE's AES-XTS: same plaintext, same

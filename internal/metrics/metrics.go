@@ -12,16 +12,43 @@ import (
 )
 
 // Recorder accumulates duration samples. It is safe for concurrent use.
-// The zero value is ready to use.
+// The zero value is ready to use; NewRecorder preallocates capacity for
+// hot paths that know their sample count up front.
 type Recorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	// sorted caches an ordered copy of samples for Summarize; nil means
+	// stale. Kept separate from samples so callers that consume the raw
+	// series (empirical resampling) still see insertion order.
+	sorted []time.Duration
+}
+
+// NewRecorder returns a Recorder with capacity preallocated for n samples.
+func NewRecorder(n int) *Recorder {
+	if n < 0 {
+		n = 0
+	}
+	return &Recorder{samples: make([]time.Duration, 0, n)}
 }
 
 // Add records one sample.
 func (r *Recorder) Add(d time.Duration) {
 	r.mu.Lock()
 	r.samples = append(r.samples, d)
+	r.sorted = nil
+	r.mu.Unlock()
+}
+
+// Merge appends all of other's samples, so per-worker recorders can be
+// combined after a parallel run without sharing a lock during it.
+func (r *Recorder) Merge(other *Recorder) {
+	if other == nil || other == r {
+		return
+	}
+	theirs := other.Samples()
+	r.mu.Lock()
+	r.samples = append(r.samples, theirs...)
+	r.sorted = nil
 	r.mu.Unlock()
 }
 
@@ -32,7 +59,7 @@ func (r *Recorder) N() int {
 	return len(r.samples)
 }
 
-// Samples returns a copy of the recorded samples.
+// Samples returns a copy of the recorded samples in insertion order.
 func (r *Recorder) Samples() []time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -43,6 +70,7 @@ func (r *Recorder) Samples() []time.Duration {
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.samples = r.samples[:0]
+	r.sorted = nil
 	r.mu.Unlock()
 }
 
@@ -63,18 +91,33 @@ type Summary struct {
 	OutlierFrac float64
 }
 
-// Summarize computes the summary of the recorded samples.
+// Summarize computes the summary of the recorded samples. The sorted
+// order is cached, so repeated summaries of an unchanged recorder sort
+// only once.
 func (r *Recorder) Summarize() Summary {
-	return Summarize(r.Samples())
+	r.mu.Lock()
+	if r.sorted == nil {
+		r.sorted = append([]time.Duration(nil), r.samples...)
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+	}
+	s := r.sorted
+	r.mu.Unlock()
+	// s is never mutated after caching; summarizeSorted only reads it.
+	return summarizeSorted(s)
 }
 
 // Summarize computes a box-plot summary of the given samples.
 func Summarize(samples []time.Duration) Summary {
-	if len(samples) == 0 {
-		return Summary{}
-	}
 	s := append([]time.Duration(nil), samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return summarizeSorted(s)
+}
+
+// summarizeSorted computes the summary of an already-sorted sample slice.
+func summarizeSorted(s []time.Duration) Summary {
+	if len(s) == 0 {
+		return Summary{}
+	}
 
 	sum := Summary{
 		N:      len(s),

@@ -171,3 +171,71 @@ func BenchmarkSummarize(b *testing.B) {
 		Summarize(samples)
 	}
 }
+
+func TestRecorderMerge(t *testing.T) {
+	a := NewRecorder(4)
+	b := NewRecorder(4)
+	for i := 1; i <= 3; i++ {
+		a.Add(time.Duration(i) * time.Millisecond)
+		b.Add(time.Duration(10+i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.N() != 6 {
+		t.Fatalf("N = %d, want 6", a.N())
+	}
+	if b.N() != 3 {
+		t.Fatalf("merge mutated source: N = %d", b.N())
+	}
+	s := a.Summarize()
+	if s.Min != time.Millisecond || s.Max != 13*time.Millisecond {
+		t.Fatalf("merged summary = %+v", s)
+	}
+	// Merge must preserve insertion order (scale experiments resample
+	// Samples() positionally).
+	want := []time.Duration{1, 2, 3, 11, 12, 13}
+	for i, d := range a.Samples() {
+		if d != want[i]*time.Millisecond {
+			t.Fatalf("sample %d = %v, want %v", i, d, want[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestRecorderSummaryCacheInvalidation(t *testing.T) {
+	r := NewRecorder(8)
+	r.Add(2 * time.Millisecond)
+	if s := r.Summarize(); s.Median != 2*time.Millisecond {
+		t.Fatalf("median = %v", s.Median)
+	}
+	// Adding after a summary must invalidate the cached sort.
+	r.Add(4 * time.Millisecond)
+	if s := r.Summarize(); s.Max != 4*time.Millisecond || s.N != 2 {
+		t.Fatalf("post-add summary = %+v", s)
+	}
+	r.Reset()
+	if s := r.Summarize(); s.N != 0 {
+		t.Fatalf("post-reset summary = %+v", s)
+	}
+}
+
+func TestRecorderConcurrentAddMerge(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := NewRecorder(32)
+			for i := 0; i < 32; i++ {
+				local.Add(time.Duration(w*32+i) * time.Microsecond)
+			}
+			r.Merge(local)
+		}(w)
+	}
+	wg.Wait()
+	if r.N() != 256 {
+		t.Fatalf("N = %d, want 256", r.N())
+	}
+	if s := r.Summarize(); s.N != 256 || s.Max != 255*time.Microsecond {
+		t.Fatalf("summary = %+v", s)
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"context"
 	"crypto/hmac"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"shield5g/internal/costmodel"
 	"shield5g/internal/crypto/kdf"
@@ -20,6 +20,7 @@ import (
 	"shield5g/internal/nf/smf"
 	"shield5g/internal/paka"
 	"shield5g/internal/sbi"
+	"shield5g/internal/shard"
 )
 
 // Service identity.
@@ -44,9 +45,12 @@ const (
 // immutable to handlers.
 func abba() []byte { return []byte{0x00, 0x00} }
 
-// ueContext is the AMF's per-UE state.
+// ueContext is the AMF's per-UE state. Only state is read by other
+// goroutines (RegisteredUEs, SUPIOf, PDUSessionTEID status queries while a
+// mass run is in flight); the remaining fields are owned by the goroutine
+// driving the UE's NAS exchange.
 type ueContext struct {
-	state     ueState
+	state     atomic.Int32 // holds a ueState
 	supi      string
 	authCtxID string
 	rand      []byte
@@ -56,6 +60,14 @@ type ueContext struct {
 	guti      nas.GUTI
 	resyncOK  bool // one resynchronisation attempt allowed
 	teid      uint32
+}
+
+func (u *ueContext) setState(s ueState) { u.state.Store(int32(s)) }
+func (u *ueContext) getState() ueState  { return ueState(u.state.Load()) }
+func newUEContext(s ueState) *ueContext {
+	u := &ueContext{}
+	u.setState(s)
+	return u
 }
 
 // Config wires an AMF instance.
@@ -83,10 +95,11 @@ type AMF struct {
 	mcc, mnc string
 	snn      string
 
-	mu       sync.Mutex
-	ues      map[uint64]*ueContext
-	guti     map[uint32]string // TMSI -> SUPI for mobility registration
-	nextTMSI uint32
+	// ues and guti are lock-striped so concurrent registrations touching
+	// different UEs never serialise on one AMF-wide mutex.
+	ues      *shard.Map[uint64, *ueContext]
+	guti     *shard.Map[uint32, string] // TMSI -> SUPI for mobility registration
+	nextTMSI atomic.Uint32
 }
 
 // New creates an AMF and announces it to the NRF. The AMF's NAS interface
@@ -119,8 +132,8 @@ func New(ctx context.Context, cfg Config) (*AMF, error) {
 		mcc:  cfg.MCC,
 		mnc:  cfg.MNC,
 		snn:  kdf.ServingNetworkName(cfg.MCC, cfg.MNC),
-		ues:  make(map[uint64]*ueContext),
-		guti: make(map[uint32]string),
+		ues:  shard.NewUint64[*ueContext](),
+		guti: shard.NewUint32[string](),
 	}
 	if err := a.nrfc.Register(ctx, nrf.NFProfile{
 		InstanceID: "amf-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
@@ -135,14 +148,13 @@ func (a *AMF) ServingNetworkName() string { return a.snn }
 
 // RegisteredUEs reports the number of UEs in registered state.
 func (a *AMF) RegisteredUEs() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	n := 0
-	for _, ue := range a.ues {
-		if ue.state == stateRegistered {
+	a.ues.Range(func(_ uint64, ue *ueContext) bool {
+		if ue.getState() == stateRegistered {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -176,16 +188,14 @@ func (a *AMF) HandleInitialUE(ctx context.Context, ranUEID uint64, nasPDU []byte
 			return nil, fmt.Errorf("amf: GUTI PLMN %s%s does not match serving PLMN %s%s",
 				g.MCC, g.MNC, a.mcc, a.mnc)
 		}
-		a.mu.Lock()
-		supi, known := a.guti[g.TMSI]
-		a.mu.Unlock()
+		supi, known := a.guti.Load(g.TMSI)
 		if !known {
 			// No stored context (for example the UE moved from another
 			// AMF set): fall back to the identity procedure
 			// (TS 24.501 §5.4.3) and ask for the SUCI.
-			a.mu.Lock()
-			a.ues[ranUEID] = &ueContext{state: stateIdentifying, resyncOK: true}
-			a.mu.Unlock()
+			ue := newUEContext(stateIdentifying)
+			ue.resyncOK = true
+			a.ues.Store(ranUEID, ue)
 			return nas.Encode(&nas.IdentityRequest{IdentityType: nas.IdentityTypeSUCI})
 		}
 		authReq.SUPI = supi
@@ -198,16 +208,12 @@ func (a *AMF) HandleInitialUE(ctx context.Context, ranUEID uint64, nasPDU []byte
 		return nil, err
 	}
 
-	ue := &ueContext{
-		state:     stateAuthenticating,
-		authCtxID: auth.AuthCtxID,
-		rand:      auth.RAND,
-		hxresStar: auth.HXRESStar,
-		resyncOK:  true,
-	}
-	a.mu.Lock()
-	a.ues[ranUEID] = ue
-	a.mu.Unlock()
+	ue := newUEContext(stateAuthenticating)
+	ue.authCtxID = auth.AuthCtxID
+	ue.rand = auth.RAND
+	ue.hxresStar = auth.HXRESStar
+	ue.resyncOK = true
+	a.ues.Store(ranUEID, ue)
 
 	return a.challenge(auth)
 }
@@ -223,14 +229,12 @@ func (a *AMF) challenge(auth *ausf.AuthenticateResponse) ([]byte, error) {
 // downlink PDU with nil error means no response is due (for example after
 // RegistrationComplete).
 func (a *AMF) HandleUplinkNAS(ctx context.Context, ranUEID uint64, nasPDU []byte) ([]byte, error) {
-	a.mu.Lock()
-	ue, ok := a.ues[ranUEID]
-	a.mu.Unlock()
+	ue, ok := a.ues.Load(ranUEID)
 	if !ok {
 		return nil, fmt.Errorf("amf: no UE context for RAN UE %d", ranUEID)
 	}
 
-	switch ue.state {
+	switch ue.getState() {
 	case stateIdentifying:
 		return a.handleIdentifying(ctx, ue, nasPDU)
 	case stateAuthenticating:
@@ -265,7 +269,7 @@ func (a *AMF) handleIdentifying(ctx context.Context, ue *ueContext, nasPDU []byt
 	if err != nil {
 		return nil, err
 	}
-	ue.state = stateAuthenticating
+	ue.setState(stateAuthenticating)
 	ue.authCtxID = auth.AuthCtxID
 	ue.rand = auth.RAND
 	ue.hxresStar = auth.HXRESStar
@@ -318,7 +322,7 @@ func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.Authentica
 		return nil, fmt.Errorf("amf: NAS security context: %w", err)
 	}
 	ue.sec = sec
-	ue.state = stateSecuring
+	ue.setState(stateSecuring)
 
 	return sec.Protect(&nas.SecurityModeCommand{
 		NgKSI:        0,
@@ -328,7 +332,7 @@ func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.Authentica
 }
 
 func (a *AMF) reject(ue *ueContext) ([]byte, error) {
-	ue.state = stateAuthenticating
+	ue.setState(stateAuthenticating)
 	ue.sec = nil
 	return nas.Encode(&nas.AuthenticationReject{})
 }
@@ -359,23 +363,23 @@ func (a *AMF) handleProtected(ctx context.Context, ranUEID uint64, ue *ueContext
 
 	switch m := msg.(type) {
 	case *nas.SecurityModeComplete:
-		if ue.state != stateSecuring {
-			return nil, fmt.Errorf("amf: SecurityModeComplete in state %d", ue.state)
+		if ue.getState() != stateSecuring {
+			return nil, fmt.Errorf("amf: SecurityModeComplete in state %d", ue.getState())
 		}
 		guti := a.allocateGUTI(ue.supi)
 		ue.guti = guti
-		ue.state = stateAcceptPending
+		ue.setState(stateAcceptPending)
 		return ue.sec.Protect(&nas.RegistrationAccept{GUTI: guti}, false)
 
 	case *nas.RegistrationComplete:
-		if ue.state != stateAcceptPending {
-			return nil, fmt.Errorf("amf: RegistrationComplete in state %d", ue.state)
+		if ue.getState() != stateAcceptPending {
+			return nil, fmt.Errorf("amf: RegistrationComplete in state %d", ue.getState())
 		}
-		ue.state = stateRegistered
+		ue.setState(stateRegistered)
 		return nil, nil
 
 	case *nas.PDUSessionEstablishmentRequest:
-		if ue.state != stateRegistered {
+		if ue.getState() != stateRegistered {
 			return nil, fmt.Errorf("amf: PDU session request before registration completes")
 		}
 		sess, err := a.smf.CreateSession(ctx, &smf.CreateSessionRequest{
@@ -393,10 +397,8 @@ func (a *AMF) handleProtected(ctx context.Context, ranUEID uint64, ue *ueContext
 		}, false)
 
 	case *nas.DeregistrationRequest:
-		a.mu.Lock()
-		delete(a.guti, ue.guti.TMSI)
-		delete(a.ues, ranUEID)
-		a.mu.Unlock()
+		a.guti.Delete(ue.guti.TMSI)
+		a.ues.Delete(ranUEID)
 		return nil, nil
 
 	default:
@@ -405,11 +407,8 @@ func (a *AMF) handleProtected(ctx context.Context, ranUEID uint64, ue *ueContext
 }
 
 func (a *AMF) allocateGUTI(supi string) nas.GUTI {
-	a.mu.Lock()
-	a.nextTMSI++
-	tmsi := a.nextTMSI
-	a.guti[tmsi] = supi
-	a.mu.Unlock()
+	tmsi := a.nextTMSI.Add(1)
+	a.guti.Store(tmsi, supi)
 	return nas.GUTI{
 		MCC:         a.mcc,
 		MNC:         a.mnc,
@@ -423,9 +422,7 @@ func (a *AMF) allocateGUTI(supi string) nas.GUTI {
 // PDUSessionTEID reports the uplink tunnel ID of a UE's PDU session — the
 // information the AMF delivers to the gNB over N2 in a real core.
 func (a *AMF) PDUSessionTEID(ranUEID uint64) (uint32, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	ue, ok := a.ues[ranUEID]
+	ue, ok := a.ues.Load(ranUEID)
 	if !ok || ue.teid == 0 {
 		return 0, false
 	}
@@ -435,10 +432,8 @@ func (a *AMF) PDUSessionTEID(ranUEID uint64) (uint32, bool) {
 // SUPIOf reports the authenticated SUPI of a registered RAN UE (tests and
 // status displays).
 func (a *AMF) SUPIOf(ranUEID uint64) (string, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	ue, ok := a.ues[ranUEID]
-	if !ok || ue.state != stateRegistered {
+	ue, ok := a.ues.Load(ranUEID)
+	if !ok || ue.getState() != stateRegistered {
 		return "", false
 	}
 	return ue.supi, true

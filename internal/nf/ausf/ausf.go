@@ -9,7 +9,7 @@ import (
 	"context"
 	"crypto/hmac"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"shield5g/internal/costmodel"
 	"shield5g/internal/crypto/suci"
@@ -17,6 +17,7 @@ import (
 	"shield5g/internal/nf/udm"
 	"shield5g/internal/paka"
 	"shield5g/internal/sbi"
+	"shield5g/internal/shard"
 )
 
 // Service identity.
@@ -95,9 +96,10 @@ type AUSF struct {
 	nrfc   *nrf.Client
 	fns    paka.AUSFFunctions
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   uint64
+	// sessions is lock-striped: concurrent AKA runs for different UEs
+	// insert and redeem auth contexts without a shared mutex.
+	sessions *shard.Map[string, *session]
+	nextID   atomic.Uint64
 }
 
 // New creates an AUSF, registers its SBI server and announces it to the
@@ -122,7 +124,7 @@ func New(ctx context.Context, cfg Config) (*AUSF, error) {
 		udm:      udmClient,
 		nrfc:     nrf.NewClient(cfg.Invoker),
 		fns:      cfg.Functions,
-		sessions: make(map[string]*session),
+		sessions: shard.NewString[*session](),
 	}
 	a.server.Handle(PathAuthenticate, sbi.JSONHandler(a.handleAuthenticate))
 	a.server.Handle(PathConfirm, sbi.JSONHandler(a.handleConfirm))
@@ -165,17 +167,14 @@ func (a *AUSF) newChallenge(ctx context.Context, id *suci.SUCI, supi, snn string
 		return nil, err
 	}
 
-	a.mu.Lock()
-	a.nextID++
-	ctxID := fmt.Sprintf("authctx-%d", a.nextID)
-	a.sessions[ctxID] = &session{
+	ctxID := fmt.Sprintf("authctx-%d", a.nextID.Add(1))
+	a.sessions.Store(ctxID, &session{
 		supi:     he.SUPI,
 		snn:      snn,
 		rand:     he.RAND,
 		xresStar: he.XRESStar,
 		kseaf:    se.KSEAF,
-	}
-	a.mu.Unlock()
+	})
 
 	return &AuthenticateResponse{
 		AuthCtxID: ctxID,
@@ -186,12 +185,9 @@ func (a *AUSF) newChallenge(ctx context.Context, id *suci.SUCI, supi, snn string
 }
 
 func (a *AUSF) handleConfirm(_ context.Context, req *ConfirmRequest) (*ConfirmResponse, error) {
-	a.mu.Lock()
-	s, ok := a.sessions[req.AuthCtxID]
-	if ok {
-		delete(a.sessions, req.AuthCtxID)
-	}
-	a.mu.Unlock()
+	// One-shot redemption: lookup and consume must be a single atomic
+	// step so a replayed confirm can never race a successful one.
+	s, ok := a.sessions.LoadAndDelete(req.AuthCtxID)
 	if !ok {
 		return nil, sbi.Problem(404, "Not Found", "CONTEXT_NOT_FOUND", "auth context %s", req.AuthCtxID)
 	}
@@ -204,12 +200,7 @@ func (a *AUSF) handleConfirm(_ context.Context, req *ConfirmRequest) (*ConfirmRe
 }
 
 func (a *AUSF) handleResync(ctx context.Context, req *ResyncRequest) (*AuthenticateResponse, error) {
-	a.mu.Lock()
-	s, ok := a.sessions[req.AuthCtxID]
-	if ok {
-		delete(a.sessions, req.AuthCtxID)
-	}
-	a.mu.Unlock()
+	s, ok := a.sessions.LoadAndDelete(req.AuthCtxID)
 	if !ok {
 		return nil, sbi.Problem(404, "Not Found", "CONTEXT_NOT_FOUND", "auth context %s", req.AuthCtxID)
 	}
@@ -222,9 +213,7 @@ func (a *AUSF) handleResync(ctx context.Context, req *ResyncRequest) (*Authentic
 
 // PendingSessions reports in-flight authentications (tests/status).
 func (a *AUSF) PendingSessions() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.sessions)
+	return a.sessions.Len()
 }
 
 // Client is the AMF/SEAF-side helper for AUSF calls.

@@ -9,10 +9,10 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"sync"
 
 	"shield5g/internal/costmodel"
 	"shield5g/internal/sbi"
+	"shield5g/internal/shard"
 )
 
 // ServiceName is the UDR's SBI service name.
@@ -109,15 +109,17 @@ type GetResponse struct {
 type UDR struct {
 	server *sbi.Server
 
-	mu   sync.Mutex
-	subs map[string]*Subscriber
+	// subs is lock-striped by SUPI: the per-record SQN advance stays
+	// atomic (stripe write lock) while unrelated subscribers proceed in
+	// parallel.
+	subs *shard.Map[string, *Subscriber]
 }
 
 // New creates a UDR and registers its SBI server.
 func New(env *costmodel.Env, registry *sbi.Registry) (*UDR, error) {
 	u := &UDR{
 		server: sbi.NewServer(ServiceName, env),
-		subs:   make(map[string]*Subscriber),
+		subs:   shard.NewString[*Subscriber](),
 	}
 	u.server.Handle(PathProvision, sbi.JSONHandler(u.handleProvision))
 	u.server.Handle(PathNextAuth, sbi.JSONHandler(u.handleNextAuth))
@@ -139,64 +141,74 @@ func (u *UDR) handleProvision(_ context.Context, req *ProvisionRequest) (*Empty,
 	cp.OPc = append([]byte(nil), s.OPc...)
 	cp.SQN = append([]byte(nil), s.SQN...)
 	cp.AMFField = append([]byte(nil), s.AMFField...)
-	u.mu.Lock()
-	u.subs[s.SUPI] = &cp
-	u.mu.Unlock()
+	u.subs.Store(s.SUPI, &cp)
 	return &Empty{}, nil
 }
 
 func (u *UDR) handleNextAuth(_ context.Context, req *NextAuthRequest) (*NextAuthResponse, error) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	s, ok := u.subs[req.SUPI]
-	if !ok {
+	var resp *NextAuthResponse
+	u.subs.Update(req.SUPI, func(s *Subscriber, ok bool) {
+		if !ok {
+			return
+		}
+		// Advance the SQN first, then hand out the new value, so that
+		// two consecutive vectors never share a sequence number.
+		advanceSQN(s.SQN, sqnStep)
+		resp = &NextAuthResponse{
+			OPc:      append([]byte(nil), s.OPc...),
+			SQN:      append([]byte(nil), s.SQN...),
+			AMFField: append([]byte(nil), s.AMFField...),
+		}
+	})
+	if resp == nil {
 		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "subscriber %s", req.SUPI)
 	}
-	// Advance the SQN first, then hand out the new value, so that two
-	// consecutive vectors never share a sequence number.
-	advanceSQN(s.SQN, sqnStep)
-	return &NextAuthResponse{
-		OPc:      append([]byte(nil), s.OPc...),
-		SQN:      append([]byte(nil), s.SQN...),
-		AMFField: append([]byte(nil), s.AMFField...),
-	}, nil
+	return resp, nil
 }
 
 func (u *UDR) handleResync(_ context.Context, req *ResyncRequest) (*Empty, error) {
 	if len(req.SQNMS) != 6 {
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "SQN_MS length %d", len(req.SQNMS))
 	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	s, ok := u.subs[req.SUPI]
-	if !ok {
+	found := false
+	u.subs.Update(req.SUPI, func(s *Subscriber, ok bool) {
+		if !ok {
+			return
+		}
+		found = true
+		copy(s.SQN, req.SQNMS)
+		advanceSQN(s.SQN, sqnStep)
+	})
+	if !found {
 		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "subscriber %s", req.SUPI)
 	}
-	copy(s.SQN, req.SQNMS)
-	advanceSQN(s.SQN, sqnStep)
 	return &Empty{}, nil
 }
 
 func (u *UDR) handleGet(_ context.Context, req *GetRequest) (*GetResponse, error) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	s, ok := u.subs[req.SUPI]
-	if !ok {
+	// Copy under the stripe lock: a concurrent NextAuth mutates SQN in
+	// place.
+	var cp *Subscriber
+	u.subs.Update(req.SUPI, func(s *Subscriber, ok bool) {
+		if !ok {
+			return
+		}
+		c := *s
+		c.K = append([]byte(nil), s.K...)
+		c.OPc = append([]byte(nil), s.OPc...)
+		c.SQN = append([]byte(nil), s.SQN...)
+		c.AMFField = append([]byte(nil), s.AMFField...)
+		cp = &c
+	})
+	if cp == nil {
 		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "subscriber %s", req.SUPI)
 	}
-	cp := *s
-	cp.K = append([]byte(nil), s.K...)
-	cp.OPc = append([]byte(nil), s.OPc...)
-	cp.SQN = append([]byte(nil), s.SQN...)
-	cp.AMFField = append([]byte(nil), s.AMFField...)
-	return &GetResponse{Subscriber: cp}, nil
+	return &GetResponse{Subscriber: *cp}, nil
 }
 
 // SubscriberCount reports the number of provisioned subscribers.
 func (u *UDR) SubscriberCount() int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return len(u.subs)
+	return u.subs.Len()
 }
 
 // advanceSQN adds step to the 48-bit big-endian sequence number in place,

@@ -210,7 +210,7 @@ func (u *MonolithicUDM) GenerateAV(ctx context.Context, req *UDMGenerateAVReques
 	if !ok {
 		return nil, ErrUnknownSubscriber
 	}
-	u.env.Charge(ctx, u.env.Jitter.LogNormal(u.profile.FnCycles, u.profile.FnSigma))
+	u.env.Charge(ctx, u.env.JitterFor(ctx).LogNormal(u.profile.FnCycles, u.profile.FnSigma))
 	return GenerateAV(k, req)
 }
 
@@ -220,7 +220,7 @@ func (u *MonolithicUDM) Resync(ctx context.Context, req *UDMResyncRequest) (*UDM
 	if !ok {
 		return nil, ErrUnknownSubscriber
 	}
-	u.env.Charge(ctx, u.env.Jitter.LogNormal(u.profile.FnCycles/2, u.profile.FnSigma))
+	u.env.Charge(ctx, u.env.JitterFor(ctx).LogNormal(u.profile.FnCycles/2, u.profile.FnSigma))
 	return Resync(k, req)
 }
 
@@ -237,7 +237,7 @@ func NewMonolithicAUSF(env *costmodel.Env) *MonolithicAUSF {
 
 // DeriveSE implements AUSFFunctions in-process.
 func (a *MonolithicAUSF) DeriveSE(ctx context.Context, req *AUSFDeriveSERequest) (*AUSFDeriveSEResponse, error) {
-	a.env.Charge(ctx, a.env.Jitter.LogNormal(a.profile.FnCycles, a.profile.FnSigma))
+	a.env.Charge(ctx, a.env.JitterFor(ctx).LogNormal(a.profile.FnCycles, a.profile.FnSigma))
 	return DeriveSE(req)
 }
 
@@ -254,7 +254,7 @@ func NewMonolithicAMF(env *costmodel.Env) *MonolithicAMF {
 
 // DeriveKAMF implements AMFFunctions in-process.
 func (a *MonolithicAMF) DeriveKAMF(ctx context.Context, req *AMFDeriveKAMFRequest) (*AMFDeriveKAMFResponse, error) {
-	a.env.Charge(ctx, a.env.Jitter.LogNormal(a.profile.FnCycles, a.profile.FnSigma))
+	a.env.Charge(ctx, a.env.JitterFor(ctx).LogNormal(a.profile.FnCycles, a.profile.FnSigma))
 	return DeriveKAMF(req)
 }
 

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"shield5g/internal/costmodel"
@@ -66,6 +67,7 @@ type Module struct {
 	total      *metrics.Recorder
 	serverSide *metrics.Recorder
 
+	secretMu    sync.Mutex
 	secretNames []string
 }
 
@@ -209,7 +211,7 @@ func (m *Module) endpoint(handler func(ctx context.Context, ex Exec, body []byte
 	return func(ctx context.Context, body []byte) ([]byte, error) {
 		var out []byte
 		bd, err := m.runtime.ServeRequest(ctx, m.profile.InBytes, m.profile.OutBytes, func(ex Exec) error {
-			fn := m.env.Jitter.LogNormal(m.profile.FnCycles, m.profile.FnSigma)
+			fn := m.env.JitterFor(ctx).LogNormal(m.profile.FnCycles, m.profile.FnSigma)
 			if m.isolation == SGX {
 				fn += m.profile.SGXExtraCycles
 			}
@@ -304,7 +306,9 @@ func (m *Module) ProvisionSubscriber(ctx context.Context, supi string, k []byte)
 	if err != nil {
 		return fmt.Errorf("paka: provision %s: %w", supi, err)
 	}
+	m.secretMu.Lock()
 	m.secretNames = append(m.secretNames, name)
+	m.secretMu.Unlock()
 	return nil
 }
 
@@ -313,8 +317,11 @@ func (m *Module) ProvisionSubscriber(ctx context.Context, supi string, k []byte)
 // container it yields the plaintext keys; for an SGX module it yields MEE
 // ciphertext.
 func (m *Module) MemoryDump() map[string][]byte {
-	out := make(map[string][]byte, len(m.secretNames))
-	for _, name := range m.secretNames {
+	m.secretMu.Lock()
+	names := append([]string(nil), m.secretNames...)
+	m.secretMu.Unlock()
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
 		switch rt := m.runtime.(type) {
 		case *sgxRuntime:
 			if d, ok := rt.enclave().Introspect(name); ok {

@@ -244,7 +244,7 @@ func (r *nativeRuntime) ServeRequest(ctx context.Context, in, out int, handler f
 		charge(m.TLSHandshakeServer)
 	}
 
-	jig := int(r.env.Jitter.Uint64n(3))
+	jig := int(r.env.JitterFor(ctx).Uint64n(3))
 	for k := 0; k < r.syscalls.Pre+jig; k++ {
 		syscall(32)
 	}

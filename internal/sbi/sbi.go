@@ -203,7 +203,7 @@ func (c *Client) Post(ctx context.Context, service, path string, req, resp any) 
 
 	// Client-side request processing and the bridge round trip.
 	c.env.Charge(ctx, m.HTTPCost(len(body))+m.TLSRecordCost(len(body)))
-	c.env.Charge(ctx, c.env.Jitter.Scale(m.LoopbackRTT, 0.15))
+	c.env.Charge(ctx, c.env.JitterFor(ctx).Scale(m.LoopbackRTT, 0.15))
 
 	out, err := srv.serve(ctx, path, body)
 	if err != nil {

@@ -121,15 +121,62 @@ func AccountFrom(ctx context.Context) *Account {
 }
 
 // Jitter is a seeded source of reproducible measurement noise. It is safe
-// for concurrent use.
+// for concurrent use, but concurrent callers interleave on one PCG
+// sequence; use Stream to give each worker an independent, reproducible
+// sequence instead.
 type Jitter struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	seed uint64
+	mu   sync.Mutex
+	rng  *rand.Rand
 }
 
 // NewJitter returns a Jitter seeded deterministically from seed.
 func NewJitter(seed uint64) *Jitter {
-	return &Jitter{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	return &Jitter{seed: seed, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Stream derives an independent jitter source for worker i, keyed only by
+// the root seed and i. Every (seed, i) pair always yields the same
+// sequence regardless of how many draws other workers make, which is what
+// keeps parallel mass-registration runs seed-reproducible: worker i's
+// costs depend on its own stream, never on scheduling order. Stream 0 is
+// distinct from the root sequence.
+func (j *Jitter) Stream(i uint64) *Jitter {
+	return NewJitter(splitmix64(j.seed ^ (i+1)*0x9e3779b97f4a7c15))
+}
+
+// splitmix64 is the SplitMix64 finaliser, used to decorrelate derived
+// stream seeds from arithmetic structure in (seed, i).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+type jitterKey struct{}
+
+// WithJitter returns a context carrying a request-scoped jitter source.
+// The parallel registration driver attaches one per-worker Stream so that
+// all noise drawn along the request path is contention-free and
+// reproducible per worker.
+func WithJitter(ctx context.Context, j *Jitter) context.Context {
+	return context.WithValue(ctx, jitterKey{}, j)
+}
+
+// JitterFrom extracts the request-scoped jitter from ctx, falling back to
+// fallback when none is attached. The fallback path is the sequential
+// mode: every component keeps drawing from the shared root source in the
+// exact order the seed implementation did, so sequential figures stay
+// bit-for-bit identical.
+func JitterFrom(ctx context.Context, fallback *Jitter) *Jitter {
+	if j, ok := ctx.Value(jitterKey{}).(*Jitter); ok && j != nil {
+		return j
+	}
+	return fallback
 }
 
 // Scale multiplies n by a uniform factor in [1-frac, 1+frac].

@@ -212,3 +212,51 @@ func TestJitterConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestJitterStreamDeterministic(t *testing.T) {
+	// Same root seed, same stream index: identical draw sequences.
+	a := NewJitter(42).Stream(3)
+	b := NewJitter(42).Stream(3)
+	for i := 0; i < 64; i++ {
+		if x, y := a.Uint64n(1<<40), b.Uint64n(1<<40); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestJitterStreamIndependent(t *testing.T) {
+	// Different stream indices diverge, and none collides with the root
+	// source's own sequence.
+	root := NewJitter(42)
+	s1 := NewJitter(42).Stream(1)
+	s2 := NewJitter(42).Stream(2)
+	same12, sameRoot := 0, 0
+	for i := 0; i < 64; i++ {
+		r, x, y := root.Uint64n(1<<40), s1.Uint64n(1<<40), s2.Uint64n(1<<40)
+		if x == y {
+			same12++
+		}
+		if r == x {
+			sameRoot++
+		}
+	}
+	if same12 > 2 || sameRoot > 2 {
+		t.Fatalf("streams not independent: same12=%d sameRoot=%d", same12, sameRoot)
+	}
+}
+
+func TestJitterFromFallback(t *testing.T) {
+	fallback := NewJitter(7)
+	ctx := context.Background()
+	if got := JitterFrom(ctx, fallback); got != fallback {
+		t.Fatal("bare context did not fall back")
+	}
+	stream := fallback.Stream(1)
+	ctx = WithJitter(ctx, stream)
+	if got := JitterFrom(ctx, fallback); got != stream {
+		t.Fatal("context jitter not returned")
+	}
+	if got := JitterFrom(context.Background(), nil); got != nil {
+		t.Fatal("nil fallback not honoured")
+	}
+}

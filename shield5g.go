@@ -72,6 +72,13 @@ type RadioProfile = gnb.RadioProfile
 // Session is an attached UE's RAN context.
 type Session = gnb.Session
 
+// MassOptions configures a mass-registration run (see MassResult).
+type MassOptions = gnb.MassOptions
+
+// MassResult aggregates a gNBSIM mass-registration run, including
+// throughput figures and per-class failure accounting.
+type MassResult = gnb.MassResult
+
 // ExperimentConfig controls experiment scale and reproducibility.
 type ExperimentConfig = experiments.Config
 
