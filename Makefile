@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench experiments examples clean
+.PHONY: all build test race vet bench experiments examples clean
 
 all: build test
 
@@ -13,8 +13,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static checks plus a focused race pass over the fault-injection and
+# mass-registration paths (parallel drivers, injector, resilience layer).
+vet:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/
+
 bench:
-	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json $(GO) test -bench=. -benchmem ./...
+	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json \
+	BENCH_CHAOS_JSON=$(CURDIR)/BENCH_chaos_registration.json \
+	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper (500 samples each).
 experiments:

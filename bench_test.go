@@ -447,6 +447,152 @@ func BenchmarkRegisterManyParallel(b *testing.B) {
 	}
 }
 
+// chaosRegPoint is one mode of BenchmarkRegisterManyChaos, exported to
+// BENCH_chaos_registration.json when BENCH_CHAOS_JSON is set.
+type chaosRegPoint struct {
+	Mode              string  `json:"mode"`
+	FaultRate         float64 `json:"fault_rate"`
+	UEs               int     `json:"ues"`
+	Registered        int     `json:"registered"`
+	Attempts          int     `json:"attempts"`
+	WallMS            float64 `json:"wall_ms"`
+	VirtualRegsPerSec float64 `json:"virtual_regs_per_sec"`
+}
+
+type chaosRegReport struct {
+	Points []chaosRegPoint `json:"points"`
+	// OverheadPct is the virtual-throughput cost of the armed injector +
+	// resilience layer at fault rate 0, relative to the bare invoker chain.
+	OverheadPct float64 `json:"resilience_overhead_pct,omitempty"`
+}
+
+var chaosRegState struct {
+	sync.Mutex
+	report chaosRegReport
+}
+
+func recordChaosBench(b *testing.B, p chaosRegPoint) {
+	chaosRegState.Lock()
+	defer chaosRegState.Unlock()
+	r := &chaosRegState.report
+	r.Points = append(r.Points, p)
+	var base, rate0 float64
+	for _, pt := range r.Points {
+		switch pt.Mode {
+		case "baseline":
+			base = pt.VirtualRegsPerSec
+		case "chaos0.00":
+			rate0 = pt.VirtualRegsPerSec
+		}
+	}
+	if base > 0 && rate0 > 0 {
+		r.OverheadPct = (base - rate0) / base * 100
+		// Virtual throughput is deterministic, so this is a stable
+		// acceptance check, not a flaky wall-clock comparison.
+		if r.OverheadPct >= 5 {
+			b.Errorf("resilience overhead at fault rate 0 is %.2f%%, want < 5%%", r.OverheadPct)
+		}
+	}
+	path := os.Getenv("BENCH_CHAOS_JSON")
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal chaos bench report: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+}
+
+// BenchmarkRegisterManyChaos measures mass registration through the
+// resilience layer under seeded fault injection: a bare baseline, the
+// armed injector at rate 0 (pure instrumentation overhead, asserted < 5%
+// on deterministic virtual throughput), and two live fault rates. Set
+// BENCH_CHAOS_JSON to a path to dump the comparison as JSON.
+func BenchmarkRegisterManyChaos(b *testing.B) {
+	const ues = 300
+	for _, mode := range []struct {
+		name string
+		rate float64
+		on   bool
+	}{
+		{"baseline", 0, false},
+		{"chaos0.00", 0, true},
+		{"chaos0.05", 0.05, true},
+		{"chaos0.10", 0.10, true},
+	} {
+		b.Run(fmt.Sprintf("%s-ues%d", mode.name, ues), func(b *testing.B) {
+			ctx := context.Background()
+			cfg := shield5g.SliceConfig{Isolation: shield5g.SGX, Seed: 1}
+			if mode.on {
+				mix := shield5g.DefaultChaosMix(102, mode.rate)
+				cfg.Chaos = &mix
+			}
+			tb, err := shield5g.NewTestbed(ctx, cfg)
+			if err != nil {
+				b.Fatalf("NewTestbed: %v", err)
+			}
+			defer tb.Close()
+			warm, err := tb.AddSubscriber(ctx, benchKey, nil)
+			if err != nil {
+				b.Fatalf("AddSubscriber: %v", err)
+			}
+			if _, err := tb.Register(ctx, warm); err != nil {
+				b.Fatalf("warm Register: %v", err)
+			}
+
+			var last *shield5g.MassResult
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Provision fault-free so every injected fault lands on
+				// the registration path under measurement.
+				if tb.Slice.Chaos != nil {
+					tb.Slice.Chaos.SetArmed(false)
+				}
+				devices := make([]*shield5g.UE, ues)
+				for j := range devices {
+					sub, err := tb.AddSubscriber(ctx, benchKey, nil)
+					if err != nil {
+						b.Fatalf("AddSubscriber: %v", err)
+					}
+					devices[j] = sub.UE
+				}
+				if tb.Slice.Chaos != nil {
+					tb.Slice.Chaos.SetArmed(true)
+				}
+				res, err := tb.Slice.GNB.RegisterManyWith(ctx, shield5g.MassOptions{
+					N:           ues,
+					NewUE:       func(i int) (*shield5g.UE, error) { return devices[i], nil },
+					MaxAttempts: 5,
+					Chaos:       tb.Slice.Chaos,
+				})
+				if err != nil {
+					b.Fatalf("RegisterManyWith: %v", err)
+				}
+				if res.Failed > 0 {
+					b.Fatalf("%d registrations failed: %v", res.Failed, res.FirstErrors)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(last.VirtualRegsPerSec, "regs/s-virtual")
+			b.ReportMetric(float64(last.Attempts-last.Registered), "retries")
+			recordChaosBench(b, chaosRegPoint{
+				Mode:              mode.name,
+				FaultRate:         mode.rate,
+				UEs:               ues,
+				Registered:        last.Registered,
+				Attempts:          last.Attempts,
+				WallMS:            float64(last.Wall.Microseconds()) / 1e3,
+				VirtualRegsPerSec: last.VirtualRegsPerSec,
+			})
+		})
+	}
+}
+
 // BenchmarkRealtimeModuleResponse runs the module request path in
 // realtime mode: modelled cycles are converted into calibrated busy-wait
 // at 1/20 scale, so wall-clock ns/op exhibits the paper's SGX-vs-container

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	gnbsim [-n 100] [-parallel 1] [-isolation sgx|container|monolithic] [-seed N]
+//	       [-chaos RATE] [-retries N]
+//
+// -chaos enables the deterministic fault injector at the given total
+// per-request fault rate (e.g. 0.1 injects a fault on 10% of SBI
+// requests), and -retries bounds the full-registration attempts per UE
+// (default 5 when chaos is on).
 package main
 
 import (
@@ -28,6 +34,8 @@ func run() int {
 	parallel := flag.Int("parallel", 1, "concurrent registration workers (1 = sequential, deterministic)")
 	isolation := flag.String("isolation", "sgx", "AKA isolation: monolithic, container or sgx")
 	seed := flag.Uint64("seed", 1, "jitter seed")
+	chaosRate := flag.Float64("chaos", 0, "total per-request fault-injection rate (0 disables)")
+	retries := flag.Int("retries", 0, "max registration attempts per UE (0 = 1, or 5 when -chaos is set)")
 	flag.Parse()
 
 	iso, err := parseIsolation(*isolation)
@@ -35,10 +43,29 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gnbsim: %v\n", err)
 		return 2
 	}
+	if *chaosRate < 0 || *chaosRate > 1 {
+		fmt.Fprintf(os.Stderr, "gnbsim: -chaos rate %v outside [0, 1]\n", *chaosRate)
+		return 2
+	}
+	maxAttempts := *retries
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+		if *chaosRate > 0 {
+			maxAttempts = 5
+		}
+	}
+
+	sliceCfg := shield5g.SliceConfig{Isolation: iso, Seed: *seed}
+	if *chaosRate > 0 {
+		// The decision seed is derived from -seed so one flag reproduces
+		// both the cost draws and the fault schedule.
+		mix := shield5g.DefaultChaosMix(*seed+101, *chaosRate)
+		sliceCfg.Chaos = &mix
+	}
 
 	ctx := context.Background()
 	start := time.Now()
-	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{Isolation: iso, Seed: *seed})
+	tb, err := shield5g.NewTestbed(ctx, sliceCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gnbsim: deploy: %v\n", err)
 		return 1
@@ -46,7 +73,8 @@ func run() int {
 	defer tb.Close()
 	fmt.Printf("slice deployed (%s isolation) in %v wall time\n", iso, time.Since(start).Round(time.Millisecond))
 	if iso == shield5g.SGX {
-		for kind, m := range tb.Slice.Modules {
+		for _, kind := range []shield5g.ModuleKind{shield5g.EUDM, shield5g.EAUSF, shield5g.EAMF} {
+			m := tb.Slice.Modules[kind]
 			fmt.Printf("  %s enclave load: %v (virtual)\n", kind, m.LoadDuration().Round(time.Millisecond))
 		}
 	}
@@ -65,6 +93,8 @@ func run() int {
 			return sub.UE, nil
 		},
 		Parallelism: *parallel,
+		MaxAttempts: maxAttempts,
+		Chaos:       tb.Slice.Chaos,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gnbsim: %v\n", err)
@@ -73,6 +103,28 @@ func run() int {
 
 	fmt.Printf("registered %d/%d UEs (%d failed) with %d worker(s)\n",
 		result.Registered, *n, result.Failed, result.Parallelism)
+	if *chaosRate > 0 {
+		fmt.Printf("chaos: rate %.2f, %d attempts total, injected %v\n",
+			*chaosRate, result.Attempts, tb.Slice.Chaos.Counts())
+		if len(result.Recovered) > 0 {
+			classes := make([]string, 0, len(result.Recovered))
+			for class := range result.Recovered {
+				classes = append(classes, class)
+			}
+			sort.Strings(classes)
+			for _, class := range classes {
+				fmt.Printf("chaos: recovered %d failed attempt(s) [%s] via retry\n",
+					result.Recovered[class], class)
+			}
+		}
+		var restarts uint64
+		for _, m := range tb.Slice.Modules {
+			restarts += m.Restarts()
+		}
+		if restarts > 0 {
+			fmt.Printf("chaos: %d module crash/redeploy cycle(s) survived (re-load + re-attest)\n", restarts)
+		}
+	}
 	if result.Registered > 0 {
 		sum := result.SetupTimes.Summarize()
 		fmt.Printf("session setup: median %v mean %v (virtual)\n",

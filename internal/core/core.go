@@ -159,6 +159,10 @@ func ExperimentRegistry() map[string]Experiment {
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.MassReg(ctx, cfg)
 			}),
+		"chaos": render("chaos", "Fault-injection sweep: SBI resilience and enclave crash-recovery under seeded faults",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Chaos(ctx, cfg)
+			}),
 		"e2e": render("e2e", "End-to-end session setup and the SGX share",
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.E2E(ctx, cfg)
@@ -243,6 +247,13 @@ func csvWriters() map[string]func(ctx context.Context, cfg experiments.Config, w
 		},
 		"massreg": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
 			r, err := experiments.MassReg(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"chaos": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Chaos(ctx, cfg)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,224 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"shield5g/internal/chaos"
+	"shield5g/internal/gnb"
+	"shield5g/internal/nf/ausf"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
+	"shield5g/internal/simclock"
+	"shield5g/internal/ue"
+)
+
+// TestSGXCrashRecoverySealedRestore models a whole-module crash under SGX:
+// the rebuilt enclave (same config, same measurement, same seal key)
+// restores its subscriber keys from sealed backups, so a UE provisioned
+// before the crash re-registers without the UDM ever re-pushing its key.
+func TestSGXCrashRecoverySealedRestore(t *testing.T) {
+	ctx := context.Background()
+	s := newTestSlice(t, paka.SGX)
+	device := provisionUE(t, s, "0000031001")
+	if _, err := s.GNB.RegisterUE(ctx, device); err != nil {
+		t.Fatalf("register before crash: %v", err)
+	}
+
+	m := s.Modules[paka.EUDM]
+	if err := s.RestartModule(ctx, paka.EUDM); err != nil {
+		t.Fatalf("RestartModule: %v", err)
+	}
+	if m.Restarts() != 1 {
+		t.Fatalf("Restarts = %d, want 1", m.Restarts())
+	}
+
+	if _, err := s.GNB.RegisterUE(ctx, device); err != nil {
+		t.Fatalf("register after crash: %v", err)
+	}
+	if n := s.UDM.Reprovisions(); n != 0 {
+		t.Fatalf("Reprovisions = %d, want 0 (sealed restore should have kept the key)", n)
+	}
+}
+
+// TestSGXRestartChargesReload pins the recovery cost: the rebuilt enclave
+// re-pays the paper's Fig. 7 ~1-minute load in virtual time, charged to
+// the restarting request's account.
+func TestSGXRestartChargesReload(t *testing.T) {
+	s := newTestSlice(t, paka.SGX)
+	var acct simclock.Account
+	ctx := simclock.WithAccount(context.Background(), &acct)
+	if err := s.RestartModule(ctx, paka.EUDM); err != nil {
+		t.Fatalf("RestartModule: %v", err)
+	}
+	reload := s.Env.Model.Duration(acct.Total())
+	if reload < 45*time.Second || reload > 75*time.Second {
+		t.Fatalf("restart charged %v, want ~1 minute of virtual enclave load", reload)
+	}
+}
+
+// TestContainerCrashRecoveryReprovisions models the unshielded path: the
+// restarted container runtime has no sealed backup, so the first AV
+// request hits USER_NOT_FOUND and the UDM restores the key from the UDR.
+func TestContainerCrashRecoveryReprovisions(t *testing.T) {
+	ctx := context.Background()
+	s := newTestSlice(t, paka.Container)
+	device := provisionUE(t, s, "0000031002")
+	if _, err := s.GNB.RegisterUE(ctx, device); err != nil {
+		t.Fatalf("register before crash: %v", err)
+	}
+
+	if err := s.RestartModule(ctx, paka.EUDM); err != nil {
+		t.Fatalf("RestartModule: %v", err)
+	}
+	if _, err := s.GNB.RegisterUE(ctx, device); err != nil {
+		t.Fatalf("register after crash: %v", err)
+	}
+	if n := s.UDM.Reprovisions(); n != 1 {
+		t.Fatalf("Reprovisions = %d, want 1 (container restart loses the key store)", n)
+	}
+}
+
+// TestAUSFPendingAuthTTL covers the pending-auth expiry sweep: an auth
+// context abandoned mid-registration is reaped once the virtual clock
+// passes the TTL, while fresh contexts survive.
+func TestAUSFPendingAuthTTL(t *testing.T) {
+	ctx := context.Background()
+	s := newTestSlice(t, paka.Container)
+	provisionUE(t, s, "0000031003")
+
+	client := sbi.NewClient("test", s.Env, s.Registry)
+	authenticate := func() {
+		var resp ausf.AuthenticateResponse
+		if err := client.Post(ctx, "ausf", ausf.PathAuthenticate, &ausf.AuthenticateRequest{
+			SUPI:               "imsi-00101" + "0000031003",
+			ServingNetworkName: s.AMF.ServingNetworkName(),
+		}, &resp); err != nil {
+			t.Fatalf("Authenticate: %v", err)
+		}
+	}
+
+	authenticate() // abandoned: never confirmed
+	if n := s.AUSF.PendingSessions(); n != 1 {
+		t.Fatalf("pending = %d, want 1", n)
+	}
+
+	// Advance virtual time past the TTL, then create a fresh context.
+	s.Env.Charge(ctx, simclock.FromDuration(ausf.DefaultPendingAuthTTL+time.Minute, s.Env.Clock.FrequencyHz()))
+	authenticate()
+
+	if reaped := s.AUSF.SweepExpired(); reaped != 1 {
+		t.Fatalf("SweepExpired = %d, want 1 (only the abandoned context)", reaped)
+	}
+	if n := s.AUSF.PendingSessions(); n != 1 {
+		t.Fatalf("pending after sweep = %d, want the fresh context only", n)
+	}
+	if n := s.AUSF.ExpiredSessions(); n != 1 {
+		t.Fatalf("ExpiredSessions = %d, want 1", n)
+	}
+}
+
+// chaosMassRun deploys a chaos-enabled slice, provisions the population
+// fault-free, then drives a parallel mass registration under faults.
+func chaosMassRun(t *testing.T, n, parallelism int) *gnb.MassResult {
+	t.Helper()
+	ctx := context.Background()
+	// Per-request faults only: cross-worker faults (crash, evict) couple
+	// workers through shared module state, which is exactly what the
+	// sequential driver is for. This mix keeps parallel runs comparable.
+	mix := chaos.Config{Seed: 11, LatencyRate: 0.03, ErrorRate: 0.04, DropRate: 0.03}
+	s, err := NewSlice(ctx, SliceConfig{Isolation: paka.Container, Seed: 42, Chaos: &mix})
+	if err != nil {
+		t.Fatalf("NewSlice: %v", err)
+	}
+	t.Cleanup(s.Stop)
+
+	s.Chaos.SetArmed(false)
+	devices := make([]*ue.UE, n)
+	for i := range devices {
+		devices[i] = provisionUE(t, s, fmt.Sprintf("%010d", 32000+i))
+	}
+	s.Chaos.SetArmed(true)
+
+	res, err := s.GNB.RegisterManyWith(ctx, gnb.MassOptions{
+		N:           n,
+		NewUE:       func(i int) (*ue.UE, error) { return devices[i], nil },
+		Parallelism: parallelism,
+		MaxAttempts: 4,
+		Chaos:       s.Chaos,
+	})
+	if err != nil {
+		t.Fatalf("RegisterManyWith: %v", err)
+	}
+	return res
+}
+
+// TestParallelChaosDeterministicOutcome runs the parallel driver under
+// per-request faults twice with the same seeds: worker-owned decision and
+// cost streams make the outcome counts identical regardless of goroutine
+// interleaving. Run under -race via `make vet`, this also exercises the
+// injector, resilience layer and retry re-queue for data races.
+func TestParallelChaosDeterministicOutcome(t *testing.T) {
+	const n, par = 24, 4
+	a := chaosMassRun(t, n, par)
+	b := chaosMassRun(t, n, par)
+
+	if a.Registered != n {
+		t.Errorf("registered = %d/%d under 10%% per-request faults with retries", a.Registered, n)
+	}
+	if a.Registered != b.Registered || a.Failed != b.Failed || a.Attempts != b.Attempts {
+		t.Errorf("outcome diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Registered, a.Failed, a.Attempts, b.Registered, b.Failed, b.Attempts)
+	}
+	if !reflect.DeepEqual(a.FailureCounts, b.FailureCounts) {
+		t.Errorf("failure classes diverged: %v vs %v", a.FailureCounts, b.FailureCounts)
+	}
+	if !reflect.DeepEqual(a.Recovered, b.Recovered) {
+		t.Errorf("recovery classes diverged: %v vs %v", a.Recovered, b.Recovered)
+	}
+}
+
+// TestSequentialChaosBitIdentical is the stacked acceptance check at the
+// driver level: two same-seed sequential runs under the full fault mix
+// (crashes included) produce bit-identical outcome counts.
+func TestSequentialChaosBitIdentical(t *testing.T) {
+	run := func() *gnb.MassResult {
+		ctx := context.Background()
+		mix := chaos.DefaultMix(13, 0.10)
+		s, err := NewSlice(ctx, SliceConfig{Isolation: paka.SGX, Seed: 42, Chaos: &mix})
+		if err != nil {
+			t.Fatalf("NewSlice: %v", err)
+		}
+		defer s.Stop()
+		s.Chaos.SetArmed(false)
+		devices := make([]*ue.UE, 30)
+		for i := range devices {
+			devices[i] = provisionUE(t, s, fmt.Sprintf("%010d", 33000+i))
+		}
+		s.Chaos.SetArmed(true)
+		res, err := s.GNB.RegisterManyWith(ctx, gnb.MassOptions{
+			N:           30,
+			NewUE:       func(i int) (*ue.UE, error) { return devices[i], nil },
+			MaxAttempts: 5,
+			Chaos:       s.Chaos,
+		})
+		if err != nil {
+			t.Fatalf("RegisterManyWith: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Registered != b.Registered || a.Failed != b.Failed || a.Attempts != b.Attempts ||
+		!reflect.DeepEqual(a.FailureCounts, b.FailureCounts) ||
+		!reflect.DeepEqual(a.Recovered, b.Recovered) {
+		t.Fatalf("same-seed sequential runs diverged:\n(%d,%d,%d) %v %v\n(%d,%d,%d) %v %v",
+			a.Registered, a.Failed, a.Attempts, a.FailureCounts, a.Recovered,
+			b.Registered, b.Failed, b.Attempts, b.FailureCounts, b.Recovered)
+	}
+	if a.Registered < 30*99/100 {
+		t.Errorf("registered %d/30, want >= 99%%", a.Registered)
+	}
+}

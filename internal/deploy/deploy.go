@@ -17,6 +17,7 @@ import (
 	"io"
 	"sync"
 
+	"shield5g/internal/chaos"
 	"shield5g/internal/costmodel"
 	"shield5g/internal/crypto/suci"
 	"shield5g/internal/gnb"
@@ -57,6 +58,16 @@ type SliceConfig struct {
 	DisablePreheat   bool
 	// Entropy overrides randomness (tests); nil selects crypto/rand.
 	Entropy io.Reader
+	// Chaos enables the deterministic fault injector on every SBI client
+	// of the slice (nil disables injection). The injector is armed as the
+	// slice finishes deploying; use Slice.Chaos to disarm around
+	// provisioning or to read injection counts.
+	Chaos *chaos.Config
+	// Resilience tunes the SBI deadline/retry/circuit-breaker layer. nil
+	// leaves the transport bare — unless Chaos is set, in which case the
+	// default policy applies (injected faults would otherwise turn every
+	// hit into a hard failure).
+	Resilience *sbi.ResilienceConfig
 }
 
 // Slice is a running network slice.
@@ -90,6 +101,12 @@ type Slice struct {
 	// HomeNetworkKey conceals/de-conceals SUPIs for this home network.
 	HomeNetworkKey *suci.HomeNetworkKey
 
+	// Chaos is the slice's fault injector (nil when SliceConfig.Chaos was
+	// nil). Crash faults on the P-AKA module services restart the module
+	// through RestartModule.
+	Chaos *chaos.Injector
+
+	resil   *sbi.ResilienceConfig
 	entropy io.Reader
 
 	attestMu sync.Mutex
@@ -134,6 +151,20 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 		Modules:  make(map[paka.ModuleKind]*paka.Module),
 		entropy:  entropy,
 	}
+	if cfg.Chaos != nil {
+		s.Chaos = chaos.NewInjector(env, *cfg.Chaos)
+		// Deployment itself (NRF registration, discovery, module build)
+		// runs fault-free; the injector is armed once the slice is up.
+		s.Chaos.SetArmed(false)
+	}
+	switch {
+	case cfg.Resilience != nil:
+		r := *cfg.Resilience
+		s.resil = &r
+	case cfg.Chaos != nil:
+		r := sbi.DefaultResilienceConfig()
+		s.resil = &r
+	}
 
 	hnKey, err := suci.GenerateHomeNetworkKey(entropy, 1)
 	if err != nil {
@@ -154,15 +185,25 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 	}
 
 	hmee := cfg.Isolation == paka.SGX || cfg.Isolation == paka.SEV
-	udmInvoker := sbi.NewClient(udm.ServiceName, env, s.Registry)
+	// Reprovision lets the UDM push a long-term key back into an
+	// execution environment that lost its key store to a crash-restart
+	// (the container runtime keeps no sealed backup).
+	var reprovision func(ctx context.Context, supi string, k []byte) error
+	if m, ok := s.Modules[paka.EUDM]; ok {
+		reprovision = func(ctx context.Context, supi string, k []byte) error {
+			return m.ProvisionSubscriber(ctx, supi, k)
+		}
+	}
+	udmInvoker := s.buildInvoker(udm.ServiceName)
 	if s.UDM, err = udm.New(ctx, udm.Config{
 		Env: env, Registry: s.Registry, Invoker: udmInvoker,
 		Functions: udmFns, HomeNetworkKey: hnKey, HMEE: hmee, Entropy: entropy,
+		Reprovision: reprovision,
 	}); err != nil {
 		return nil, fmt.Errorf("deploy: UDM: %w", err)
 	}
 
-	ausfInvoker := sbi.NewClient(ausf.ServiceName, env, s.Registry)
+	ausfInvoker := s.buildInvoker(ausf.ServiceName)
 	if s.AUSF, err = ausf.New(ctx, ausf.Config{
 		Env: env, Registry: s.Registry, Invoker: ausfInvoker,
 		Functions: ausfFns, HMEE: hmee,
@@ -173,12 +214,12 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 	if s.UPF, err = upf.New(env, s.Registry); err != nil {
 		return nil, fmt.Errorf("deploy: UPF: %w", err)
 	}
-	smfInvoker := sbi.NewClient(smf.ServiceName, env, s.Registry)
+	smfInvoker := s.buildInvoker(smf.ServiceName)
 	if s.SMF, err = smf.New(ctx, smf.Config{Env: env, Registry: s.Registry, Invoker: smfInvoker}); err != nil {
 		return nil, fmt.Errorf("deploy: SMF: %w", err)
 	}
 
-	amfInvoker := sbi.NewClient(amf.ServiceName, env, s.Registry)
+	amfInvoker := s.buildInvoker(amf.ServiceName)
 	if s.AMF, err = amf.New(ctx, amf.Config{
 		Env: env, Registry: s.Registry, Invoker: amfInvoker,
 		Functions: amfFns, MCC: cfg.MCC, MNC: cfg.MNC, HMEE: hmee,
@@ -191,7 +232,39 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("deploy: gNB: %w", err)
 	}
+
+	if s.Chaos != nil {
+		for kind, m := range s.Modules {
+			if e := m.Enclave(); e != nil {
+				s.Chaos.RegisterEnclave(m.ServiceName(), e)
+			}
+			// Only runtimes that can rebuild themselves get a crash hook;
+			// for the rest a crash draw degrades to a clean call.
+			if cfg.Isolation == paka.SGX || cfg.Isolation == paka.Container {
+				kind := kind
+				s.Chaos.RegisterCrash(m.ServiceName(), func(ctx context.Context) error {
+					return s.RestartModule(ctx, kind)
+				})
+			}
+		}
+		s.Chaos.SetArmed(true)
+	}
 	return s, nil
+}
+
+// buildInvoker assembles the slice's SBI client stack for one caller
+// identity: the in-process transport, wrapped by the fault injector (so
+// injected faults land below the retry layer and are actually retried)
+// and then by the resilience layer.
+func (s *Slice) buildInvoker(from string) sbi.Invoker {
+	var inv sbi.Invoker = sbi.NewClient(from, s.Env, s.Registry)
+	if s.Chaos != nil {
+		inv = s.Chaos.Wrap(inv)
+	}
+	if s.resil != nil {
+		inv = sbi.NewResilient(inv, s.Env, *s.resil)
+	}
+	return inv
 }
 
 // buildFunctions creates the three AKA execution environments under the
@@ -225,9 +298,9 @@ func (s *Slice) buildFunctions(ctx context.Context, cfg SliceConfig) (paka.UDMFu
 		s.Modules[kind] = m
 	}
 
-	s.RemoteUDM = paka.NewRemoteUDM(sbi.NewClient("udm", s.Env, s.Registry), s.Env)
-	s.RemoteAUSF = paka.NewRemoteAUSF(sbi.NewClient("ausf", s.Env, s.Registry), s.Env)
-	s.RemoteAMF = paka.NewRemoteAMF(sbi.NewClient("amf", s.Env, s.Registry), s.Env)
+	s.RemoteUDM = paka.NewRemoteUDM(s.buildInvoker("udm"), s.Env)
+	s.RemoteAUSF = paka.NewRemoteAUSF(s.buildInvoker("ausf"), s.Env)
+	s.RemoteAMF = paka.NewRemoteAMF(s.buildInvoker("amf"), s.Env)
 	return s.RemoteUDM, s.RemoteAUSF, s.RemoteAMF, nil
 }
 
@@ -241,28 +314,66 @@ func (s *Slice) attestEUDM(m *paka.Module) error {
 	if s.attested {
 		return nil
 	}
+	if err := s.verifyAttestation(m); err != nil {
+		return err
+	}
+	s.attested = true
+	return nil
+}
+
+// verifyAttestation checks a module's hardware-rooted evidence (SGX quote
+// or SNP report); non-TEE modules pass trivially.
+func (s *Slice) verifyAttestation(m *paka.Module) error {
 	var nonce [64]byte
 	copy(nonce[:], []byte("subscriber-provisioning-channel"))
 	switch {
 	case m.Enclave() != nil:
 		quote, err := m.Enclave().GenerateQuote(nonce)
 		if err != nil {
-			return fmt.Errorf("deploy: eUDM quote: %w", err)
+			return fmt.Errorf("deploy: %s quote: %w", m.Kind(), err)
 		}
 		expected := m.Enclave().Measurement()
 		if err := sgx.VerifyQuote(s.Platform.QuotingPublicKey(), quote, &expected); err != nil {
-			return fmt.Errorf("deploy: eUDM attestation: %w", err)
+			return fmt.Errorf("deploy: %s attestation: %w", m.Kind(), err)
 		}
 	case m.Machine() != nil:
 		report, err := m.Machine().GenerateReport(nonce)
 		if err != nil {
-			return fmt.Errorf("deploy: eUDM SNP report: %w", err)
+			return fmt.Errorf("deploy: %s SNP report: %w", m.Kind(), err)
 		}
 		if err := sev.VerifyReport(m.Machine().SigningKey(), report); err != nil {
-			return fmt.Errorf("deploy: eUDM attestation: %w", err)
+			return fmt.Errorf("deploy: %s attestation: %w", m.Kind(), err)
 		}
 	}
-	s.attested = true
+	return nil
+}
+
+// RestartModule models a whole-module crash: the runtime (and enclave,
+// under SGX) is destroyed, rebuilt from the retained configuration — which
+// re-charges the paper's Fig. 7 load cost to ctx's account — re-attested,
+// and, under SGX, its key store restored from sealed backups. The fault
+// injector, when present, is repointed at the fresh enclave.
+func (s *Slice) RestartModule(ctx context.Context, kind paka.ModuleKind) error {
+	m, ok := s.Modules[kind]
+	if !ok {
+		return fmt.Errorf("deploy: no %s module to restart", kind)
+	}
+	if err := m.Restart(ctx); err != nil {
+		return fmt.Errorf("deploy: restart %s: %w", kind, err)
+	}
+	if s.Chaos != nil {
+		s.Chaos.RegisterEnclave(m.ServiceName(), m.Enclave())
+	}
+	// The redeployed environment must re-prove itself before it is
+	// trusted again (the paper's deployment-validation step).
+	if err := s.verifyAttestation(m); err != nil {
+		return err
+	}
+	if kind == paka.EUDM {
+		s.attestMu.Lock()
+		s.attested = true
+		s.attestMu.Unlock()
+	}
 	return nil
 }
 
@@ -276,7 +387,7 @@ func (s *Slice) ProvisionSubscriber(ctx context.Context, supi suci.SUPI, k, opc 
 		return err
 	}
 	imsi := supi.String()
-	udrClient := udr.NewClient(sbi.NewClient("provisioning", s.Env, s.Registry))
+	udrClient := udr.NewClient(s.buildInvoker("provisioning"))
 	if err := udrClient.Provision(ctx, udr.Subscriber{
 		SUPI:     imsi,
 		K:        k,

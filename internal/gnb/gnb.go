@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shield5g/internal/chaos"
 	"shield5g/internal/costmodel"
 	"shield5g/internal/metrics"
 	"shield5g/internal/nf/amf"
@@ -304,6 +305,14 @@ type MassResult struct {
 	// are diagnosable instead of being swallowed into a bare count.
 	FailureCounts map[string]int
 	FirstErrors   map[string]error
+
+	// Attempts is the total number of registration attempts across all
+	// UEs (equal to N when nothing needed a retry). Recovered tallies,
+	// by failure class, the failed attempts of UEs that subsequently
+	// registered on a retry — the per-failure-class recovery count of a
+	// run under injected faults.
+	Attempts  int
+	Recovered map[string]int
 }
 
 // MassOptions configures a mass-registration run.
@@ -320,6 +329,17 @@ type MassOptions struct {
 	// stream Jitter.Stream(w+1) and handles exactly the indices
 	// i % Parallelism == w, in order.
 	Parallelism int
+	// MaxAttempts bounds the full-registration attempts per UE; values
+	// <= 1 register each UE exactly once (the seed behaviour). A UE whose
+	// registration fails with any error is re-driven from scratch — its
+	// device state resets with the next registration request — up to this
+	// many times before it counts as Failed.
+	MaxAttempts int
+	// Chaos, when set, attaches the injector's per-worker fault-decision
+	// stream to each parallel worker's context so fault draws are
+	// deterministic per worker. The sequential driver needs no attachment
+	// (it falls back to the injector's root stream).
+	Chaos *chaos.Injector
 }
 
 // failureClass buckets a registration error for MassResult accounting:
@@ -378,6 +398,7 @@ func (g *GNB) RegisterManyWith(ctx context.Context, opts MassOptions) (*MassResu
 		Parallelism:   opts.Parallelism,
 		FailureCounts: make(map[string]int),
 		FirstErrors:   make(map[string]error),
+		Recovered:     make(map[string]int),
 	}
 	if result.Parallelism < 1 {
 		result.Parallelism = 1
@@ -394,6 +415,33 @@ func (g *GNB) RegisterManyWith(ctx context.Context, opts MassOptions) (*MassResu
 	return result, err
 }
 
+// registerAttempts drives one UE through up to maxAttempts complete
+// registrations, each on a fresh request account so setup time and the
+// resilience layer's virtual deadline restart per attempt. On success it
+// returns the session plus the failure classes survived along the way; on
+// exhaustion it returns the last error.
+func (g *GNB) registerAttempts(ctx context.Context, device *ue.UE, maxAttempts int) (*Session, int, map[string]int, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var recovered map[string]int
+	for attempt := 1; ; attempt++ {
+		var acct simclock.Account
+		sctx := simclock.WithAccount(ctx, &acct)
+		sess, err := g.RegisterUE(sctx, device)
+		if err == nil {
+			return sess, attempt, recovered, nil
+		}
+		if attempt >= maxAttempts {
+			return nil, attempt, nil, err
+		}
+		if recovered == nil {
+			recovered = make(map[string]int)
+		}
+		recovered[failureClass(err)]++
+	}
+}
+
 // registerSequential is the seed driver loop: same call order, same
 // jitter draws, same early return on provisioning failure.
 func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *MassResult) error {
@@ -402,12 +450,14 @@ func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *
 		if err != nil {
 			return fmt.Errorf("gnb: provision UE %d: %w", i, err)
 		}
-		var acct simclock.Account
-		sctx := simclock.WithAccount(ctx, &acct)
-		sess, err := g.RegisterUE(sctx, device)
+		sess, attempts, recovered, err := g.registerAttempts(ctx, device, opts.MaxAttempts)
+		result.Attempts += attempts
 		if err != nil {
 			result.recordFailure(err)
 			continue
+		}
+		for class, n := range recovered {
+			result.Recovered[class] += n
 		}
 		result.Registered++
 		result.SetupTimes.Add(sess.SetupTime)
@@ -431,9 +481,11 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 
 	type workerResult struct {
 		registered int
+		attempts   int
 		setups     *metrics.Recorder
 		failures   map[string]int
 		firstErrs  map[string]error
+		recovered  map[string]int
 		provision  error
 	}
 	perWorker := make([]workerResult, workers)
@@ -447,7 +499,14 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 			wr.setups = metrics.NewRecorder(opts.N/workers + 1)
 			wr.failures = make(map[string]int)
 			wr.firstErrs = make(map[string]error)
+			wr.recovered = make(map[string]int)
 			stream := g.env.Jitter.Stream(uint64(w) + 1)
+			base := simclock.WithJitter(wctx, stream)
+			if opts.Chaos != nil {
+				// Fault decisions come from the worker's own stream so
+				// they, like costs, are reproducible per worker.
+				base = opts.Chaos.WorkerContext(base, uint64(w)+1)
+			}
 			for i := w; i < opts.N; i += workers {
 				if wctx.Err() != nil {
 					return
@@ -458,10 +517,8 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 					cancel()
 					return
 				}
-				var acct simclock.Account
-				sctx := simclock.WithAccount(wctx, &acct)
-				sctx = simclock.WithJitter(sctx, stream)
-				sess, err := g.RegisterUE(sctx, device)
+				sess, attempts, recovered, err := g.registerAttempts(base, device, opts.MaxAttempts)
+				wr.attempts += attempts
 				if err != nil {
 					class := failureClass(err)
 					wr.failures[class]++
@@ -469,6 +526,9 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 						wr.firstErrs[class] = err
 					}
 					continue
+				}
+				for class, n := range recovered {
+					wr.recovered[class] += n
 				}
 				wr.registered++
 				wr.setups.Add(sess.SetupTime)
@@ -481,6 +541,7 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 	for w := range perWorker {
 		wr := &perWorker[w]
 		result.Registered += wr.registered
+		result.Attempts += wr.attempts
 		if wr.setups != nil {
 			result.SetupTimes.Merge(wr.setups)
 		}
@@ -490,6 +551,9 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 			if _, seen := result.FirstErrors[class]; !seen {
 				result.FirstErrors[class] = wr.firstErrs[class]
 			}
+		}
+		for class, n := range wr.recovered {
+			result.Recovered[class] += n
 		}
 		if wr.provision != nil && firstProvision == nil {
 			firstProvision = wr.provision

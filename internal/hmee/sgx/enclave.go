@@ -501,6 +501,44 @@ func (e *Enclave) AccrueUptime(d time.Duration) {
 	p.clock.AdvanceDuration(d)
 }
 
+// InjectAEX models an externally induced burst of asynchronous exits — a
+// noisy neighbour hammering the core with interrupts, or a malicious host
+// scheduler preempting the enclave (the single-stepping vector of Key
+// Issue 11). Each exit pays the AEX+ERESUME round trip, charged to the
+// request in ctx so the victim's latency figures absorb the storm.
+func (e *Enclave) InjectAEX(ctx context.Context, n uint64) {
+	if n == 0 || e.live() != nil {
+		return
+	}
+	e.stats.AEX.Add(n)
+	e.stats.ERESUME.Add(n)
+	e.platform.charge(simclock.AccountFrom(ctx),
+		simclock.Cycles(n)*e.platform.model.AEXRoundTrip())
+}
+
+// EvictPages models EPC page-pressure reclaim: the kernel swaps up to n of
+// the enclave's resident heap pages out of the EPC (EWB). The eviction
+// itself is the host's cost; the enclave pays later, when Touch re-faults
+// the evicted pages back in. Returns the number of pages actually evicted.
+func (e *Enclave) EvictPages(n uint64) uint64 {
+	if n == 0 || e.live() != nil {
+		return 0
+	}
+	for {
+		done := e.faulted.Load()
+		if done == 0 {
+			return 0
+		}
+		evict := n
+		if evict > done {
+			evict = done
+		}
+		if e.faulted.CompareAndSwap(done, done-evict) {
+			return evict
+		}
+	}
+}
+
 // Stats contains the SGX-specific operation counters the paper collects
 // through Gramine's stats interface (Table III).
 type Stats struct {

@@ -59,7 +59,12 @@ type ueContext struct {
 	sec       *nas.SecurityContext
 	guti      nas.GUTI
 	resyncOK  bool // one resynchronisation attempt allowed
-	teid      uint32
+	// pendingAuth retains the identity the current AKA run started from,
+	// so a lost AUSF session (crash, dropped confirm reply) can be
+	// re-authenticated without bouncing the UE; reauthOK allows it once.
+	pendingAuth *ausf.AuthenticateRequest
+	reauthOK    bool
+	teid        uint32
 }
 
 func (u *ueContext) setState(s ueState) { u.state.Store(int32(s)) }
@@ -100,6 +105,10 @@ type AMF struct {
 	ues      *shard.Map[uint64, *ueContext]
 	guti     *shard.Map[uint32, string] // TMSI -> SUPI for mobility registration
 	nextTMSI atomic.Uint32
+
+	// Degradation counters: recoveries performed instead of rejecting UEs.
+	reauths atomic.Uint64
+	resyncs atomic.Uint64
 }
 
 // New creates an AMF and announces it to the NRF. The AMF's NAS interface
@@ -213,6 +222,8 @@ func (a *AMF) HandleInitialUE(ctx context.Context, ranUEID uint64, nasPDU []byte
 	ue.rand = auth.RAND
 	ue.hxresStar = auth.HXRESStar
 	ue.resyncOK = true
+	ue.pendingAuth = authReq
+	ue.reauthOK = true
 	a.ues.Store(ranUEID, ue)
 
 	return a.challenge(auth)
@@ -262,10 +273,11 @@ func (a *AMF) handleIdentifying(ctx context.Context, ue *ueContext, nasPDU []byt
 		return nil, fmt.Errorf("amf: identified UE PLMN %s%s does not match serving PLMN %s%s",
 			ir.Identity.SUCI.MCC, ir.Identity.SUCI.MNC, a.mcc, a.mnc)
 	}
-	auth, err := a.ausf.Authenticate(ctx, &ausf.AuthenticateRequest{
+	authReq := &ausf.AuthenticateRequest{
 		SUCI:               ir.Identity.SUCI,
 		ServingNetworkName: a.snn,
-	})
+	}
+	auth, err := a.ausf.Authenticate(ctx, authReq)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +285,8 @@ func (a *AMF) handleIdentifying(ctx context.Context, ue *ueContext, nasPDU []byt
 	ue.authCtxID = auth.AuthCtxID
 	ue.rand = auth.RAND
 	ue.hxresStar = auth.HXRESStar
+	ue.pendingAuth = authReq
+	ue.reauthOK = true
 	return a.challenge(auth)
 }
 
@@ -304,6 +318,22 @@ func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.Authentica
 	}
 	conf, err := a.ausf.Confirm(ctx, &ausf.ConfirmRequest{AuthCtxID: ue.authCtxID, ResStar: m.ResStar[:]})
 	if err != nil {
+		// Graceful degradation: CONTEXT_NOT_FOUND means the AUSF no longer
+		// holds the auth session — it consumed it while the reply was
+		// dropped, crashed, or TTL-expired it. The UE's credentials are
+		// fine, so re-run authentication once and re-challenge instead of
+		// rejecting the device.
+		if sbi.HasCause(err, "CONTEXT_NOT_FOUND") && ue.reauthOK && ue.pendingAuth != nil {
+			ue.reauthOK = false
+			if auth, aerr := a.ausf.Authenticate(ctx, ue.pendingAuth); aerr == nil {
+				a.reauths.Add(1)
+				ue.setState(stateAuthenticating)
+				ue.authCtxID = auth.AuthCtxID
+				ue.rand = auth.RAND
+				ue.hxresStar = auth.HXRESStar
+				return a.challenge(auth)
+			}
+		}
 		return a.reject(ue)
 	}
 	ue.supi = conf.SUPI
@@ -349,8 +379,16 @@ func (a *AMF) handleAuthFailure(ctx context.Context, _ uint64, ue *ueContext, m 
 	ue.authCtxID = auth.AuthCtxID
 	ue.rand = auth.RAND
 	ue.hxresStar = auth.HXRESStar
+	a.resyncs.Add(1)
 	return a.challenge(auth)
 }
+
+// Reauths reports how many lost AUSF sessions were recovered by
+// re-authentication instead of rejecting the UE.
+func (a *AMF) Reauths() uint64 { return a.reauths.Load() }
+
+// Resyncs reports how many SQN resynchronisations completed successfully.
+func (a *AMF) Resyncs() uint64 { return a.resyncs.Load() }
 
 func (a *AMF) handleProtected(ctx context.Context, ranUEID uint64, ue *ueContext, nasPDU []byte) ([]byte, error) {
 	if ue.sec == nil {

@@ -10,6 +10,7 @@ import (
 	"crypto/hmac"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"shield5g/internal/costmodel"
 	"shield5g/internal/crypto/suci"
@@ -75,7 +76,21 @@ type session struct {
 	rand     []byte
 	xresStar []byte
 	kseaf    []byte
+	// created stamps the session on the virtual clock for TTL expiry.
+	created time.Duration
 }
+
+// DefaultPendingAuthTTL is the virtual-time lifetime of an unredeemed auth
+// context. It is orders of magnitude above any registration's span (even
+// one absorbing an enclave reload), so in-flight AKA runs never expire;
+// only abandoned ones — a UE that failed mid-registration and never
+// confirmed — are reaped, keeping the session map bounded under faults.
+const DefaultPendingAuthTTL = 30 * time.Minute
+
+// sweepEvery triggers an opportunistic expiry sweep every N new
+// authentications, so cleanup needs no background goroutine (which would
+// break virtual-time determinism).
+const sweepEvery = 64
 
 // Config wires an AUSF instance.
 type Config struct {
@@ -86,6 +101,8 @@ type Config struct {
 	Functions paka.AUSFFunctions
 	// HMEE marks the instance's trust domain for NRF discovery.
 	HMEE bool
+	// PendingAuthTTL overrides DefaultPendingAuthTTL (virtual time).
+	PendingAuthTTL time.Duration
 }
 
 // AUSF is the authentication server VNF.
@@ -100,6 +117,10 @@ type AUSF struct {
 	// insert and redeem auth contexts without a shared mutex.
 	sessions *shard.Map[string, *session]
 	nextID   atomic.Uint64
+
+	ttl        time.Duration
+	sinceSweep atomic.Uint64
+	expired    atomic.Uint64
 }
 
 // New creates an AUSF, registers its SBI server and announces it to the
@@ -118,6 +139,10 @@ func New(ctx context.Context, cfg Config) (*AUSF, error) {
 	if err != nil {
 		return nil, err
 	}
+	ttl := cfg.PendingAuthTTL
+	if ttl <= 0 {
+		ttl = DefaultPendingAuthTTL
+	}
 	a := &AUSF{
 		env:      cfg.Env,
 		server:   sbi.NewServer(ServiceName, cfg.Env),
@@ -125,6 +150,7 @@ func New(ctx context.Context, cfg Config) (*AUSF, error) {
 		nrfc:     nrf.NewClient(cfg.Invoker),
 		fns:      cfg.Functions,
 		sessions: shard.NewString[*session](),
+		ttl:      ttl,
 	}
 	a.server.Handle(PathAuthenticate, sbi.JSONHandler(a.handleAuthenticate))
 	a.server.Handle(PathConfirm, sbi.JSONHandler(a.handleConfirm))
@@ -174,7 +200,11 @@ func (a *AUSF) newChallenge(ctx context.Context, id *suci.SUCI, supi, snn string
 		rand:     he.RAND,
 		xresStar: he.XRESStar,
 		kseaf:    se.KSEAF,
+		created:  a.env.Clock.Now(),
 	})
+	if a.sinceSweep.Add(1)%sweepEvery == 0 {
+		a.SweepExpired()
+	}
 
 	return &AuthenticateResponse{
 		AuthCtxID: ctxID,
@@ -215,6 +245,32 @@ func (a *AUSF) handleResync(ctx context.Context, req *ResyncRequest) (*Authentic
 func (a *AUSF) PendingSessions() int {
 	return a.sessions.Len()
 }
+
+// SweepExpired reaps auth contexts older than the pending-auth TTL on the
+// virtual clock and reports how many it removed. Abandoned registrations
+// (the UE failed and never confirmed) otherwise accumulate forever under
+// injected faults.
+func (a *AUSF) SweepExpired() int {
+	now := a.env.Clock.Now()
+	var stale []string
+	a.sessions.Range(func(id string, s *session) bool {
+		if now-s.created > a.ttl {
+			stale = append(stale, id)
+		}
+		return true
+	})
+	// Delete outside Range: the stripe locks are not reentrant. A session
+	// confirmed between the scan and the delete was consumed by
+	// LoadAndDelete already, making the extra Delete a no-op.
+	for _, id := range stale {
+		a.sessions.Delete(id)
+	}
+	a.expired.Add(uint64(len(stale)))
+	return len(stale)
+}
+
+// ExpiredSessions reports the total auth contexts reaped by TTL expiry.
+func (a *AUSF) ExpiredSessions() uint64 { return a.expired.Load() }
 
 // Client is the AMF/SEAF-side helper for AUSF calls.
 type Client struct {

@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"shield5g/internal/costmodel"
 	"shield5g/internal/crypto/suci"
@@ -79,17 +80,25 @@ type Config struct {
 	HMEE bool
 	// Entropy overrides RAND generation (tests); nil selects crypto/rand.
 	Entropy io.Reader
+	// Reprovision, when set, restores a subscriber's long-term key into
+	// the AKA execution environment (deploy points it at the eUDM
+	// module). It is the degradation path for an execution environment
+	// that lost its key store to a crash-restart.
+	Reprovision func(ctx context.Context, supi string, k []byte) error
 }
 
 // UDM is the data-management VNF.
 type UDM struct {
-	env     *costmodel.Env
-	server  *sbi.Server
-	udr     *udr.Client
-	nrfc    *nrf.Client
-	fns     paka.UDMFunctions
-	hnKey   *suci.HomeNetworkKey
-	entropy io.Reader
+	env         *costmodel.Env
+	server      *sbi.Server
+	udr         *udr.Client
+	nrfc        *nrf.Client
+	fns         paka.UDMFunctions
+	hnKey       *suci.HomeNetworkKey
+	entropy     io.Reader
+	reprovision func(ctx context.Context, supi string, k []byte) error
+
+	reprovisions atomic.Uint64
 }
 
 // New creates a UDM, registers its SBI server and announces it to the NRF.
@@ -108,13 +117,14 @@ func New(ctx context.Context, cfg Config) (*UDM, error) {
 		entropy = rand.Reader
 	}
 	u := &UDM{
-		env:     cfg.Env,
-		server:  sbi.NewServer(ServiceName, cfg.Env),
-		udr:     udr.NewClient(cfg.Invoker),
-		nrfc:    nrf.NewClient(cfg.Invoker),
-		fns:     cfg.Functions,
-		hnKey:   cfg.HomeNetworkKey,
-		entropy: entropy,
+		env:         cfg.Env,
+		server:      sbi.NewServer(ServiceName, cfg.Env),
+		udr:         udr.NewClient(cfg.Invoker),
+		nrfc:        nrf.NewClient(cfg.Invoker),
+		fns:         cfg.Functions,
+		hnKey:       cfg.HomeNetworkKey,
+		entropy:     entropy,
+		reprovision: cfg.Reprovision,
 	}
 	u.server.Handle(PathGenerateAuthData, sbi.JSONHandler(u.handleGenerateAuthData))
 	u.server.Handle(PathResync, sbi.JSONHandler(u.handleResync))
@@ -165,14 +175,26 @@ func (u *UDM) handleGenerateAuthData(ctx context.Context, req *GenerateAuthDataR
 		return nil, sbi.Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "RAND generation: %v", err)
 	}
 
-	av, err := u.fns.GenerateAV(ctx, &paka.UDMGenerateAVRequest{
+	avReq := &paka.UDMGenerateAVRequest{
 		SUPI:  supi,
 		OPc:   auth.OPc,
 		RAND:  randBytes,
 		SQN:   auth.SQN,
 		AMFID: auth.AMFField,
 		SNN:   req.ServingNetworkName,
-	})
+	}
+	av, err := u.fns.GenerateAV(ctx, avReq)
+	if err != nil && u.reprovision != nil && sbi.HasCause(err, "USER_NOT_FOUND") {
+		// Graceful degradation: the execution environment lost its key
+		// store (container crash-restart has no sealed backup). Re-fetch
+		// the long-term key from the UDR, push it back in, and retry once.
+		if sub, gerr := u.udr.Get(ctx, supi); gerr == nil {
+			if perr := u.reprovision(ctx, supi, sub.K); perr == nil {
+				u.reprovisions.Add(1)
+				av, err = u.fns.GenerateAV(ctx, avReq)
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +226,10 @@ func (u *UDM) handleResync(ctx context.Context, req *ResyncRequest) (*Empty, err
 	}
 	return &Empty{}, nil
 }
+
+// Reprovisions reports how many subscriber keys were restored into the
+// execution environment after it lost them.
+func (u *UDM) Reprovisions() uint64 { return u.reprovisions.Load() }
 
 // Client is the AUSF-side helper for UDM calls.
 type Client struct {

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shield5g/internal/costmodel"
@@ -55,9 +56,19 @@ type Module struct {
 	isolation Isolation
 	profile   Profile
 	env       *costmodel.Env
-	runtime   Runtime
 	server    *sbi.Server
 	registry  *sbi.Registry
+
+	// cfg is retained so Restart can redeploy an identical runtime (same
+	// manifest, same sign key, same enclave measurement).
+	cfg Config
+
+	// rtMu guards the runtime pointer, which Restart swaps while requests
+	// may be in flight; restartMu single-files restarts themselves.
+	rtMu      sync.RWMutex
+	runtime   Runtime
+	restartMu sync.Mutex
+	restarts  atomic.Uint64
 
 	// Latency recorders feeding the experiments: the module-side
 	// functional (L_F) and total (L_T) windows of every served request,
@@ -69,6 +80,10 @@ type Module struct {
 
 	secretMu    sync.Mutex
 	secretNames []string
+	// sealed holds host-side sealed backups of provisioned subscriber
+	// keys (SGX only): opaque to the host, recoverable by a restarted
+	// enclave with the same measurement.
+	sealed map[string][]byte
 }
 
 // New deploys a P-AKA module under the configured isolation mode. For SGX
@@ -85,15 +100,27 @@ func New(ctx context.Context, cfg Config) (*Module, error) {
 		return nil, errors.New("paka: Config.Registry is required")
 	}
 
+	// Resolve the sign key up front so a crash-restart rebuilds the
+	// byte-identical shielded image instead of re-keying.
+	if cfg.Isolation == SGX && cfg.SignKey == nil {
+		var err error
+		_, cfg.SignKey, err = ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("paka: generate GSC sign key: %w", err)
+		}
+	}
+
 	m := &Module{
 		kind:       cfg.Kind,
 		isolation:  cfg.Isolation,
 		profile:    profile,
 		env:        cfg.Env,
 		registry:   cfg.Registry,
+		cfg:        cfg,
 		functional: &metrics.Recorder{},
 		total:      &metrics.Recorder{},
 		serverSide: &metrics.Recorder{},
+		sealed:     make(map[string][]byte),
 	}
 
 	switch cfg.Isolation {
@@ -192,6 +219,14 @@ func moduleImage(kind ModuleKind, profile Profile, userTCP bool) gramine.Contain
 	return img
 }
 
+// rt returns the current runtime; requests that grabbed an older runtime
+// across a Restart fail with a transient error and are retried.
+func (m *Module) rt() Runtime {
+	m.rtMu.RLock()
+	defer m.rtMu.RUnlock()
+	return m.runtime
+}
+
 // registerEndpoints wires the kind-specific handlers.
 func (m *Module) registerEndpoints() {
 	switch m.kind {
@@ -210,7 +245,7 @@ func (m *Module) registerEndpoints() {
 func (m *Module) endpoint(handler func(ctx context.Context, ex Exec, body []byte) ([]byte, error)) sbi.HandlerFunc {
 	return func(ctx context.Context, body []byte) ([]byte, error) {
 		var out []byte
-		bd, err := m.runtime.ServeRequest(ctx, m.profile.InBytes, m.profile.OutBytes, func(ex Exec) error {
+		bd, err := m.rt().ServeRequest(ctx, m.profile.InBytes, m.profile.OutBytes, func(ex Exec) error {
 			fn := m.env.JitterFor(ctx).LogNormal(m.profile.FnCycles, m.profile.FnSigma)
 			if m.isolation == SGX {
 				fn += m.profile.SGXExtraCycles
@@ -299,7 +334,7 @@ func (m *Module) ProvisionSubscriber(ctx context.Context, supi string, k []byte)
 		return fmt.Errorf("paka: %s does not hold subscriber keys", m.kind)
 	}
 	name := subscriberSecret(supi)
-	err := m.runtime.Do(ctx, func(ex Exec) error {
+	err := m.rt().Do(ctx, func(ex Exec) error {
 		ex.StoreSecret(name, k)
 		return nil
 	})
@@ -309,6 +344,20 @@ func (m *Module) ProvisionSubscriber(ctx context.Context, supi string, k []byte)
 	m.secretMu.Lock()
 	m.secretNames = append(m.secretNames, name)
 	m.secretMu.Unlock()
+
+	// Keep a host-side sealed backup so a crash-restarted enclave (same
+	// measurement, same platform) can recover the key without the UDR
+	// round trip. Plain containers get no backup: their keys die with the
+	// process and come back through the UDM re-provisioning path.
+	if enc := m.Enclave(); enc != nil {
+		blob, serr := enc.Seal(k, []byte(name))
+		if serr != nil {
+			return fmt.Errorf("paka: seal backup for %s: %w", supi, serr)
+		}
+		m.secretMu.Lock()
+		m.sealed[name] = blob
+		m.secretMu.Unlock()
+	}
 	return nil
 }
 
@@ -322,7 +371,7 @@ func (m *Module) MemoryDump() map[string][]byte {
 	m.secretMu.Unlock()
 	out := make(map[string][]byte, len(names))
 	for _, name := range names {
-		switch rt := m.runtime.(type) {
+		switch rt := m.rt().(type) {
 		case *sgxRuntime:
 			if d, ok := rt.enclave().Introspect(name); ok {
 				out[name] = d
@@ -353,16 +402,16 @@ func (m *Module) Profile() Profile { return m.profile }
 func (m *Module) ServiceName() string { return m.kind.ServiceName() }
 
 // LoadDuration is the modelled deployment time (Fig. 7 when SGX).
-func (m *Module) LoadDuration() time.Duration { return m.runtime.LoadDuration() }
+func (m *Module) LoadDuration() time.Duration { return m.rt().LoadDuration() }
 
 // Stats snapshots the module's SGX counters (zero for containers).
-func (m *Module) Stats() sgx.StatsSnapshot { return m.runtime.Stats() }
+func (m *Module) Stats() sgx.StatsSnapshot { return m.rt().Stats() }
 
 // AccrueUptime models the module staying deployed for d of virtual time.
-func (m *Module) AccrueUptime(d time.Duration) { m.runtime.AccrueUptime(d) }
+func (m *Module) AccrueUptime(d time.Duration) { m.rt().AccrueUptime(d) }
 
 // Warm reports whether the module has served its first request.
-func (m *Module) Warm() bool { return m.runtime.Warm() }
+func (m *Module) Warm() bool { return m.rt().Warm() }
 
 // HostTCBBytes approximates the host software a non-enclave deployment
 // must additionally trust: kernel, container engine and system services.
@@ -373,7 +422,7 @@ const HostTCBBytes = 4 << 30
 // measured into the enclave; for a plain container, the image plus the
 // entire host software stack that can read its memory.
 func (m *Module) TCBBytes() uint64 {
-	switch rt := m.runtime.(type) {
+	switch rt := m.rt().(type) {
 	case *sgxRuntime:
 		return rt.inst.TCBBytes()
 	case *sevRuntime:
@@ -386,7 +435,7 @@ func (m *Module) TCBBytes() uint64 {
 // Machine exposes the module's confidential VM; nil when not
 // SEV-isolated.
 func (m *Module) Machine() *sev.Machine {
-	if rt, ok := m.runtime.(*sevRuntime); ok {
+	if rt, ok := m.rt().(*sevRuntime); ok {
 		return rt.machine
 	}
 	return nil
@@ -395,7 +444,7 @@ func (m *Module) Machine() *sev.Machine {
 // Enclave exposes the module's enclave for sealing/attestation; nil when
 // not SGX-isolated.
 func (m *Module) Enclave() *sgx.Enclave {
-	if rt, ok := m.runtime.(*sgxRuntime); ok {
+	if rt, ok := m.rt().(*sgxRuntime); ok {
 		return rt.enclave()
 	}
 	return nil
@@ -421,5 +470,69 @@ func (m *Module) ResetRecorders() {
 // Stop deregisters and shuts the module down.
 func (m *Module) Stop() {
 	m.registry.Deregister(m.server.Name())
-	m.runtime.Shutdown()
+	m.rt().Shutdown()
+}
+
+// Restarts reports how many crash-restarts the module has survived.
+func (m *Module) Restarts() uint64 { return m.restarts.Load() }
+
+// Restart models a whole-NF crash and recovery: the current runtime is
+// torn down (for SGX the enclave is destroyed, flushing every in-enclave
+// secret) and an identical one is redeployed from the retained Config,
+// re-paying the full load cost — the paper's Fig. 7 0.96–0.99 min enclave
+// load penalty — against ctx's account in virtual time. SGX modules then
+// recover their subscriber keys from the host-side sealed backups (same
+// measurement on the same platform ⇒ same sealing key); plain containers
+// come back empty and rely on the UDM's re-provisioning degradation path.
+// Requests in flight on the old runtime fail transiently and are retried
+// by the SBI resilience layer.
+func (m *Module) Restart(ctx context.Context) error {
+	m.restartMu.Lock()
+	defer m.restartMu.Unlock()
+
+	m.rt().Shutdown()
+
+	var fresh Runtime
+	switch m.isolation {
+	case Container:
+		fresh = newNativeRuntime(m.cfg.Env)
+	case SGX:
+		rt, err := buildSGXRuntime(ctx, m.cfg, m.profile)
+		if err != nil {
+			return fmt.Errorf("paka: restart %s: %w", m.kind, err)
+		}
+		fresh = rt
+	default:
+		return fmt.Errorf("paka: %s runtime does not support restart", m.isolation)
+	}
+
+	if srt, ok := fresh.(*sgxRuntime); ok {
+		enc := srt.enclave()
+		m.secretMu.Lock()
+		backups := make(map[string][]byte, len(m.sealed))
+		for name, blob := range m.sealed {
+			backups[name] = blob
+		}
+		m.secretMu.Unlock()
+		for name, blob := range backups {
+			k, err := enc.Unseal(blob, []byte(name))
+			if err != nil {
+				fresh.Shutdown()
+				return fmt.Errorf("paka: restart %s: recover %s: %w", m.kind, name, err)
+			}
+			if err := fresh.Do(ctx, func(ex Exec) error {
+				ex.StoreSecret(name, k)
+				return nil
+			}); err != nil {
+				fresh.Shutdown()
+				return fmt.Errorf("paka: restart %s: restore %s: %w", m.kind, name, err)
+			}
+		}
+	}
+
+	m.rtMu.Lock()
+	m.runtime = fresh
+	m.rtMu.Unlock()
+	m.restarts.Add(1)
+	return nil
 }

@@ -1,0 +1,373 @@
+package sbi
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/simclock"
+)
+
+// This file implements the SBI resilience layer of the robustness work:
+// per-request virtual-time deadlines, a retry policy with exponential
+// backoff and deterministic jitter that honours Retry-After/ProblemDetails
+// cause semantics (TS 29.500 §6.4, §6.10), and a per-service circuit
+// breaker with half-open probing. All waiting is charged to virtual time
+// through the shared costmodel.Env, so runs stay seed-deterministic and
+// wall-clock free.
+
+// Retryable reports whether an SBI error may be retried. Per TS 29.500,
+// congestion (429), transient unavailability (503), gateway timeouts
+// (504) and internal server errors (500 SYSTEM_FAILURE) are transient;
+// every other 4xx is a permanent protocol- or subscription-level failure
+// that a retry cannot fix. Non-ProblemDetails errors (transport plumbing)
+// are treated as transient.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	pd, ok := AsProblem(err)
+	if !ok {
+		return true
+	}
+	switch pd.Status {
+	case 429, 500, 503, 504:
+		return true
+	default:
+		return false
+	}
+}
+
+// RetryPolicy shapes the exponential backoff between attempts. Durations
+// are virtual time.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, including the first (min 1).
+	MaxAttempts int
+	// InitialBackoff is the wait before the second attempt.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff per attempt (min 1).
+	Multiplier float64
+	// JitterFrac spreads each wait uniformly in [1-f, 1+f], drawn from
+	// the request's deterministic jitter stream.
+	JitterFrac float64
+}
+
+// DefaultRetryPolicy mirrors the 3GPP SBI client guidance: a handful of
+// attempts with doubling backoff, jittered to avoid retry synchronisation.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    4,
+		InitialBackoff: 5 * time.Millisecond,
+		MaxBackoff:     500 * time.Millisecond,
+		Multiplier:     2,
+		JitterFrac:     0.2,
+	}
+}
+
+// BreakerConfig tunes the per-service circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold consecutive transient failures open the circuit.
+	FailureThreshold int
+	// OpenTimeout is the virtual cooldown before half-open probing.
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many concurrent probes half-open admits and
+	// how many successes close the circuit again.
+	HalfOpenProbes int
+}
+
+// DefaultBreakerConfig trips after a burst of consecutive failures and
+// probes again after a short virtual cooldown.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		FailureThreshold: 8,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   2,
+	}
+}
+
+// BreakerState is the circuit breaker state machine position.
+type BreakerState int
+
+// The classic three breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a circuit breaker on the virtual clock: closed passes all
+// requests; FailureThreshold consecutive transient failures open it; after
+// OpenTimeout of virtual time it admits HalfOpenProbes probes, which close
+// it on success or re-open it on failure.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Duration
+	inFlight    int
+	successes   int
+}
+
+// NewBreaker builds a closed breaker; zero config fields take defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	def := DefaultBreakerConfig()
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = def.FailureThreshold
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = def.OpenTimeout
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = def.HalfOpenProbes
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// State reports the current state (open lazily transitions to half-open
+// only on the next Allow, matching the virtual-clock design).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow asks to admit a request at virtual time now. When it returns
+// false, retryAfter is the remaining cooldown (zero if half-open is merely
+// saturated with probes). Every admitted request must be followed by
+// exactly one OnSuccess or OnFailure.
+func (b *Breaker) Allow(now time.Duration) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if now-b.openedAt < b.cfg.OpenTimeout {
+			return false, b.cfg.OpenTimeout - (now - b.openedAt)
+		}
+		b.state = BreakerHalfOpen
+		b.inFlight = 0
+		b.successes = 0
+	}
+	if b.state == BreakerHalfOpen {
+		if b.inFlight >= b.cfg.HalfOpenProbes {
+			return false, 0
+		}
+		b.inFlight++
+	}
+	return true, 0
+}
+
+// OnSuccess records a successful admitted request.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails = 0
+	case BreakerHalfOpen:
+		b.inFlight--
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.consecFails = 0
+		}
+	}
+}
+
+// OnFailure records a transient failure of an admitted request at virtual
+// time now.
+func (b *Breaker) OnFailure(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+}
+
+// ResilienceConfig configures the resilient invoker wrapper.
+type ResilienceConfig struct {
+	Retry   RetryPolicy
+	Breaker BreakerConfig
+	// Deadline is the per-request virtual-time budget across all
+	// attempts, measured on the request's Account. Zero disables it.
+	Deadline time.Duration
+	// DisableBreaker bypasses the circuit breaker (retries still apply).
+	DisableBreaker bool
+}
+
+// DefaultResilienceConfig is the slice-wide default used by deploy when
+// resilience is enabled.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Retry:    DefaultRetryPolicy(),
+		Breaker:  DefaultBreakerConfig(),
+		Deadline: 10 * time.Second,
+	}
+}
+
+// ResilientClient wraps an Invoker with deadlines, retries and per-service
+// circuit breakers. It is safe for concurrent use; breakers are shared
+// across all requests of the wrapping client.
+type ResilientClient struct {
+	inner Invoker
+	env   *costmodel.Env
+	cfg   ResilienceConfig
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// NewResilient wraps inner; zero retry fields take defaults.
+func NewResilient(inner Invoker, env *costmodel.Env, cfg ResilienceConfig) *ResilientClient {
+	def := DefaultRetryPolicy()
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = def.MaxAttempts
+	}
+	if cfg.Retry.InitialBackoff <= 0 {
+		cfg.Retry.InitialBackoff = def.InitialBackoff
+	}
+	if cfg.Retry.MaxBackoff <= 0 {
+		cfg.Retry.MaxBackoff = def.MaxBackoff
+	}
+	if cfg.Retry.Multiplier < 1 {
+		cfg.Retry.Multiplier = def.Multiplier
+	}
+	return &ResilientClient{
+		inner:    inner,
+		env:      env,
+		cfg:      cfg,
+		breakers: make(map[string]*Breaker),
+	}
+}
+
+// BreakerFor returns the (lazily created) breaker guarding service.
+func (r *ResilientClient) BreakerFor(service string) *Breaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[service]
+	if !ok {
+		b = NewBreaker(r.cfg.Breaker)
+		r.breakers[service] = b
+	}
+	return b
+}
+
+// Post implements Invoker: it drives attempts against the inner transport
+// until success, a permanent error, retry exhaustion, or the virtual
+// deadline. Backoff waits are charged to the request's account (and the
+// shared clock), so retrying under faults shows up in setup-time figures.
+func (r *ResilientClient) Post(ctx context.Context, service, path string, req, resp any) error {
+	freq := r.env.Clock.FrequencyHz()
+	acct := simclock.AccountFrom(ctx)
+	start := acct.Total()
+	budget := simclock.FromDuration(r.cfg.Deadline, freq)
+
+	var br *Breaker
+	if !r.cfg.DisableBreaker {
+		br = r.BreakerFor(service)
+	}
+
+	backoff := r.cfg.Retry.InitialBackoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return Problem(504, "Gateway Timeout", CauseTimeout, "%s%s: %v", service, path, cerr)
+		}
+		if r.cfg.Deadline > 0 && acct.Total()-start >= budget {
+			return Problem(504, "Gateway Timeout", CauseTimeout,
+				"%s%s: virtual deadline %v exceeded after %d attempt(s)", service, path, r.cfg.Deadline, attempt-1)
+		}
+
+		var retryAfter time.Duration
+		admitted := true
+		if br != nil {
+			var cooldown time.Duration
+			admitted, cooldown = br.Allow(r.env.Clock.Now())
+			if !admitted {
+				lastErr = Problem(503, "Service Unavailable", CauseCircuitOpen,
+					"%s%s: circuit open", service, path)
+				retryAfter = cooldown
+			}
+		}
+		if admitted {
+			lastErr = r.inner.Post(ctx, service, path, req, resp)
+			if lastErr == nil {
+				if br != nil {
+					br.OnSuccess()
+				}
+				return nil
+			}
+			if !Retryable(lastErr) {
+				// A definitive server answer: it does not trip the breaker
+				// (the peer is alive) and must not be retried.
+				if br != nil {
+					br.OnSuccess()
+				}
+				return lastErr
+			}
+			if br != nil {
+				br.OnFailure(r.env.Clock.Now())
+			}
+			if pd, ok := AsProblem(lastErr); ok && pd.RetryAfter > retryAfter {
+				retryAfter = pd.RetryAfter
+			}
+		}
+
+		if attempt >= r.cfg.Retry.MaxAttempts {
+			return lastErr
+		}
+		wait := simclock.FromDuration(backoff, freq)
+		wait = r.env.JitterFor(ctx).Scale(wait, r.cfg.Retry.JitterFrac)
+		if floor := simclock.FromDuration(retryAfter, freq); wait < floor {
+			wait = floor
+		}
+		if r.cfg.Deadline > 0 {
+			if spent := acct.Total() - start; spent+wait > budget {
+				// Waiting would blow the budget: charge the remainder and
+				// report the deadline instead of sleeping past it. The
+				// attempt itself may already have overshot the budget
+				// (e.g. a crash-triggered enclave reload), so guard the
+				// unsigned subtraction.
+				if spent < budget {
+					r.env.Charge(ctx, budget-spent)
+				}
+				return Problem(504, "Gateway Timeout", CauseTimeout,
+					"%s%s: virtual deadline %v exceeded after %d attempt(s): %v",
+					service, path, r.cfg.Deadline, attempt, lastErr)
+			}
+		}
+		r.env.Charge(ctx, wait)
+		backoff = time.Duration(float64(backoff) * r.cfg.Retry.Multiplier)
+		if backoff > r.cfg.Retry.MaxBackoff {
+			backoff = r.cfg.Retry.MaxBackoff
+		}
+	}
+}
+
+// Compile-time conformance.
+var _ Invoker = (*ResilientClient)(nil)

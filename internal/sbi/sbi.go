@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"shield5g/internal/costmodel"
 )
@@ -26,6 +27,10 @@ type ProblemDetails struct {
 	Status int    `json:"status"`
 	Detail string `json:"detail,omitempty"`
 	Cause  string `json:"cause,omitempty"`
+	// RetryAfter mirrors the HTTP Retry-After header a congested NF
+	// attaches to 429/503 responses (TS 29.500 §6.4): the minimum
+	// virtual time the client should wait before retrying.
+	RetryAfter time.Duration `json:"retryAfter,omitempty"`
 }
 
 // Error implements error.
@@ -41,6 +46,31 @@ func Problem(status int, title, cause, format string, args ...any) *ProblemDetai
 		Cause:  cause,
 		Detail: fmt.Sprintf(format, args...),
 	}
+}
+
+// ProblemDetails causes shared across packages (TS 29.500 Table 5.2.7.2-1
+// plus the local additions used by the resilience layer).
+const (
+	CauseTimeout     = "TIMEOUT"
+	CauseCircuitOpen = "CIRCUIT_OPEN"
+	CauseCongestion  = "NF_CONGESTION"
+	CauseUnreachable = "TARGET_NF_NOT_REACHABLE"
+	CauseSystem      = "SYSTEM_FAILURE"
+)
+
+// AsProblem extracts the ProblemDetails from an error chain.
+func AsProblem(err error) (*ProblemDetails, bool) {
+	var pd *ProblemDetails
+	ok := errors.As(err, &pd)
+	return pd, ok
+}
+
+// HasCause reports whether err carries a ProblemDetails with the cause.
+func HasCause(err error, cause string) bool {
+	if pd, ok := AsProblem(err); ok {
+		return pd.Cause == cause
+	}
+	return false
 }
 
 // HandlerFunc serves one SBI endpoint: JSON request bytes in, JSON
@@ -181,6 +211,13 @@ func NewClient(from string, env *costmodel.Env, registry *Registry) *Client {
 // Post marshals req, invokes service's path endpoint, and unmarshals the
 // response into resp (which may be nil to discard).
 func (c *Client) Post(ctx context.Context, service, path string, req, resp any) error {
+	// A cancelled or expired context is a client-side timeout, not a
+	// server failure: surface it as 504/TIMEOUT so callers and the retry
+	// layer can tell it apart from a 500 SYSTEM_FAILURE.
+	if cerr := ctx.Err(); cerr != nil {
+		return Problem(504, "Gateway Timeout", CauseTimeout, "%s -> %s%s: %v", c.from, service, path, cerr)
+	}
+
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("sbi: marshal request to %s%s: %w", service, path, err)

@@ -20,6 +20,7 @@ import (
 	"crypto/ed25519"
 	"io"
 
+	"shield5g/internal/chaos"
 	"shield5g/internal/core"
 	"shield5g/internal/crypto/suci"
 	"shield5g/internal/deploy"
@@ -28,6 +29,7 @@ import (
 	"shield5g/internal/hmee/sgx"
 	"shield5g/internal/keyissues"
 	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
 	"shield5g/internal/ue"
 )
 
@@ -81,6 +83,35 @@ type MassResult = gnb.MassResult
 
 // ExperimentConfig controls experiment scale and reproducibility.
 type ExperimentConfig = experiments.Config
+
+// ChaosConfig sets the seeded fault-injection rates and shapes for a
+// slice (SliceConfig.Chaos).
+type ChaosConfig = chaos.Config
+
+// ChaosInjector is a slice's running fault injector (Slice.Chaos): arm or
+// disarm it around workload phases and read per-kind injection counts.
+type ChaosInjector = chaos.Injector
+
+// DefaultChaosMix spreads a total per-request fault rate across the fault
+// taxonomy (latency spikes, transient errors, dropped replies, AEX storms,
+// EPC evictions, module crashes).
+func DefaultChaosMix(seed uint64, totalRate float64) ChaosConfig {
+	return chaos.DefaultMix(seed, totalRate)
+}
+
+// ResilienceConfig tunes the SBI deadline/retry/circuit-breaker layer
+// (SliceConfig.Resilience).
+type ResilienceConfig = sbi.ResilienceConfig
+
+// RetryPolicy shapes the resilience layer's exponential backoff.
+type RetryPolicy = sbi.RetryPolicy
+
+// BreakerConfig shapes the per-service circuit breaker.
+type BreakerConfig = sbi.BreakerConfig
+
+// DefaultResilienceConfig returns the policy a chaos-enabled slice uses
+// when none is given.
+func DefaultResilienceConfig() ResilienceConfig { return sbi.DefaultResilienceConfig() }
 
 // KeyIssue is one TR 33.848 key-issue row of the paper's Table V.
 type KeyIssue = keyissues.KeyIssue
