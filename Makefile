@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench experiments examples clean
+.PHONY: all build test race vet bench ci experiments examples clean
 
 all: build test
 
@@ -13,16 +13,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Static checks plus a focused race pass over the fault-injection and
-# mass-registration paths (parallel drivers, injector, resilience layer).
+# Static checks plus a focused race pass over the fault-injection,
+# mass-registration, and enclave-runtime paths (parallel drivers,
+# injector, resilience layer, keep-alive sessions, TCS pool).
 vet:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/
+	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/ ./internal/paka/
 
 bench:
 	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json \
 	BENCH_CHAOS_JSON=$(CURDIR)/BENCH_chaos_registration.json \
+	BENCH_BATCHED_JSON=$(CURDIR)/BENCH_batched_transitions.json \
 	$(GO) test -bench=. -benchmem ./...
+
+# What CI runs: build, the race-enabled test suite, static checks, and a
+# single-iteration smoke of the boundary-amortization benchmark (its
+# >=40% transition-reduction assertion runs on deterministic virtual
+# counts, so one iteration is a stable gate).
+ci: build
+	$(GO) test -race ./...
+	$(MAKE) vet
+	$(GO) test -run '^$$' -bench RegisterManyBatched -benchtime=1x .
 
 # Regenerate every table and figure of the paper (500 samples each).
 experiments:

@@ -5,12 +5,15 @@
 // Usage:
 //
 //	gnbsim [-n 100] [-parallel 1] [-isolation sgx|container|monolithic] [-seed N]
-//	       [-chaos RATE] [-retries N]
+//	       [-chaos RATE] [-retries N] [-batch N] [-avpool N]
 //
 // -chaos enables the deterministic fault injector at the given total
 // per-request fault rate (e.g. 0.1 injects a fault on 10% of SBI
 // requests), and -retries bounds the full-registration attempts per UE
-// (default 5 when chaos is on).
+// (default 5 when chaos is on). -batch runs each worker's module
+// requests over keep-alive sessions of the given depth, and -avpool
+// enables the UDM's authentication-vector precomputation pool with the
+// given per-SUPI ring depth — the two boundary-amortization mechanisms.
 package main
 
 import (
@@ -36,6 +39,8 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "jitter seed")
 	chaosRate := flag.Float64("chaos", 0, "total per-request fault-injection rate (0 disables)")
 	retries := flag.Int("retries", 0, "max registration attempts per UE (0 = 1, or 5 when -chaos is set)")
+	batch := flag.Int("batch", 0, "keep-alive session depth: module requests per connection (0 = one connection per request)")
+	avpool := flag.Int("avpool", 0, "UDM AV precomputation pool depth per SUPI (0 disables)")
 	flag.Parse()
 
 	iso, err := parseIsolation(*isolation)
@@ -55,7 +60,12 @@ func run() int {
 		}
 	}
 
-	sliceCfg := shield5g.SliceConfig{Isolation: iso, Seed: *seed}
+	if *batch < 0 || *avpool < 0 {
+		fmt.Fprintf(os.Stderr, "gnbsim: -batch and -avpool must be >= 0\n")
+		return 2
+	}
+
+	sliceCfg := shield5g.SliceConfig{Isolation: iso, Seed: *seed, AVPoolDepth: *avpool}
 	if *chaosRate > 0 {
 		// The decision seed is derived from -seed so one flag reproduces
 		// both the cost draws and the fault schedule.
@@ -95,6 +105,7 @@ func run() int {
 		Parallelism: *parallel,
 		MaxAttempts: maxAttempts,
 		Chaos:       tb.Slice.Chaos,
+		BatchSize:   *batch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gnbsim: %v\n", err)
@@ -124,6 +135,11 @@ func run() int {
 		if restarts > 0 {
 			fmt.Printf("chaos: %d module crash/redeploy cycle(s) survived (re-load + re-attest)\n", restarts)
 		}
+	}
+	if *avpool > 0 {
+		pool := tb.Slice.UDM.AVPoolStats()
+		fmt.Printf("av pool: %d hits, %d misses, %d refills, %d banked vectors\n",
+			pool.Hits, pool.Misses, pool.Refills, pool.Pooled)
 	}
 	if result.Registered > 0 {
 		sum := result.SetupTimes.Summarize()

@@ -163,6 +163,10 @@ func ExperimentRegistry() map[string]Experiment {
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.Chaos(ctx, cfg)
 			}),
+		"batching": render("batching", "Boundary amortization sweep: keep-alive batching and the AV precomputation pool",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Batching(ctx, cfg)
+			}),
 		"e2e": render("e2e", "End-to-end session setup and the SGX share",
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.E2E(ctx, cfg)
@@ -254,6 +258,13 @@ func csvWriters() map[string]func(ctx context.Context, cfg experiments.Config, w
 		},
 		"chaos": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
 			r, err := experiments.Chaos(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"batching": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Batching(ctx, cfg)
 			if err != nil {
 				return err
 			}

@@ -68,6 +68,13 @@ type SliceConfig struct {
 	// default policy applies (injected faults would otherwise turn every
 	// hit into a hard failure).
 	Resilience *sbi.ResilienceConfig
+	// AVPoolDepth enables the UDM's authentication-vector precomputation
+	// pool (vectors banked per SUPI, minted in batch crossings); 0
+	// disables it, keeping the seed's one-crossing-per-AV path.
+	AVPoolDepth int
+	// AVBatchSize is the number of vectors minted per pool refill; ≤0
+	// defaults to AVPoolDepth.
+	AVBatchSize int
 }
 
 // Slice is a running network slice.
@@ -199,6 +206,7 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 		Env: env, Registry: s.Registry, Invoker: udmInvoker,
 		Functions: udmFns, HomeNetworkKey: hnKey, HMEE: hmee, Entropy: entropy,
 		Reprovision: reprovision,
+		AVPoolDepth: cfg.AVPoolDepth, AVBatchSize: cfg.AVBatchSize,
 	}); err != nil {
 		return nil, fmt.Errorf("deploy: UDM: %w", err)
 	}
@@ -291,6 +299,9 @@ func (s *Slice) buildFunctions(ctx context.Context, cfg SliceConfig) (paka.UDMFu
 			MaxThreads:       cfg.MaxThreads,
 			DisablePreheat:   cfg.DisablePreheat,
 			SignKey:          signKey,
+			// Pool refills enter the enclave via batch ECALLs, which need
+			// a TCS slot the resident threads do not hold.
+			ReserveBatchTCS: kind == paka.EUDM && cfg.AVPoolDepth > 0,
 		})
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("deploy: %s module: %w", kind, err)
@@ -373,6 +384,11 @@ func (s *Slice) RestartModule(ctx context.Context, kind paka.ModuleKind) error {
 		s.attestMu.Lock()
 		s.attested = true
 		s.attestMu.Unlock()
+		if s.UDM != nil {
+			// Vectors minted before the crash must never be served after
+			// it: the fresh key store may have rebased sequence numbers.
+			s.UDM.InvalidateAVPool()
+		}
 	}
 	return nil
 }

@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// TestBatchingSmokeManual is the development smoke driver; skipped unless
+// BATCHING_SMOKE=1.
+func TestBatchingSmokeManual(t *testing.T) {
+	if os.Getenv("BATCHING_SMOKE") != "1" {
+		t.Skip("set BATCHING_SMOKE=1 to run")
+	}
+	r, err := Batching(context.Background(), Config{Seed: 1, Iterations: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Render(os.Stdout)
+}

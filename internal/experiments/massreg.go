@@ -9,6 +9,7 @@ import (
 
 	"shield5g/internal/deploy"
 	"shield5g/internal/gnb"
+	"shield5g/internal/metrics"
 	"shield5g/internal/paka"
 	"shield5g/internal/ue"
 )
@@ -25,11 +26,16 @@ type MassRegPoint struct {
 	Virtual           time.Duration
 	WallRegsPerSec    float64
 	VirtualRegsPerSec float64
-	// MedianSetup is the per-registration virtual setup-time median.
+	// MedianSetup/P99Setup are the per-registration virtual setup-time
+	// median and 99th percentile (the tail the pool/batching work targets).
 	MedianSetup time.Duration
+	P99Setup    time.Duration
 	// EENTERPerReg is the eUDM module's enclave-entry count per
 	// registration — the Table III census must hold under concurrency.
 	EENTERPerReg float64
+	// TransPerReg is the total enclave transition count (EENTER+EEXIT,
+	// summed over all three P-AKA modules) per registration.
+	TransPerReg float64
 	// Speedup is the wall-clock gain over the sequential point.
 	Speedup float64
 }
@@ -39,6 +45,10 @@ type MassRegResult struct {
 	UEs        int
 	GOMAXPROCS int
 	Points     []MassRegPoint
+
+	// TransitionsPerReg publishes the sequential point's whole-slice
+	// transition census as a live gauge.
+	TransitionsPerReg metrics.Gauge
 }
 
 // MassReg sweeps the gNBSIM mass-registration driver across worker pool
@@ -70,6 +80,7 @@ func MassReg(ctx context.Context, cfg Config) (*MassRegResult, error) {
 		}
 		result.Points = append(result.Points, point)
 	}
+	result.TransitionsPerReg.Set(result.Points[0].TransPerReg)
 	base := result.Points[0].Wall
 	for i := range result.Points {
 		if w := result.Points[i].Wall; w > 0 {
@@ -91,6 +102,7 @@ func massRegPoint(ctx context.Context, s *deploy.Slice, n, par int) (MassRegPoin
 	}
 	eudm := s.Modules[paka.EUDM]
 	entersBefore := eudm.Stats().EENTER
+	transBefore := sliceTransitions(s)
 
 	res, err := s.GNB.RegisterManyWith(ctx, gnb.MassOptions{
 		N: n,
@@ -111,24 +123,39 @@ func massRegPoint(ctx context.Context, s *deploy.Slice, n, par int) (MassRegPoin
 		WallRegsPerSec:    res.WallRegsPerSec,
 		VirtualRegsPerSec: res.VirtualRegsPerSec,
 		MedianSetup:       res.SetupTimes.Summarize().Median,
+		P99Setup:          res.SetupTimes.Summarize().P99,
 	}
 	if res.Registered > 0 {
 		point.EENTERPerReg = float64(eudm.Stats().EENTER-entersBefore) / float64(res.Registered)
+		point.TransPerReg = float64(sliceTransitions(s)-transBefore) / float64(res.Registered)
 	}
 	return point, nil
+}
+
+// sliceTransitions sums the enclave transitions (EENTER+EEXIT) across
+// every P-AKA module of the slice.
+func sliceTransitions(s *deploy.Slice) uint64 {
+	var n uint64
+	for _, m := range s.Modules {
+		st := m.Stats()
+		n += st.EENTER + st.EEXIT
+	}
+	return n
 }
 
 // Render prints the sweep table.
 func (r *MassRegResult) Render(w io.Writer) {
 	fprintf(w, "Concurrent mass registration through the shielded core (%d UEs, GOMAXPROCS=%d)\n", r.UEs, r.GOMAXPROCS)
-	fprintf(w, "%-12s %6s %6s %10s %10s %12s %12s %9s %8s\n",
-		"parallelism", "ok", "fail", "wall", "median", "wall reg/s", "virt reg/s", "EENTER/r", "speedup")
+	fprintf(w, "%-12s %6s %6s %10s %10s %10s %12s %12s %9s %8s %8s\n",
+		"parallelism", "ok", "fail", "wall", "median", "p99", "wall reg/s", "virt reg/s", "EENTER/r", "trans/r", "speedup")
 	for _, p := range r.Points {
-		fprintf(w, "%-12d %6d %6d %10s %10s %12.0f %12.1f %9.1f %7.2fx\n",
+		fprintf(w, "%-12d %6d %6d %10s %10s %10s %12.0f %12.1f %9.1f %8.1f %7.2fx\n",
 			p.Parallelism, p.Registered, p.Failed,
 			p.Wall.Round(time.Millisecond), p.MedianSetup.Round(10*time.Microsecond),
-			p.WallRegsPerSec, p.VirtualRegsPerSec, p.EENTERPerReg, p.Speedup)
+			p.P99Setup.Round(10*time.Microsecond),
+			p.WallRegsPerSec, p.VirtualRegsPerSec, p.EENTERPerReg, p.TransPerReg, p.Speedup)
 	}
+	fprintf(w, "transitions/registration gauge (sequential census): %.1f\n", r.TransitionsPerReg.Value())
 	fprintf(w, "(wall-clock speedup tracks available cores; the per-registration enclave\n")
 	fprintf(w, " transition census stays at the paper's ~90 regardless of driver parallelism)\n")
 }
@@ -143,14 +170,16 @@ func (r *MassRegResult) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%d", p.Failed),
 			f(float64(p.Wall) / float64(time.Millisecond)),
 			f(float64(p.MedianSetup) / float64(time.Millisecond)),
+			f(float64(p.P99Setup) / float64(time.Millisecond)),
 			f(p.WallRegsPerSec),
 			f(p.VirtualRegsPerSec),
 			f(p.EENTERPerReg),
+			f(p.TransPerReg),
 			f(p.Speedup),
 		})
 	}
 	return writeCSV(w, []string{
-		"parallelism", "registered", "failed", "wall_ms", "median_setup_ms",
-		"wall_regs_per_sec", "virtual_regs_per_sec", "eenter_per_reg", "speedup",
+		"parallelism", "registered", "failed", "wall_ms", "median_setup_ms", "p99_setup_ms",
+		"wall_regs_per_sec", "virtual_regs_per_sec", "eenter_per_reg", "transitions_per_reg", "speedup",
 	}, rows)
 }

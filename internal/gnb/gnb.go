@@ -17,6 +17,7 @@ import (
 	"shield5g/internal/metrics"
 	"shield5g/internal/nf/amf"
 	"shield5g/internal/nf/upf"
+	"shield5g/internal/paka"
 	"shield5g/internal/sbi"
 	"shield5g/internal/simclock"
 	"shield5g/internal/ue"
@@ -340,6 +341,13 @@ type MassOptions struct {
 	// deterministic per worker. The sequential driver needs no attachment
 	// (it falls back to the injector's root stream).
 	Chaos *chaos.Injector
+	// BatchSize, when > 0, runs every registration over a keep-alive SBI
+	// connection to the P-AKA modules: up to BatchSize module requests
+	// share one session (one accept + TLS handshake + teardown), so the
+	// enclave's boundary machinery is amortized across the batch. The
+	// sequential driver holds one connection; each parallel worker holds
+	// its own. 0 keeps the seed's connection-per-request behaviour.
+	BatchSize int
 }
 
 // failureClass buckets a registration error for MassResult accounting:
@@ -445,6 +453,9 @@ func (g *GNB) registerAttempts(ctx context.Context, device *ue.UE, maxAttempts i
 // registerSequential is the seed driver loop: same call order, same
 // jitter draws, same early return on provisioning failure.
 func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *MassResult) error {
+	if opts.BatchSize > 0 {
+		ctx = paka.WithConnection(ctx, 1, opts.BatchSize)
+	}
 	for i := 0; i < opts.N; i++ {
 		device, err := opts.NewUE(i)
 		if err != nil {
@@ -506,6 +517,11 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 				// Fault decisions come from the worker's own stream so
 				// they, like costs, are reproducible per worker.
 				base = opts.Chaos.WorkerContext(base, uint64(w)+1)
+			}
+			if opts.BatchSize > 0 {
+				// Each worker pipelines its stripe over its own
+				// keep-alive connection to the P-AKA modules.
+				base = paka.WithConnection(base, uint64(w)+1, opts.BatchSize)
 			}
 			for i := w; i < opts.N; i += workers {
 				if wctx.Err() != nil {

@@ -15,6 +15,8 @@ import (
 var (
 	// ErrNotRunning reports use of a stopped instance.
 	ErrNotRunning = errors.New("gramine: instance not running")
+	// ErrSessionClosed reports a request on a closed keep-alive session.
+	ErrSessionClosed = errors.New("gramine: session closed")
 )
 
 // SyscallProfile is the per-request syscall census of the module's HTTPS
@@ -251,20 +253,47 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 		th.Compute(m.TLSHandshakeServer)
 	}
 
-	// ocall routes through the exitless ring when enabled, otherwise
-	// through a full EEXIT/EENTER transition pair.
-	ocall := func(untrusted simclock.Cycles, out, in int) {
+	ocall := i.ocallFunc(th)
+
+	jig := int(simclock.JitterFrom(ctx, p.Jitter()).Uint64n(3))
+	for k := 0; k < i.syscalls.Pre+jig; k++ {
+		ocall(m.SyscallNative, 16, 16)
+	}
+
+	functional, total, err := i.requestCensus(th, acct, ocall, inBytes, outBytes, handler)
+
+	for k := 0; k < i.syscalls.Post; k++ {
+		ocall(m.SyscallNative, 16, 16)
+	}
+
+	return Breakdown{
+		Functional: functional,
+		Total:      total,
+		ServerSide: acct.Total() - start,
+	}, err
+}
+
+// ocallFunc returns the proxied-syscall primitive for th: through the
+// exitless ring when enabled, otherwise a full EEXIT/EENTER transition
+// pair.
+func (i *Instance) ocallFunc(th *sgx.Thread) func(simclock.Cycles, int, int) {
+	return func(untrusted simclock.Cycles, out, in int) {
 		if i.exitless {
 			th.OCallExitless(untrusted, out, in)
 		} else {
 			th.OCall(untrusted, out, in)
 		}
 	}
+}
 
-	jig := int(simclock.JitterFrom(ctx, p.Jitter()).Uint64n(3))
-	for k := 0; k < i.syscalls.Pre+jig; k++ {
-		ocall(m.SyscallNative, 16, 16)
-	}
+// requestCensus charges the per-request half of the syscall census — the
+// request reads, TLS and HTTP processing, the handler window, and the
+// response path — and returns the L_F and L_T windows. ServeRequest and
+// ServeOnSession share it so their charge order stays literally
+// identical; only the connection-scoped Pre/Post machinery around it
+// differs between the two paths.
+func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, ocall func(simclock.Cycles, int, int), inBytes, outBytes int, handler func(*sgx.Thread) error) (functional, total simclock.Cycles, err error) {
+	m := i.platform.Model()
 
 	totalStart := acct.Total()
 	for k := 0; k < i.syscalls.Read; k++ {
@@ -277,7 +306,7 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 	for k := 0; k < i.syscalls.InHandler; k++ {
 		ocall(m.SyscallNative, 8, 8)
 	}
-	err := handler(th)
+	err = handler(th)
 	fnEnd := acct.Total()
 
 	th.Compute(m.HTTPCost(outBytes) + m.TLSRecordCost(outBytes))
@@ -286,16 +315,131 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 		ocall(m.SyscallNative, outBytes/i.syscalls.Write+1, 0)
 	}
 	totalEnd := acct.Total()
+	return fnEnd - fnStart, totalEnd - totalStart, err
+}
 
-	for k := 0; k < i.syscalls.Post; k++ {
+// Session is one persistent keep-alive connection into the in-enclave
+// HTTPS server. The connection-scoped machinery — the accept/epoll/futex
+// Pre census and the server-side TLS handshake — is paid once at
+// OpenSession and the Post teardown once at Close, so pipelined requests
+// served through ServeOnSession pay only the per-request census. A batch
+// of B requests thus spreads the Pre+Post OCALLs (81 transition pairs
+// under the default profile) over B requests.
+type Session struct {
+	inst *Instance
+	mu   sync.Mutex
+	open bool
+}
+
+// OpenSession accepts one persistent client connection: the pre-request
+// accept machinery and the server-side TLS handshake, charged to ctx's
+// account once for the whole session. The first connection ever accepted
+// also pays the lazy warm-up the first ServeRequest would pay.
+func (i *Instance) OpenSession(ctx context.Context) (*Session, error) {
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return nil, ErrNotRunning
+	}
+	first := !i.warm
+	i.warm = true
+	i.mu.Unlock()
+
+	m := i.platform.Model()
+	th := i.proc.WithRequest(simclock.WithAccount(ctx, simclock.AccountFrom(ctx)))
+
+	if first {
+		for k := 0; k < warmupOCALLs; k++ {
+			th.OCall(m.SyscallNative, 64, 64)
+		}
+		th.Compute(simclock.Cycles(warmupVerifyBytes) * m.TrustedFileHashPerByte)
+	}
+
+	ocall := i.ocallFunc(th)
+	for k := 0; k < i.syscalls.Pre; k++ {
+		ocall(m.SyscallNative, 16, 16)
+	}
+	th.Compute(m.TLSHandshakeServer)
+	return &Session{inst: i, open: true}, nil
+}
+
+// ServeOnSession runs one pipelined request on an open session. The L_F
+// and L_T Breakdown windows are bit-identical to a warm ServeRequest
+// under the same jitter stream; ServerSide omits exactly the amortized
+// Pre/Post machinery. The keep-alive readiness wake-ups (0–2 extra
+// OCALLs deciding the connection has another request queued) are drawn
+// from the same jitter position ServeRequest uses for its Pre variation,
+// keeping the two paths' stochastic draws aligned.
+func (i *Instance) ServeOnSession(ctx context.Context, s *Session, inBytes, outBytes int, handler func(*sgx.Thread) error) (Breakdown, error) {
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return Breakdown{}, ErrNotRunning
+	}
+	i.mu.Unlock()
+	if s == nil || s.inst != i {
+		return Breakdown{}, errors.New("gramine: session belongs to a different instance")
+	}
+	s.mu.Lock()
+	open := s.open
+	s.mu.Unlock()
+	if !open {
+		return Breakdown{}, ErrSessionClosed
+	}
+
+	p := i.platform
+	m := p.Model()
+	acct := simclock.AccountFrom(ctx)
+	th := i.proc.WithRequest(simclock.WithAccount(ctx, acct))
+	start := acct.Total()
+	ocall := i.ocallFunc(th)
+
+	jig := int(simclock.JitterFrom(ctx, p.Jitter()).Uint64n(3))
+	for k := 0; k < jig; k++ {
 		ocall(m.SyscallNative, 16, 16)
 	}
 
+	functional, total, err := i.requestCensus(th, acct, ocall, inBytes, outBytes, handler)
 	return Breakdown{
-		Functional: fnEnd - fnStart,
-		Total:      totalEnd - totalStart,
+		Functional: functional,
+		Total:      total,
 		ServerSide: acct.Total() - start,
 	}, err
+}
+
+// Serve is shorthand for ServeOnSession on the owning instance.
+func (s *Session) Serve(ctx context.Context, inBytes, outBytes int, handler func(*sgx.Thread) error) (Breakdown, error) {
+	return s.inst.ServeOnSession(ctx, s, inBytes, outBytes, handler)
+}
+
+// Close tears the session's connection down, paying the post-request
+// machinery once for the whole pipelined batch. Closing twice, or closing
+// after the instance shut down (the connection died with the enclave), is
+// a free no-op.
+func (s *Session) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.open {
+		s.mu.Unlock()
+		return nil
+	}
+	s.open = false
+	s.mu.Unlock()
+
+	i := s.inst
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return nil
+	}
+	i.mu.Unlock()
+
+	m := i.platform.Model()
+	th := i.proc.WithRequest(simclock.WithAccount(ctx, simclock.AccountFrom(ctx)))
+	ocall := i.ocallFunc(th)
+	for k := 0; k < i.syscalls.Post; k++ {
+		ocall(m.SyscallNative, 16, 16)
+	}
+	return nil
 }
 
 // Do runs fn on the resident in-enclave process thread outside the request
@@ -308,7 +452,31 @@ func (i *Instance) Do(ctx context.Context, fn func(*sgx.Thread) error) error {
 		return ErrNotRunning
 	}
 	i.mu.Unlock()
+	// Pin the request account the way ServeRequest does: maintenance work
+	// (secret provisioning, AV pool refills) must stay visible to the
+	// caller's account even when nested code re-derives it from ctx.
+	ctx = simclock.WithAccount(ctx, simclock.AccountFrom(ctx))
 	return fn(i.proc.WithRequest(ctx))
+}
+
+// DoBatch runs fn inside one fresh ECALL instead of on the resident
+// request path: a batch of K AV generations charges K× the crypto but
+// exactly one EENTER/EEXIT transition pair, with argBytes/retBytes
+// shielded across the boundary once for the whole batch. The entry needs
+// a free TCS slot beyond the resident threads (Manifest.MaxThreads ≥
+// HelperThreads+2); acquisition queues, honouring ctx cancellation, so
+// concurrent refills serialise on the spare slot instead of failing.
+func (i *Instance) DoBatch(ctx context.Context, argBytes, retBytes int, fn func(*sgx.Thread) error) error {
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return ErrNotRunning
+	}
+	i.mu.Unlock()
+	ctx = simclock.WithAccount(ctx, simclock.AccountFrom(ctx))
+	return i.enclave.ECall(ctx, argBytes, retBytes, func(t *sgx.Thread) error {
+		return fn(t.WithRequest(ctx))
+	})
 }
 
 // AccrueUptime models the instance staying deployed for d of virtual time

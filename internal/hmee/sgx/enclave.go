@@ -243,17 +243,48 @@ func (t *Thread) rng() *simclock.Jitter {
 	return t.enclave.platform.jitter
 }
 
+// tcsAcquireTimeout bounds how long an entry waits for a TCS slot. The
+// wait is wall-clock, not virtual: slot contention is real goroutine
+// concurrency between callers, the way threads queue on a busy enclave.
+const tcsAcquireTimeout = 30 * time.Second
+
+// acquireTCS claims a TCS slot, blocking until one frees, ctx is
+// cancelled, or the bounded wait expires — so high-parallelism callers
+// queue instead of failing immediately. Exhaustion and cancellation both
+// wrap ErrTooManyThreads.
+func (e *Enclave) acquireTCS(ctx context.Context) error {
+	select {
+	case e.tcs <- struct{}{}:
+	default:
+		timer := time.NewTimer(tcsAcquireTimeout)
+		defer timer.Stop()
+		select {
+		case e.tcs <- struct{}{}:
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %d busy: %v", ErrTooManyThreads, cap(e.tcs), ctx.Err())
+		case <-timer.C:
+			return fmt.Errorf("%w: %d busy after %v", ErrTooManyThreads, cap(e.tcs), tcsAcquireTimeout)
+		}
+	}
+	// The enclave may have been torn down while we waited for the slot.
+	if err := e.live(); err != nil {
+		<-e.tcs
+		return err
+	}
+	return nil
+}
+
 // ECall enters the enclave on a free TCS slot, runs fn as the in-enclave
 // thread body, and exits. Entry and exit each charge one transition and
-// the boundary-crossing costs for the declared argument sizes.
+// the boundary-crossing costs for the declared argument sizes. When all
+// slots are busy the entry queues (bounded, honouring ctx cancellation)
+// rather than failing outright.
 func (e *Enclave) ECall(ctx context.Context, argBytes, retBytes int, fn func(*Thread) error) error {
 	if err := e.live(); err != nil {
 		return err
 	}
-	select {
-	case e.tcs <- struct{}{}:
-	default:
-		return fmt.Errorf("%w: %d busy", ErrTooManyThreads, cap(e.tcs))
+	if err := e.acquireTCS(ctx); err != nil {
+		return err
 	}
 	defer func() { <-e.tcs }()
 
@@ -281,10 +312,8 @@ func (e *Enclave) EnterResident(ctx context.Context) (*Thread, error) {
 	if err := e.live(); err != nil {
 		return nil, err
 	}
-	select {
-	case e.tcs <- struct{}{}:
-	default:
-		return nil, fmt.Errorf("%w: %d busy", ErrTooManyThreads, cap(e.tcs))
+	if err := e.acquireTCS(ctx); err != nil {
+		return nil, err
 	}
 	p := e.platform
 	acct := simclock.AccountFrom(ctx)

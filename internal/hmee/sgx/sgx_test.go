@@ -168,8 +168,12 @@ func TestTCSExhaustion(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxThreads = 1
 	e := build(t, p, cfg)
+	// A nested entry now queues instead of failing outright, so bound the
+	// wait with a ctx deadline to observe the exhaustion error.
 	err := e.ECall(context.Background(), 0, 0, func(*Thread) error {
-		return e.ECall(context.Background(), 0, 0, func(*Thread) error { return nil })
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		return e.ECall(ctx, 0, 0, func(*Thread) error { return nil })
 	})
 	if !errors.Is(err, ErrTooManyThreads) {
 		t.Fatalf("nested ECall err = %v, want ErrTooManyThreads", err)

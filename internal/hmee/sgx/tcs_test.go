@@ -1,0 +1,88 @@
+package sgx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// singleSlot builds an enclave with exactly one TCS and parks a resident
+// thread on it, returning the resident so the caller controls when the
+// slot frees.
+func singleSlot(t *testing.T) (*Enclave, *Thread) {
+	t.Helper()
+	p := testPlatform(t)
+	cfg := testConfig()
+	cfg.MaxThreads = 1
+	e := build(t, p, cfg)
+	th, err := e.EnterResident(context.Background())
+	if err != nil {
+		t.Fatalf("EnterResident: %v", err)
+	}
+	return e, th
+}
+
+func TestECallHonoursContextWhileWaitingForTCS(t *testing.T) {
+	e, _ := singleSlot(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := e.ECall(ctx, 16, 16, func(*Thread) error { return nil })
+	if !errors.Is(err, ErrTooManyThreads) {
+		t.Fatalf("ECall with exhausted TCS = %v, want ErrTooManyThreads", err)
+	}
+
+	cancelled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if err := e.ECall(cancelled, 16, 16, func(*Thread) error { return nil }); !errors.Is(err, ErrTooManyThreads) {
+		t.Fatalf("ECall with cancelled ctx = %v, want ErrTooManyThreads", err)
+	}
+}
+
+func TestECallBlocksUntilTCSFrees(t *testing.T) {
+	e, resident := singleSlot(t)
+
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		e.LeaveResident(resident)
+		close(released)
+	}()
+
+	var ran bool
+	if err := e.ECall(context.Background(), 16, 16, func(*Thread) error {
+		ran = true
+		return nil
+	}); err != nil {
+		t.Fatalf("ECall after slot release: %v", err)
+	}
+	if !ran {
+		t.Fatal("ECall body did not run")
+	}
+	<-released
+}
+
+func TestEnterResidentHonoursContextWhileWaiting(t *testing.T) {
+	e, _ := singleSlot(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.EnterResident(ctx); !errors.Is(err, ErrTooManyThreads) {
+		t.Fatalf("EnterResident with exhausted TCS = %v, want ErrTooManyThreads", err)
+	}
+}
+
+func TestECallFailsWhenEnclaveDestroyedWhileWaiting(t *testing.T) {
+	e, resident := singleSlot(t)
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		e.Destroy()
+		e.LeaveResident(resident)
+	}()
+	err := e.ECall(context.Background(), 16, 16, func(*Thread) error { return nil })
+	if !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("ECall on destroyed enclave = %v, want ErrDestroyed", err)
+	}
+}

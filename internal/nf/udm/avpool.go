@@ -1,0 +1,160 @@
+package udm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"shield5g/internal/paka"
+)
+
+// avPool is the UDM's authentication-vector precomputation pool: a
+// per-SUPI FIFO ring of pre-generated HE AVs. A miss mints a whole batch
+// through one boundary crossing (paka.UDMBatchFunctions), serves the
+// first vector and banks the rest, so subsequent authentications for the
+// SUPI skip the enclave entirely. Every pooled vector was minted with its
+// own UDR-advanced SQN, and rings are FIFO, so consumption preserves
+// sequence-number order (TS 33.102 §6.3).
+//
+// The refill is synchronous on the triggering request — deterministic
+// under a fixed seed, which is what lets same-seed replays produce
+// identical hit/miss counts.
+type avPool struct {
+	depth int // ring capacity per SUPI
+	batch int // vectors minted per refill crossing
+
+	mu    sync.Mutex
+	rings map[string][]paka.UDMGenerateAVResponse
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	refills     atomic.Uint64
+	invalidated atomic.Uint64
+}
+
+// newAVPool builds a pool with the given ring depth; batch ≤0 defaults to
+// depth (mint a full ring plus the vector being served per crossing).
+func newAVPool(depth, batch int) *avPool {
+	if batch <= 0 {
+		batch = depth
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return &avPool{
+		depth: depth,
+		batch: batch,
+		rings: make(map[string][]paka.UDMGenerateAVResponse),
+	}
+}
+
+// take pops the oldest pooled vector for supi, counting the hit or miss.
+func (p *avPool) take(supi string) (*paka.UDMGenerateAVResponse, bool) {
+	p.mu.Lock()
+	ring := p.rings[supi]
+	if len(ring) == 0 {
+		p.mu.Unlock()
+		p.misses.Add(1)
+		return nil, false
+	}
+	av := ring[0]
+	if len(ring) == 1 {
+		delete(p.rings, supi)
+	} else {
+		p.rings[supi] = ring[1:]
+	}
+	p.mu.Unlock()
+	p.hits.Add(1)
+	return &av, true
+}
+
+// fill banks freshly minted vectors for supi, oldest SQN first, dropping
+// overflow beyond the ring depth. Counts one refill.
+func (p *avPool) fill(supi string, vectors []paka.UDMGenerateAVResponse) {
+	p.refills.Add(1)
+	if len(vectors) == 0 || p.depth == 0 {
+		return
+	}
+	p.mu.Lock()
+	ring := append(p.rings[supi], vectors...)
+	if len(ring) > p.depth {
+		// Keep the oldest SQNs: dropping from the tail wastes crypto but
+		// never reorders the sequence numbers a UE will see.
+		ring = ring[:p.depth]
+	}
+	p.rings[supi] = ring
+	p.mu.Unlock()
+}
+
+// invalidate discards supi's pooled vectors (SQN resynchronisation
+// rebased the counter; pre-rebase vectors would fail the UE's range
+// check).
+func (p *avPool) invalidate(supi string) {
+	p.mu.Lock()
+	n := len(p.rings[supi])
+	delete(p.rings, supi)
+	p.mu.Unlock()
+	p.invalidated.Add(uint64(n))
+}
+
+// invalidateAll discards every pooled vector — the enclave crashed or
+// restarted, and vectors minted before the crash must never be served
+// afterwards.
+func (p *avPool) invalidateAll() {
+	p.mu.Lock()
+	var n int
+	for supi, ring := range p.rings {
+		n += len(ring)
+		delete(p.rings, supi)
+	}
+	p.mu.Unlock()
+	p.invalidated.Add(uint64(n))
+}
+
+// pooled reports the current number of banked vectors.
+func (p *avPool) pooled() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int
+	for _, ring := range p.rings {
+		n += len(ring)
+	}
+	return n
+}
+
+// AVPoolStats is a snapshot of the pool counters.
+type AVPoolStats struct {
+	// Hits counts authentications served from the pool.
+	Hits uint64
+	// Misses counts authentications that triggered a synchronous refill.
+	Misses uint64
+	// Refills counts batch mint operations (boundary crossings).
+	Refills uint64
+	// Invalidated counts vectors discarded by resync or crash-restart.
+	Invalidated uint64
+	// Pooled is the number of vectors currently banked.
+	Pooled int
+}
+
+// AVPoolStats snapshots the pool counters; zero when the pool is
+// disabled.
+func (u *UDM) AVPoolStats() AVPoolStats {
+	if u.pool == nil {
+		return AVPoolStats{}
+	}
+	return AVPoolStats{
+		Hits:        u.pool.hits.Load(),
+		Misses:      u.pool.misses.Load(),
+		Refills:     u.pool.refills.Load(),
+		Invalidated: u.pool.invalidated.Load(),
+		Pooled:      u.pool.pooled(),
+	}
+}
+
+// InvalidateAVPool discards every pooled vector. Deploy calls it when the
+// eUDM module crash-restarts: the pool must refill from the fresh enclave
+// rather than serve vectors minted before the crash.
+func (u *UDM) InvalidateAVPool() {
+	if u.pool != nil {
+		u.pool.invalidateAll()
+	}
+}

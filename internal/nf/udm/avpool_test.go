@@ -1,0 +1,288 @@
+package udm
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+
+	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/milenage"
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/nf/nrf"
+	"shield5g/internal/nf/udr"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
+)
+
+// countingFns wraps the monolithic functions to observe which route the
+// pool refill takes.
+type countingFns struct {
+	*paka.MonolithicUDM
+	single int
+	batch  int
+}
+
+func (c *countingFns) GenerateAV(ctx context.Context, req *paka.UDMGenerateAVRequest) (*paka.UDMGenerateAVResponse, error) {
+	c.single++
+	return c.MonolithicUDM.GenerateAV(ctx, req)
+}
+
+func (c *countingFns) GenerateAVBatch(ctx context.Context, req *paka.UDMGenerateAVBatchRequest) (*paka.UDMGenerateAVBatchResponse, error) {
+	c.batch++
+	return c.MonolithicUDM.GenerateAVBatch(ctx, req)
+}
+
+// sequentialFns hides the batch method so the pool must fall back to the
+// per-item path.
+type sequentialFns struct {
+	inner  *countingFns
+	single *int
+}
+
+func (s *sequentialFns) GenerateAV(ctx context.Context, req *paka.UDMGenerateAVRequest) (*paka.UDMGenerateAVResponse, error) {
+	*s.single++
+	return s.inner.MonolithicUDM.GenerateAV(ctx, req)
+}
+
+func (s *sequentialFns) Resync(ctx context.Context, req *paka.UDMResyncRequest) (*paka.UDMResyncResponse, error) {
+	return s.inner.MonolithicUDM.Resync(ctx, req)
+}
+
+type poolHarness struct {
+	*harness
+	fns *countingFns
+}
+
+// newPoolHarness builds a UDM with the AV pool enabled, deterministic
+// entropy, and instrumented AKA functions. When batchCapable is false the
+// execution environment only exposes the single-vector call.
+func newPoolHarness(t *testing.T, depth, batch int, batchCapable bool) *poolHarness {
+	t.Helper()
+	env := costmodel.NewEnv(nil, 1, nil)
+	reg := sbi.NewRegistry()
+	if _, err := nrf.New(env, reg); err != nil {
+		t.Fatalf("nrf.New: %v", err)
+	}
+	if _, err := udr.New(env, reg); err != nil {
+		t.Fatalf("udr.New: %v", err)
+	}
+	hnKey, err := suci.GenerateHomeNetworkKey(rand.Reader, 1)
+	if err != nil {
+		t.Fatalf("GenerateHomeNetworkKey: %v", err)
+	}
+	fns := &countingFns{MonolithicUDM: paka.NewMonolithicUDM(env)}
+	var udmFns paka.UDMFunctions = fns
+	if !batchCapable {
+		udmFns = &sequentialFns{inner: fns, single: &fns.single}
+	}
+	u, err := New(context.Background(), Config{
+		Env: env, Registry: reg, Invoker: sbi.NewClient("udm", env, reg),
+		Functions: udmFns, HomeNetworkKey: hnKey,
+		Entropy:     mrand.New(mrand.NewSource(42)),
+		AVPoolDepth: depth, AVBatchSize: batch,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &poolHarness{
+		harness: &harness{
+			env: env, udm: u, hnKey: hnKey, mono: fns.MonolithicUDM,
+			client: NewClient(sbi.NewClient("ausf", env, reg)),
+			udrc:   udr.NewClient(sbi.NewClient("test", env, reg)),
+		},
+		fns: fns,
+	}
+}
+
+func (h *poolHarness) auth(t *testing.T, supi suci.SUPI) *GenerateAuthDataResponse {
+	t.Helper()
+	resp, err := h.client.GenerateAuthData(context.Background(), &GenerateAuthDataRequest{
+		SUPI: supi.String(), ServingNetworkName: testSNN,
+	})
+	if err != nil {
+		t.Fatalf("GenerateAuthData: %v", err)
+	}
+	return resp
+}
+
+// sqnOf recovers the clear SQN from a response (AUTN = SQN^AK || AMF ||
+// MAC-A).
+func sqnOf(t *testing.T, resp *GenerateAuthDataResponse) []byte {
+	t.Helper()
+	opc, err := milenage.ComputeOPc(testK, make([]byte, 16))
+	if err != nil {
+		t.Fatalf("ComputeOPc: %v", err)
+	}
+	mil, err := milenage.New(testK, opc)
+	if err != nil {
+		t.Fatalf("milenage.New: %v", err)
+	}
+	_, _, _, ak, err := mil.F2345(resp.RAND)
+	if err != nil {
+		t.Fatalf("F2345: %v", err)
+	}
+	sqn := make([]byte, 6)
+	for i := range sqn {
+		sqn[i] = resp.AUTN[i] ^ ak[i]
+	}
+	return sqn
+}
+
+func TestAVPoolHitMissRefillCounters(t *testing.T) {
+	h := newPoolHarness(t, 4, 4, true)
+	supi := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000001"}
+	h.provision(t, supi)
+
+	h.auth(t, supi) // miss: mints 4, serves 1, banks 3
+	if s := h.udm.AVPoolStats(); s.Misses != 1 || s.Hits != 0 || s.Refills != 1 || s.Pooled != 3 {
+		t.Fatalf("after miss: %+v", s)
+	}
+	for i := 0; i < 3; i++ {
+		h.auth(t, supi)
+	}
+	if s := h.udm.AVPoolStats(); s.Misses != 1 || s.Hits != 3 || s.Refills != 1 || s.Pooled != 0 {
+		t.Fatalf("after draining: %+v", s)
+	}
+	if h.fns.batch != 1 || h.fns.single != 0 {
+		t.Fatalf("refill used %d batch / %d single calls, want 1/0", h.fns.batch, h.fns.single)
+	}
+
+	h.auth(t, supi) // pool drained: second refill
+	if s := h.udm.AVPoolStats(); s.Misses != 2 || s.Refills != 2 || s.Pooled != 3 {
+		t.Fatalf("after second refill: %+v", s)
+	}
+}
+
+func TestAVPoolPreservesSQNOrder(t *testing.T) {
+	h := newPoolHarness(t, 4, 4, true)
+	supi := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000001"}
+	h.provision(t, supi)
+
+	var prev []byte
+	for i := 0; i < 8; i++ { // two full refill cycles
+		sqn := sqnOf(t, h.auth(t, supi))
+		if prev != nil && bytes.Compare(sqn, prev) <= 0 {
+			t.Fatalf("auth %d: SQN %x not above previous %x", i, sqn, prev)
+		}
+		prev = sqn
+	}
+}
+
+func TestAVPoolSequentialFallback(t *testing.T) {
+	h := newPoolHarness(t, 4, 4, false)
+	supi := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000001"}
+	h.provision(t, supi)
+
+	h.auth(t, supi)
+	if h.fns.batch != 0 || h.fns.single != 4 {
+		t.Fatalf("fallback used %d batch / %d single calls, want 0/4", h.fns.batch, h.fns.single)
+	}
+	if s := h.udm.AVPoolStats(); s.Pooled != 3 {
+		t.Fatalf("fallback banked %d vectors, want 3", s.Pooled)
+	}
+}
+
+func TestAVPoolResyncInvalidates(t *testing.T) {
+	h := newPoolHarness(t, 4, 4, true)
+	supi := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000001"}
+	h.provision(t, supi)
+	h.auth(t, supi)
+
+	// Build a valid AUTS rebasing the UE's SQN ahead of the network's.
+	opc, err := milenage.ComputeOPc(testK, make([]byte, 16))
+	if err != nil {
+		t.Fatalf("ComputeOPc: %v", err)
+	}
+	mil, err := milenage.New(testK, opc)
+	if err != nil {
+		t.Fatalf("milenage.New: %v", err)
+	}
+	randBytes := bytes.Repeat([]byte{0x5c}, 16)
+	sqnMS := []byte{0, 0, 0, 9, 0, 0}
+	akStar, err := mil.F5Star(randBytes)
+	if err != nil {
+		t.Fatalf("F5Star: %v", err)
+	}
+	concealed := make([]byte, 6)
+	for i := range concealed {
+		concealed[i] = sqnMS[i] ^ akStar[i]
+	}
+	macS, err := mil.F1Star(randBytes, sqnMS, []byte{0, 0})
+	if err != nil {
+		t.Fatalf("F1Star: %v", err)
+	}
+	if err := h.client.Resync(context.Background(), &ResyncRequest{
+		SUPI: supi.String(), RAND: randBytes, AUTS: append(concealed, macS...),
+	}); err != nil {
+		t.Fatalf("Resync: %v", err)
+	}
+
+	s := h.udm.AVPoolStats()
+	if s.Invalidated != 3 || s.Pooled != 0 {
+		t.Fatalf("after resync: %+v, want 3 invalidated, 0 pooled", s)
+	}
+	// The next authentication refills from the rebased counter: its SQN
+	// must sit above the UE's reported SQN_MS.
+	if sqn := sqnOf(t, h.auth(t, supi)); bytes.Compare(sqn, sqnMS) <= 0 {
+		t.Fatalf("post-resync SQN %x not above SQN_MS %x", sqn, sqnMS)
+	}
+}
+
+func TestInvalidateAVPoolDropsEverything(t *testing.T) {
+	h := newPoolHarness(t, 4, 4, true)
+	a := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000001"}
+	b := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000002"}
+	h.provision(t, a)
+	h.provision(t, b)
+	h.auth(t, a)
+	h.auth(t, b)
+
+	h.udm.InvalidateAVPool()
+	s := h.udm.AVPoolStats()
+	if s.Pooled != 0 || s.Invalidated != 6 {
+		t.Fatalf("after invalidate-all: %+v, want 0 pooled, 6 invalidated", s)
+	}
+	// Authentication still works: the pool refills from scratch.
+	h.auth(t, a)
+	if s := h.udm.AVPoolStats(); s.Pooled != 3 || s.Refills != 3 {
+		t.Fatalf("after re-refill: %+v", s)
+	}
+}
+
+func TestAVPoolDeterministicUnderFixedSeed(t *testing.T) {
+	run := func() ([]*GenerateAuthDataResponse, AVPoolStats) {
+		h := newPoolHarness(t, 4, 4, true)
+		supi := suci.SUPI{MCC: "001", MNC: "01", MSIN: "0000000001"}
+		h.provision(t, supi)
+		var out []*GenerateAuthDataResponse
+		for i := 0; i < 6; i++ {
+			out = append(out, h.auth(t, supi))
+		}
+		return out, h.udm.AVPoolStats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("pool stats diverged: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].RAND, b[i].RAND) || !bytes.Equal(a[i].AUTN, b[i].AUTN) {
+			t.Fatalf("auth %d diverged between same-seed runs", i)
+		}
+	}
+}
+
+func TestAVPoolDisabledMatchesSeedPath(t *testing.T) {
+	// Depth 0 must leave the pool nil — the unpooled path, bit-identical
+	// to the seed, with zeroed stats.
+	h := newHarness(t)
+	if h.udm.pool != nil {
+		t.Fatal("pool allocated with AVPoolDepth 0")
+	}
+	if s := h.udm.AVPoolStats(); s != (AVPoolStats{}) {
+		t.Fatalf("disabled pool stats = %+v, want zero", s)
+	}
+	h.udm.InvalidateAVPool() // must not panic
+}

@@ -85,6 +85,14 @@ type Config struct {
 	// module). It is the degradation path for an execution environment
 	// that lost its key store to a crash-restart.
 	Reprovision func(ctx context.Context, supi string, k []byte) error
+	// AVPoolDepth enables the AV precomputation pool: up to this many
+	// vectors are banked per SUPI, refilled in batches so the enclave
+	// boundary is crossed once per batch instead of once per
+	// authentication. 0 disables the pool (the seed-identical path).
+	AVPoolDepth int
+	// AVBatchSize is the number of vectors minted per refill crossing;
+	// ≤0 defaults to AVPoolDepth.
+	AVBatchSize int
 }
 
 // UDM is the data-management VNF.
@@ -97,6 +105,7 @@ type UDM struct {
 	hnKey       *suci.HomeNetworkKey
 	entropy     io.Reader
 	reprovision func(ctx context.Context, supi string, k []byte) error
+	pool        *avPool
 
 	reprovisions atomic.Uint64
 }
@@ -125,6 +134,9 @@ func New(ctx context.Context, cfg Config) (*UDM, error) {
 		hnKey:       cfg.HomeNetworkKey,
 		entropy:     entropy,
 		reprovision: cfg.Reprovision,
+	}
+	if cfg.AVPoolDepth > 0 {
+		u.pool = newAVPool(cfg.AVPoolDepth, cfg.AVBatchSize)
 	}
 	u.server.Handle(PathGenerateAuthData, sbi.JSONHandler(u.handleGenerateAuthData))
 	u.server.Handle(PathResync, sbi.JSONHandler(u.handleResync))
@@ -165,35 +177,12 @@ func (u *UDM) handleGenerateAuthData(ctx context.Context, req *GenerateAuthDataR
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_MISSING", "serving network name required")
 	}
 
-	auth, err := u.udr.NextAuth(ctx, supi)
-	if err != nil {
-		return nil, err
-	}
-
-	randBytes := make([]byte, 16)
-	if _, err := io.ReadFull(u.entropy, randBytes); err != nil {
-		return nil, sbi.Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "RAND generation: %v", err)
-	}
-
-	avReq := &paka.UDMGenerateAVRequest{
-		SUPI:  supi,
-		OPc:   auth.OPc,
-		RAND:  randBytes,
-		SQN:   auth.SQN,
-		AMFID: auth.AMFField,
-		SNN:   req.ServingNetworkName,
-	}
-	av, err := u.fns.GenerateAV(ctx, avReq)
-	if err != nil && u.reprovision != nil && sbi.HasCause(err, "USER_NOT_FOUND") {
-		// Graceful degradation: the execution environment lost its key
-		// store (container crash-restart has no sealed backup). Re-fetch
-		// the long-term key from the UDR, push it back in, and retry once.
-		if sub, gerr := u.udr.Get(ctx, supi); gerr == nil {
-			if perr := u.reprovision(ctx, supi, sub.K); perr == nil {
-				u.reprovisions.Add(1)
-				av, err = u.fns.GenerateAV(ctx, avReq)
-			}
-		}
+	var av *paka.UDMGenerateAVResponse
+	var err error
+	if u.pool != nil {
+		av, err = u.pooledAV(ctx, supi, req.ServingNetworkName)
+	} else {
+		av, err = u.freshAV(ctx, supi, req.ServingNetworkName)
 	}
 	if err != nil {
 		return nil, err
@@ -205,6 +194,111 @@ func (u *UDM) handleGenerateAuthData(ctx context.Context, req *GenerateAuthDataR
 		XRESStar: av.XRESStar,
 		KAUSF:    av.KAUSF,
 	}, nil
+}
+
+// avRequest mints one enclave input: it advances the subscriber's SQN in
+// the UDR and draws a fresh RAND. Every minted item — pooled or served
+// immediately — goes through here, so sequence numbers stay consistent
+// regardless of batching.
+func (u *UDM) avRequest(ctx context.Context, supi, snn string) (paka.UDMGenerateAVRequest, error) {
+	auth, err := u.udr.NextAuth(ctx, supi)
+	if err != nil {
+		return paka.UDMGenerateAVRequest{}, err
+	}
+	randBytes := make([]byte, 16)
+	if _, err := io.ReadFull(u.entropy, randBytes); err != nil {
+		return paka.UDMGenerateAVRequest{}, sbi.Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "RAND generation: %v", err)
+	}
+	return paka.UDMGenerateAVRequest{
+		SUPI:  supi,
+		OPc:   auth.OPc,
+		RAND:  randBytes,
+		SQN:   auth.SQN,
+		AMFID: auth.AMFField,
+		SNN:   snn,
+	}, nil
+}
+
+// generateAV invokes the execution environment for a single vector, with
+// the reprovision-on-lost-key retry.
+func (u *UDM) generateAV(ctx context.Context, avReq *paka.UDMGenerateAVRequest) (*paka.UDMGenerateAVResponse, error) {
+	av, err := u.fns.GenerateAV(ctx, avReq)
+	if err != nil && u.reprovision != nil && sbi.HasCause(err, "USER_NOT_FOUND") {
+		// Graceful degradation: the execution environment lost its key
+		// store (container crash-restart has no sealed backup). Re-fetch
+		// the long-term key from the UDR, push it back in, and retry once.
+		if sub, gerr := u.udr.Get(ctx, avReq.SUPI); gerr == nil {
+			if perr := u.reprovision(ctx, avReq.SUPI, sub.K); perr == nil {
+				u.reprovisions.Add(1)
+				av, err = u.fns.GenerateAV(ctx, avReq)
+			}
+		}
+	}
+	return av, err
+}
+
+// freshAV is the unpooled path: one SQN advance, one RAND, one crossing.
+func (u *UDM) freshAV(ctx context.Context, supi, snn string) (*paka.UDMGenerateAVResponse, error) {
+	avReq, err := u.avRequest(ctx, supi, snn)
+	if err != nil {
+		return nil, err
+	}
+	return u.generateAV(ctx, &avReq)
+}
+
+// pooledAV serves from the precomputation pool, refilling synchronously on
+// a miss: one batch crossing mints AVBatchSize vectors, the oldest serves
+// this request and the rest are banked for the SUPI's next
+// authentications.
+func (u *UDM) pooledAV(ctx context.Context, supi, snn string) (*paka.UDMGenerateAVResponse, error) {
+	if av, ok := u.pool.take(supi); ok {
+		return av, nil
+	}
+	items := make([]paka.UDMGenerateAVRequest, 0, u.pool.batch)
+	for i := 0; i < u.pool.batch; i++ {
+		item, err := u.avRequest(ctx, supi, snn)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	vectors, err := u.generateBatch(ctx, items)
+	if err != nil {
+		return nil, err
+	}
+	u.pool.fill(supi, vectors[1:])
+	return &vectors[0], nil
+}
+
+// generateBatch mints the given items through one boundary crossing when
+// the execution environment supports it, falling back to the sequential
+// per-item path (which carries the reprovision retry) when it does not or
+// when the batch call reports a lost key store.
+func (u *UDM) generateBatch(ctx context.Context, items []paka.UDMGenerateAVRequest) ([]paka.UDMGenerateAVResponse, error) {
+	if bfns, ok := u.fns.(paka.UDMBatchFunctions); ok {
+		resp, err := bfns.GenerateAVBatch(ctx, &paka.UDMGenerateAVBatchRequest{Items: items})
+		switch {
+		case err == nil:
+			if len(resp.Vectors) != len(items) {
+				return nil, sbi.Problem(500, "Internal Server Error", "SYSTEM_FAILURE",
+					"batch returned %d vectors for %d items", len(resp.Vectors), len(items))
+			}
+			return resp.Vectors, nil
+		case !sbi.HasCause(err, "USER_NOT_FOUND"):
+			return nil, err
+		}
+		// Lost key store: drop to the per-item path below, whose retry
+		// reprovisions the key before giving up.
+	}
+	vectors := make([]paka.UDMGenerateAVResponse, 0, len(items))
+	for i := range items {
+		av, err := u.generateAV(ctx, &items[i])
+		if err != nil {
+			return nil, err
+		}
+		vectors = append(vectors, *av)
+	}
+	return vectors, nil
 }
 
 func (u *UDM) handleResync(ctx context.Context, req *ResyncRequest) (*Empty, error) {
@@ -223,6 +317,11 @@ func (u *UDM) handleResync(ctx context.Context, req *ResyncRequest) (*Empty, err
 	}
 	if err := u.udr.Resync(ctx, req.SUPI, resp.SQNMS); err != nil {
 		return nil, err
+	}
+	if u.pool != nil {
+		// The rebase stranded any banked vectors: their SQNs predate the
+		// UE's recovered counter and would fail its freshness check.
+		u.pool.invalidate(req.SUPI)
 	}
 	return &Empty{}, nil
 }

@@ -17,6 +17,14 @@ type UDMFunctions interface {
 	Resync(ctx context.Context, req *UDMResyncRequest) (*UDMResyncResponse, error)
 }
 
+// UDMBatchFunctions is the optional batched extension of UDMFunctions:
+// implementations that can mint several AVs per boundary crossing (the
+// eUDM module via one batch ECALL, the monolithic baseline trivially)
+// expose it so the UDM's AV precomputation pool refills in one crossing.
+type UDMBatchFunctions interface {
+	GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchRequest) (*UDMGenerateAVBatchResponse, error)
+}
+
 // AUSFFunctions is the AUSF VNF's AKA offload view.
 type AUSFFunctions interface {
 	DeriveSE(ctx context.Context, req *AUSFDeriveSERequest) (*AUSFDeriveSEResponse, error)
@@ -101,6 +109,18 @@ func NewRemoteUDM(invoker sbi.Invoker, env *costmodel.Env) *RemoteUDM {
 func (r *RemoteUDM) GenerateAV(ctx context.Context, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, error) {
 	var resp UDMGenerateAVResponse
 	if err := r.post(ctx, PathUDMGenerateAV, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GenerateAVBatch implements UDMBatchFunctions. It posts directly
+// through the invoker, not the measuring post helper: a pool refill is
+// maintenance, and must not contaminate the R_I/R_S response-time
+// distributions of the paper's per-request path.
+func (r *RemoteUDM) GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchRequest) (*UDMGenerateAVBatchResponse, error) {
+	var resp UDMGenerateAVBatchResponse
+	if err := r.invoker.Post(ctx, r.service, PathUDMGenerateAVBatch, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -214,6 +234,20 @@ func (u *MonolithicUDM) GenerateAV(ctx context.Context, req *UDMGenerateAVReques
 	return GenerateAV(k, req)
 }
 
+// GenerateAVBatch implements UDMBatchFunctions in-process: there is no
+// boundary to amortize, so it is a plain loop charging K× the crypto.
+func (u *MonolithicUDM) GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchRequest) (*UDMGenerateAVBatchResponse, error) {
+	resp := &UDMGenerateAVBatchResponse{Vectors: make([]UDMGenerateAVResponse, 0, len(req.Items))}
+	for i := range req.Items {
+		av, err := u.GenerateAV(ctx, &req.Items[i])
+		if err != nil {
+			return nil, err
+		}
+		resp.Vectors = append(resp.Vectors, *av)
+	}
+	return resp, nil
+}
+
 // Resync implements UDMFunctions in-process.
 func (u *MonolithicUDM) Resync(ctx context.Context, req *UDMResyncRequest) (*UDMResyncResponse, error) {
 	k, ok := u.key(req.SUPI)
@@ -260,10 +294,12 @@ func (a *MonolithicAMF) DeriveKAMF(ctx context.Context, req *AMFDeriveKAMFReques
 
 // Interface conformance.
 var (
-	_ UDMFunctions  = (*RemoteUDM)(nil)
-	_ UDMFunctions  = (*MonolithicUDM)(nil)
-	_ AUSFFunctions = (*RemoteAUSF)(nil)
-	_ AUSFFunctions = (*MonolithicAUSF)(nil)
-	_ AMFFunctions  = (*RemoteAMF)(nil)
-	_ AMFFunctions  = (*MonolithicAMF)(nil)
+	_ UDMFunctions      = (*RemoteUDM)(nil)
+	_ UDMFunctions      = (*MonolithicUDM)(nil)
+	_ UDMBatchFunctions = (*RemoteUDM)(nil)
+	_ UDMBatchFunctions = (*MonolithicUDM)(nil)
+	_ AUSFFunctions     = (*RemoteAUSF)(nil)
+	_ AUSFFunctions     = (*MonolithicAUSF)(nil)
+	_ AMFFunctions      = (*RemoteAMF)(nil)
+	_ AMFFunctions      = (*MonolithicAMF)(nil)
 )

@@ -46,6 +46,11 @@ type Config struct {
 	// the module, collapsing the per-request syscall census at the cost
 	// of a larger TCB (§V-B7 ablation).
 	UserLevelTCP bool
+	// ReserveBatchTCS keeps one TCS slot free beyond the resident
+	// threads so batch ECALLs (DoBatch, the eUDM AV pool refill) can
+	// enter the enclave while the server threads stay resident. SGX
+	// only; bumps the manifest thread count to HelperThreads+2.
+	ReserveBatchTCS bool
 	// SignKey signs the GSC image; generated when nil.
 	SignKey ed25519.PrivateKey
 }
@@ -77,6 +82,10 @@ type Module struct {
 	functional *metrics.Recorder
 	total      *metrics.Recorder
 	serverSide *metrics.Recorder
+
+	// sessMu guards the per-connection keep-alive sessions (session.go).
+	sessMu   sync.Mutex
+	sessions map[uint64]*moduleSession
 
 	secretMu    sync.Mutex
 	secretNames []string
@@ -173,6 +182,13 @@ func buildSGXRuntime(ctx context.Context, cfg Config, profile Profile) (Runtime,
 			manifest.MaxThreads = gramine.HelperThreads + 2
 		}
 	}
+	if cfg.ReserveBatchTCS {
+		// The resident process and helper threads hold every default TCS
+		// slot permanently; batch ECALLs need a spare one to enter.
+		if manifest.MaxThreads < gramine.HelperThreads+2 {
+			manifest.MaxThreads = gramine.HelperThreads + 2
+		}
+	}
 
 	signKey := cfg.SignKey
 	if signKey == nil {
@@ -233,6 +249,13 @@ func (m *Module) registerEndpoints() {
 	case EUDM:
 		m.server.Handle(PathUDMGenerateAV, m.endpoint(m.handleGenerateAV))
 		m.server.Handle(PathUDMResync, m.endpoint(m.handleResync))
+		// The batch endpoint is a maintenance path (the AV pool refill),
+		// not a served request: it bypasses the endpoint wrapper so the
+		// L_F/L_T recorders keep measuring only the paper's request path.
+		m.server.Handle(PathUDMGenerateAVBatch,
+			sbi.JSONHandler(func(ctx context.Context, req *UDMGenerateAVBatchRequest) (*UDMGenerateAVBatchResponse, error) {
+				return m.GenerateAVBatch(ctx, req)
+			}))
 	case EAUSF:
 		m.server.Handle(PathAUSFDeriveSE, m.endpoint(m.handleDeriveSE))
 	case EAMF:
@@ -245,7 +268,7 @@ func (m *Module) registerEndpoints() {
 func (m *Module) endpoint(handler func(ctx context.Context, ex Exec, body []byte) ([]byte, error)) sbi.HandlerFunc {
 	return func(ctx context.Context, body []byte) ([]byte, error) {
 		var out []byte
-		bd, err := m.rt().ServeRequest(ctx, m.profile.InBytes, m.profile.OutBytes, func(ex Exec) error {
+		bd, err := m.serve(ctx, m.profile.InBytes, m.profile.OutBytes, func(ex Exec) error {
 			fn := m.env.JitterFor(ctx).LogNormal(m.profile.FnCycles, m.profile.FnSigma)
 			if m.isolation == SGX {
 				fn += m.profile.SGXExtraCycles
@@ -324,6 +347,48 @@ func (m *Module) handleDeriveKAMF(_ context.Context, _ Exec, body []byte) ([]byt
 }
 
 func subscriberSecret(supi string) string { return "subscriber-k:" + supi }
+
+// GenerateAVBatch generates one HE AV per item inside a single boundary
+// crossing: K× the AKA crypto, memory touches and shield bytes, but —
+// under SGX — exactly one EENTER/EEXIT transition pair instead of the
+// ~90 a cold served request costs. This is the enclave half of the eUDM
+// AV precomputation pool; the module needs Config.ReserveBatchTCS so the
+// batch entry finds a free TCS slot. Only meaningful for eUDM.
+func (m *Module) GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchRequest) (*UDMGenerateAVBatchResponse, error) {
+	if m.kind != EUDM {
+		return nil, fmt.Errorf("paka: %s does not generate authentication vectors", m.kind)
+	}
+	k := len(req.Items)
+	resp := &UDMGenerateAVBatchResponse{Vectors: make([]UDMGenerateAVResponse, 0, k)}
+	if k == 0 {
+		return resp, nil
+	}
+	err := m.rt().DoBatch(ctx, k*m.profile.InBytes, k*m.profile.OutBytes, func(ex Exec) error {
+		for i := range req.Items {
+			item := &req.Items[i]
+			fn := m.env.JitterFor(ctx).LogNormal(m.profile.FnCycles, m.profile.FnSigma)
+			if m.isolation == SGX {
+				fn += m.profile.SGXExtraCycles
+			}
+			ex.Compute(fn)
+			ex.Touch(m.profile.HeapBytes)
+			key, ok := ex.LoadSecret(subscriberSecret(item.SUPI))
+			if !ok {
+				return sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, item.SUPI)
+			}
+			av, err := GenerateAV(key, item)
+			if err != nil {
+				return sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
+			}
+			resp.Vectors = append(resp.Vectors, *av)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
 
 // ProvisionSubscriber installs a subscriber's long-term key into the
 // module's memory — inside the enclave when SGX-isolated, so the key
@@ -470,6 +535,7 @@ func (m *Module) ResetRecorders() {
 // Stop deregisters and shuts the module down.
 func (m *Module) Stop() {
 	m.registry.Deregister(m.server.Name())
+	m.dropSessions()
 	m.rt().Shutdown()
 }
 
@@ -533,6 +599,9 @@ func (m *Module) Restart(ctx context.Context) error {
 	m.rtMu.Lock()
 	m.runtime = fresh
 	m.rtMu.Unlock()
+	// Keep-alive sessions died with the old runtime; serve() also drops
+	// them lazily on runtime mismatch, this just frees the map eagerly.
+	m.dropSessions()
 	m.restarts.Add(1)
 	return nil
 }

@@ -71,13 +71,34 @@ var _ Exec = (*sgx.Thread)(nil)
 // Breakdown re-exports the per-request latency windows.
 type Breakdown = gramine.Breakdown
 
+// RuntimeSession is one persistent keep-alive connection into a module
+// runtime: the per-connection setup (accept machinery, TLS handshake) is
+// paid at open, the teardown at close, and Serve pays only the
+// per-request census. See gramine.Session for the SGX amortization
+// contract.
+type RuntimeSession interface {
+	// Serve runs one pipelined request on the session. The Breakdown
+	// windows match ServeRequest minus the amortized phases.
+	Serve(ctx context.Context, inBytes, outBytes int, handler func(Exec) error) (Breakdown, error)
+	// Close pays the connection teardown. Closing twice, or after the
+	// runtime shut down, is a free no-op.
+	Close(ctx context.Context) error
+}
+
 // Runtime hosts a module's request loop under one isolation mode.
 type Runtime interface {
 	// ServeRequest runs one request through the modelled server path.
 	ServeRequest(ctx context.Context, inBytes, outBytes int, handler func(Exec) error) (Breakdown, error)
+	// OpenSession opens a persistent connection for pipelined requests.
+	OpenSession(ctx context.Context) (RuntimeSession, error)
 	// Do runs fn on the runtime's execution surface outside any request
 	// (provisioning, maintenance).
 	Do(ctx context.Context, fn func(Exec) error) error
+	// DoBatch runs fn across the isolation boundary in a single crossing
+	// sized argBytes in / retBytes out — under SGX one EENTER/EEXIT pair
+	// for the whole batch; isolation modes without per-crossing
+	// transitions treat it like Do plus the data movement.
+	DoBatch(ctx context.Context, argBytes, retBytes int, fn func(Exec) error) error
 	// LoadDuration is the modelled deployment time (Fig. 7 for SGX).
 	LoadDuration() time.Duration
 	// Stats snapshots SGX counters (zero for non-SGX runtimes).
@@ -109,8 +130,30 @@ func (r *sgxRuntime) ServeRequest(ctx context.Context, in, out int, handler func
 	return r.inst.ServeRequest(ctx, in, out, func(th *sgx.Thread) error { return handler(th) })
 }
 
+func (r *sgxRuntime) OpenSession(ctx context.Context) (RuntimeSession, error) {
+	sess, err := r.inst.OpenSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return sgxSession{sess: sess}, nil
+}
+
+type sgxSession struct {
+	sess *gramine.Session
+}
+
+func (s sgxSession) Serve(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	return s.sess.Serve(ctx, in, out, func(th *sgx.Thread) error { return handler(th) })
+}
+
+func (s sgxSession) Close(ctx context.Context) error { return s.sess.Close(ctx) }
+
 func (r *sgxRuntime) Do(ctx context.Context, fn func(Exec) error) error {
 	return r.inst.Do(ctx, func(th *sgx.Thread) error { return fn(th) })
+}
+
+func (r *sgxRuntime) DoBatch(ctx context.Context, argBytes, retBytes int, fn func(Exec) error) error {
+	return r.inst.DoBatch(ctx, argBytes, retBytes, func(th *sgx.Thread) error { return fn(th) })
 }
 
 func (r *sgxRuntime) LoadDuration() time.Duration  { return r.inst.LoadDuration() }
@@ -142,8 +185,29 @@ func (r *sevRuntime) ServeRequest(ctx context.Context, in, out int, handler func
 	return r.machine.ServeRequest(ctx, in, out, func(ex sev.Exec) error { return handler(ex) })
 }
 
+// OpenSession for SEV is a pass-through: a confidential VM pays no
+// per-syscall transition tax, so there is nothing to amortize and Serve
+// simply delegates to ServeRequest.
+func (r *sevRuntime) OpenSession(ctx context.Context) (RuntimeSession, error) {
+	return sevSession{rt: r}, nil
+}
+
+type sevSession struct {
+	rt *sevRuntime
+}
+
+func (s sevSession) Serve(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	return s.rt.ServeRequest(ctx, in, out, handler)
+}
+
+func (s sevSession) Close(context.Context) error { return nil }
+
 func (r *sevRuntime) Do(ctx context.Context, fn func(Exec) error) error {
 	return r.machine.Do(ctx, func(ex sev.Exec) error { return fn(ex) })
+}
+
+func (r *sevRuntime) DoBatch(ctx context.Context, argBytes, retBytes int, fn func(Exec) error) error {
+	return r.Do(ctx, fn)
 }
 
 func (r *sevRuntime) LoadDuration() time.Duration  { return r.machine.LoadDuration() }
@@ -249,6 +313,29 @@ func (r *nativeRuntime) ServeRequest(ctx context.Context, in, out int, handler f
 		syscall(32)
 	}
 
+	functional, total, err := r.requestCensus(ctx, acct, in, out, handler)
+
+	for k := 0; k < r.syscalls.Post; k++ {
+		syscall(32)
+	}
+
+	return Breakdown{
+		Functional: functional,
+		Total:      total,
+		ServerSide: acct.Total() - start,
+	}, err
+}
+
+// requestCensus charges the per-request half of the native census —
+// mirroring gramine's split so the container-vs-SGX comparison stays
+// apples-to-apples in keep-alive mode too.
+func (r *nativeRuntime) requestCensus(ctx context.Context, acct *simclock.Account, in, out int, handler func(Exec) error) (functional, total simclock.Cycles, err error) {
+	m := r.env.Model
+	charge := func(n simclock.Cycles) { r.env.Charge(ctx, n) }
+	syscall := func(bytes int) {
+		charge(m.SyscallNative + simclock.Cycles(bytes)*m.CopyPerByte)
+	}
+
 	totalStart := acct.Total()
 	for k := 0; k < r.syscalls.Read; k++ {
 		syscall(in/r.syscalls.Read + 1)
@@ -259,7 +346,7 @@ func (r *nativeRuntime) ServeRequest(ctx context.Context, in, out int, handler f
 	for k := 0; k < r.syscalls.InHandler; k++ {
 		syscall(16)
 	}
-	err := handler(nativeExec{ctx: ctx, rt: r})
+	err = handler(nativeExec{ctx: ctx, rt: r})
 	fnEnd := acct.Total()
 
 	charge(m.HTTPCost(out) + m.TLSRecordCost(out))
@@ -267,16 +354,97 @@ func (r *nativeRuntime) ServeRequest(ctx context.Context, in, out int, handler f
 		syscall(out/r.syscalls.Write + 1)
 	}
 	totalEnd := acct.Total()
+	return fnEnd - fnStart, totalEnd - totalStart, err
+}
 
-	for k := 0; k < r.syscalls.Post; k++ {
-		syscall(32)
+// OpenSession mirrors the gramine keep-alive contract natively: the
+// accept machinery and TLS handshake at open, the post machinery at
+// close, only the per-request census per pipelined request.
+func (r *nativeRuntime) OpenSession(ctx context.Context) (RuntimeSession, error) {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return nil, errStopped
+	}
+	first := !r.warm
+	r.warm = true
+	r.mu.Unlock()
+
+	m := r.env.Model
+	ctx = simclock.WithAccount(ctx, simclock.AccountFrom(ctx))
+	charge := func(n simclock.Cycles) { r.env.Charge(ctx, n) }
+	if first {
+		charge(nativeWarmupCycles)
+	}
+	for k := 0; k < r.syscalls.Pre; k++ {
+		charge(m.SyscallNative + 32*m.CopyPerByte)
+	}
+	charge(m.TLSHandshakeServer)
+	return &nativeSession{rt: r, open: true}, nil
+}
+
+type nativeSession struct {
+	rt   *nativeRuntime
+	mu   sync.Mutex
+	open bool
+}
+
+func (s *nativeSession) Serve(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	s.mu.Lock()
+	open := s.open
+	s.mu.Unlock()
+	if !open {
+		return Breakdown{}, errStopped
+	}
+	r := s.rt
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return Breakdown{}, errStopped
+	}
+	r.mu.Unlock()
+
+	m := r.env.Model
+	acct := simclock.AccountFrom(ctx)
+	ctx = simclock.WithAccount(ctx, acct)
+	start := acct.Total()
+
+	// Keep-alive readiness wake-ups, drawn from the same jitter position
+	// ServeRequest uses for its Pre variation.
+	jig := int(r.env.JitterFor(ctx).Uint64n(3))
+	for k := 0; k < jig; k++ {
+		r.env.Charge(ctx, m.SyscallNative+32*m.CopyPerByte)
 	}
 
+	functional, total, err := r.requestCensus(ctx, acct, in, out, handler)
 	return Breakdown{
-		Functional: fnEnd - fnStart,
-		Total:      totalEnd - totalStart,
+		Functional: functional,
+		Total:      total,
 		ServerSide: acct.Total() - start,
 	}, err
+}
+
+func (s *nativeSession) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.open {
+		s.mu.Unlock()
+		return nil
+	}
+	s.open = false
+	s.mu.Unlock()
+
+	r := s.rt
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	m := r.env.Model
+	for k := 0; k < r.syscalls.Post; k++ {
+		r.env.Charge(ctx, m.SyscallNative+32*m.CopyPerByte)
+	}
+	return nil
 }
 
 func (r *nativeRuntime) Do(ctx context.Context, fn func(Exec) error) error {
@@ -286,7 +454,27 @@ func (r *nativeRuntime) Do(ctx context.Context, fn func(Exec) error) error {
 		return errStopped
 	}
 	r.mu.Unlock()
+	// Pin the account so multi-step maintenance aggregates on one ledger.
+	ctx = simclock.WithAccount(ctx, simclock.AccountFrom(ctx))
 	return fn(nativeExec{ctx: ctx, rt: r})
+}
+
+// DoBatch natively is Do plus the IPC moving the batch in and out of the
+// module process — no transition pair to save, which is exactly the
+// contrast the batching experiment measures.
+func (r *nativeRuntime) DoBatch(ctx context.Context, argBytes, retBytes int, fn func(Exec) error) error {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return errStopped
+	}
+	r.mu.Unlock()
+	ctx = simclock.WithAccount(ctx, simclock.AccountFrom(ctx))
+	m := r.env.Model
+	r.env.Charge(ctx, m.SyscallNative+simclock.Cycles(argBytes)*m.CopyPerByte)
+	err := fn(nativeExec{ctx: ctx, rt: r})
+	r.env.Charge(ctx, m.SyscallNative+simclock.Cycles(retBytes)*m.CopyPerByte)
+	return err
 }
 
 func (r *nativeRuntime) LoadDuration() time.Duration { return containerStartup }

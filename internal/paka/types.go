@@ -2,10 +2,11 @@ package paka
 
 // SBI endpoint paths exposed by the P-AKA modules.
 const (
-	PathUDMGenerateAV = "/eudm-paka/v1/generate-av"
-	PathUDMResync     = "/eudm-paka/v1/resync"
-	PathAUSFDeriveSE  = "/eausf-paka/v1/derive-se"
-	PathAMFDeriveKAMF = "/eamf-paka/v1/derive-kamf"
+	PathUDMGenerateAV      = "/eudm-paka/v1/generate-av"
+	PathUDMGenerateAVBatch = "/eudm-paka/v1/generate-av-batch"
+	PathUDMResync          = "/eudm-paka/v1/resync"
+	PathAUSFDeriveSE       = "/eausf-paka/v1/derive-se"
+	PathAMFDeriveKAMF      = "/eamf-paka/v1/derive-kamf"
 )
 
 // UDMGenerateAVRequest asks the eUDM P-AKA module for a Home Environment
@@ -29,6 +30,20 @@ type UDMGenerateAVResponse struct {
 	AUTN     []byte `json:"autn"`      // 16 bytes
 	XRESStar []byte `json:"xres_star"` // 16 bytes
 	KAUSF    []byte `json:"kausf"`     // 32 bytes
+}
+
+// UDMGenerateAVBatchRequest asks the eUDM module for several HE AVs in
+// one boundary crossing — the AV precomputation pool's refill unit. Each
+// item carries its own UDR-advanced SQN and fresh RAND, so the pooled
+// vectors stay individually consumable in sequence-number order.
+type UDMGenerateAVBatchRequest struct {
+	Items []UDMGenerateAVRequest `json:"items"`
+}
+
+// UDMGenerateAVBatchResponse carries one vector per requested item, in
+// request order.
+type UDMGenerateAVBatchResponse struct {
+	Vectors []UDMGenerateAVResponse `json:"vectors"`
 }
 
 // UDMResyncRequest asks the eUDM module to verify an AUTS
