@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench ci experiments examples clean
+.PHONY: all build test race lint vet bench ci experiments examples clean
 
 all: build test
 
@@ -9,6 +9,19 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The repository's own static-analysis suite (see internal/analysis):
+# determinism, secretflow, atomiccounter, ctxcarry, stripemap. Exits
+# non-zero on any unsuppressed finding. govulncheck runs when the host
+# has it installed (CI does); locally it is skipped rather than fetched,
+# keeping the target usable in network-free build environments.
+lint:
+	$(GO) run ./tools/shieldlint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -26,11 +39,13 @@ bench:
 	BENCH_BATCHED_JSON=$(CURDIR)/BENCH_batched_transitions.json \
 	$(GO) test -bench=. -benchmem ./...
 
-# What CI runs: build, the race-enabled test suite, static checks, and a
-# single-iteration smoke of the boundary-amortization benchmark (its
-# >=40% transition-reduction assertion runs on deterministic virtual
-# counts, so one iteration is a stable gate).
+# What CI runs: lint first (cheapest signal, fails fastest), then build,
+# the race-enabled test suite, static checks, and a single-iteration
+# smoke of the boundary-amortization benchmark (its >=40%
+# transition-reduction assertion runs on deterministic virtual counts,
+# so one iteration is a stable gate).
 ci: build
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) vet
 	$(GO) test -run '^$$' -bench RegisterManyBatched -benchtime=1x .

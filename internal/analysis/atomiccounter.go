@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCounter enforces the concurrency discipline on counters: the
+// gNB/AMF/AUSF statistics, the enclave transition censuses and the
+// chaos per-kind counts are read by reporting code while workers mutate
+// them, so a single plain load or store is a data race that -race only
+// catches when the schedule cooperates. Three rules:
+//
+//  1. A variable or field accessed through a sync/atomic free function
+//     anywhere in a package must be accessed that way everywhere.
+//  2. Methods on structs holding typed atomic.* values must use
+//     pointer receivers, and range statements must not copy such
+//     structs by value (a copy tears concurrent updates).
+//  3. A field marked //shieldlint:atomic must actually have a
+//     sync/atomic type — documentation that drifts from the type is
+//     how the invariant erodes.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "atomic counters must never be touched with plain loads/stores",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: find every variable whose address is taken by a
+	// sync/atomic call, remembering the operand nodes so pass 2 can
+	// tell sanctioned accesses from plain ones. Composite-literal keys
+	// resolve to field objects too, but name a field rather than read
+	// it, so they are collected as exempt.
+	atomicVars := make(map[*types.Var]bool)
+	sanctioned := make(map[ast.Node]bool)
+	literalKeys := make(map[ast.Node]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						literalKeys[kv.Key] = true
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeOf(info, x)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // typed atomic.* methods are always safe
+				}
+				if len(x.Args) == 0 {
+					return true
+				}
+				un, ok := ast.Unparen(x.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				if v := baseVar(info, un.X); v != nil {
+					atomicVars[v] = true
+					markSanctioned(un.X, sanctioned)
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses to those variables, misused markers,
+	// and by-value copies of typed-atomic-bearing structs.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[x] || literalKeys[x] {
+					return true
+				}
+				if v, ok := info.Uses[x.Sel].(*types.Var); ok && atomicVars[v] {
+					pass.Reportf(x.Pos(),
+						"%s is accessed with sync/atomic elsewhere in this package; this plain access is a data race — use atomic loads/stores (or migrate the field to a typed atomic.*)",
+						v.Name())
+				}
+			case *ast.Ident:
+				if sanctioned[x] || literalKeys[x] {
+					return true
+				}
+				if v, ok := info.Uses[x].(*types.Var); ok && atomicVars[v] && !v.IsField() {
+					pass.Reportf(x.Pos(),
+						"%s is accessed with sync/atomic elsewhere in this package; this plain access is a data race — use atomic loads/stores (or migrate the variable to a typed atomic.*)",
+						v.Name())
+				}
+			case *ast.StructType:
+				checkAtomicMarkers(pass, info, x)
+			case *ast.FuncDecl:
+				checkValueReceiver(pass, info, x)
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, info, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// markSanctioned records the selector/ident chain of an &x.f operand of
+// an atomic call so pass 2 skips it.
+func markSanctioned(e ast.Expr, sanctioned map[ast.Node]bool) {
+	for {
+		sanctioned[e] = true
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			sanctioned[x.Sel] = true
+			return
+		default:
+			return
+		}
+	}
+}
+
+func checkAtomicMarkers(pass *Pass, info *types.Info, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		markedAtomic := false
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "shieldlint:atomic") {
+					markedAtomic = true
+				}
+			}
+		}
+		if !markedAtomic || len(field.Names) == 0 {
+			continue
+		}
+		v, ok := info.Defs[field.Names[0]].(*types.Var)
+		if !ok {
+			continue
+		}
+		if !isAtomicType(v.Type()) {
+			pass.Reportf(field.Pos(),
+				"field %s is marked //shieldlint:atomic but has type %s; declare it as a sync/atomic typed value (atomic.Uint64, atomic.Int32, ...)",
+				v.Name(), v.Type().String())
+		}
+	}
+}
+
+func checkValueReceiver(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	recv := fd.Recv.List[0]
+	t := info.TypeOf(recv.Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsAtomic(t, nil, 0) {
+		pass.Reportf(recv.Pos(),
+			"method %s has a value receiver of type %s, which contains sync/atomic values; the copy tears concurrent updates — use a pointer receiver",
+			fd.Name.Name, t.String())
+	}
+}
+
+func checkRangeCopy(pass *Pass, info *types.Info, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	if t := info.TypeOf(rs.Value); t != nil && containsAtomic(t, nil, 0) {
+		pass.Reportf(rs.Value.Pos(),
+			"range copies values of type %s, which contains sync/atomic values; iterate by index instead",
+			t.String())
+	}
+}
+
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// containsAtomic reports whether a value of type t embeds sync/atomic
+// state directly (not behind a pointer, slice or map — those share the
+// state rather than copy it).
+func containsAtomic(t types.Type, seen map[types.Type]bool, depth int) bool {
+	if depth > 6 || t == nil {
+		return false
+	}
+	if isAtomicType(t) {
+		return true
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen, depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), seen, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

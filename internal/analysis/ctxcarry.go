@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCarry enforces the context discipline the SBI invokers and the
+// chaos/resilience wrappers rely on: request accounts, per-worker
+// jitter streams and virtual deadlines all travel in the
+// context.Context, so a dropped or freshly minted context silently
+// detaches a call from its request's cost accounting and fault
+// injection. Three rules:
+//
+//  1. context.Context is always the first parameter of a function.
+//  2. No context.Background()/context.TODO() below the top level: in a
+//     main package, functions without a ctx parameter (the binary's
+//     entry plumbing) may mint a root context; everywhere else —
+//     library packages, and any function already handed a ctx — a
+//     fresh root is a dropped request context (tests, which are not
+//     analyzed, are the other legitimate top level).
+//  3. No nil arguments for context.Context parameters.
+var CtxCarry = &Analyzer{
+	Name: "ctxcarry",
+	Doc:  "thread context.Context first-arg-through; no fresh roots below top level",
+	Run:  runCtxCarry,
+}
+
+func runCtxCarry(pass *Pass) error {
+	info := pass.Pkg.Info
+	isMain := pass.Pkg.Types.Name() == "main"
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				// Package-level variable initialisers may mint a root
+				// context only in a main package.
+				if !isMain {
+					checkNoRootCtx(pass, info, decl, false)
+				}
+				continue
+			}
+			checkCtxFirst(pass, info, fd)
+			topLevel := isMain && !hasCtxParam(info, fd)
+			checkNoRootCtx(pass, info, fd, topLevel)
+		}
+	}
+	return nil
+}
+
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxFirst flags context.Context parameters in any position other
+// than the first.
+func checkCtxFirst(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextType(t) && pos > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter of %s so callers thread the request context through",
+				fd.Name.Name)
+		}
+		pos += n
+	}
+}
+
+// checkNoRootCtx flags context.Background()/TODO() calls inside node
+// unless topLevel is true.
+func checkNoRootCtx(pass *Pass, info *types.Info, node ast.Node, topLevel bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkNilCtxArgs(pass, info, call)
+		if topLevel {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.%s below the top level detaches this call from the request's account, jitter stream and deadline; thread the caller's ctx through (or annotate: //shieldlint:ignore ctxcarry <why>)",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// checkNilCtxArgs flags untyped nil passed where the callee expects a
+// context.Context.
+func checkNilCtxArgs(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || id.Name != "nil" || info.Uses[id] != types.Universe.Lookup("nil") {
+			continue
+		}
+		if i >= sig.Params().Len() && !sig.Variadic() {
+			continue
+		}
+		idx := i
+		if idx >= sig.Params().Len() {
+			idx = sig.Params().Len() - 1
+		}
+		pt := sig.Params().At(idx).Type()
+		if sig.Variadic() && idx == sig.Params().Len()-1 {
+			if s, ok := pt.(*types.Slice); ok && i >= sig.Params().Len()-1 {
+				pt = s.Elem()
+			}
+		}
+		if isContextType(pt) {
+			pass.Reportf(arg.Pos(),
+				"nil context passed to %s; pass the caller's ctx (or context.Background() at the true top level)",
+				types.ExprString(call.Fun))
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}

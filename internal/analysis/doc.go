@@ -1,0 +1,59 @@
+// Package analysis implements shieldlint, a static-analysis suite that
+// keeps the reproduction's determinism and shielding contracts true as
+// the tree grows. The headline claims — bit-identical sequential replay,
+// deterministic chaos replay, golden transition censuses, secrets
+// confined to the enclave-side packages — all rest on invariants that
+// are easy to erode one innocent-looking diff at a time; the analyzers
+// here check them mechanically on every `make lint` and CI run.
+//
+// The suite is built on the standard library alone (go/ast, go/types,
+// and a `go list -deps -json` driven loader), mirroring the shape of
+// golang.org/x/tools/go/analysis without depending on it, so it runs in
+// the module's dependency-free build environment.
+//
+// # Analyzers
+//
+//	determinism   — no wall clock (time.Now/Sleep/Since/...) or global
+//	                math/rand state on simulated paths; use the
+//	                simclock virtual clock and seeded Jitter streams.
+//	secretflow    — secret-bearing values (K, OPc, KAUSF, KSEAF, KAMF,
+//	                SQN, sealed keys) must not reach fmt/log formatting,
+//	                encoding/json marshalling, or printf-style wrappers
+//	                outside the enclave-side packages (internal/hmee,
+//	                internal/paka); the long-term key K must not ride in
+//	                SBI Post payloads.
+//	atomiccounter — a field accessed through sync/atomic anywhere in a
+//	                package must never be read or written with plain
+//	                loads/stores elsewhere; structs holding typed
+//	                atomic.* values must not be copied by value
+//	                receivers; //shieldlint:atomic-marked fields must
+//	                actually have a sync/atomic type.
+//	ctxcarry      — context.Context is always the first parameter; no
+//	                context.Background()/TODO() below the top level
+//	                (only func main/init of package main may mint a
+//	                root context); no nil contexts at call sites.
+//	stripemap     — map fields guarded by a sibling mutex (the
+//	                internal/shard stripe pattern and every mu+map NF
+//	                store) must only be indexed, ranged, measured or
+//	                deleted from in functions that take that lock.
+//
+// # Annotations
+//
+// Intentional exceptions are declared in the source with comment
+// directives; shieldlint diagnostics carry the directive to use. A
+// directive suppresses findings on its own line and the line directly
+// below it; placed before the package clause it covers the whole file.
+//
+//	//shieldlint:wallclock <why>          — allow wall-clock use here
+//	                                        (alias for "ignore determinism")
+//	//shieldlint:ignore <a>[,<b>...] <why> — suppress the named analyzers
+//	                                        ("all" suppresses every one)
+//	//shieldlint:atomic                   — declare a struct field as an
+//	                                        atomic counter; enforced to
+//	                                        have a sync/atomic type
+//
+// Every annotation must be load-bearing: the repository test
+// TestAnnotationsAreLoadBearing asserts that each annotated site in the
+// tree really does trigger its analyzer, so deleting an annotation (or
+// the need for one) fails `make lint` or the test suite respectively.
+package analysis

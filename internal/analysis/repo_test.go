@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestShieldlintCleanOnRepo is the smoke half of the acceptance
+// contract: the full suite runs over every package of the module with
+// zero unsuppressed findings. A new wall-clock read, secret log line or
+// unlocked map access anywhere in the tree turns this red.
+func TestShieldlintCleanOnRepo(t *testing.T) {
+	sharedLoader(t)
+	if len(repoPkgs) == 0 {
+		t.Fatal("module load returned no packages")
+	}
+	diags, err := Run(repoPkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Active(diags) {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// TestAnnotationsAreLoadBearing is the other half: every
+// //shieldlint:wallclock and //shieldlint:ignore annotation in the tree
+// must still suppress a real finding. If the code under an annotation
+// is refactored away, the stale annotation fails here; if the
+// annotation is removed instead, the finding goes active and
+// TestShieldlintCleanOnRepo fails. Either way the set of escape
+// hatches cannot drift silently.
+func TestAnnotationsAreLoadBearing(t *testing.T) {
+	sharedLoader(t)
+	diags, err := Run(repoPkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	annotated := map[string]string{
+		"cmd/gnbsim/main.go":             "determinism",
+		"internal/costmodel/realtime.go": "determinism",
+		"internal/gnb/gnb.go":            "determinism",
+		"internal/hmee/sgx/enclave.go":   "determinism",
+		"internal/sbi/tls.go":            "determinism",
+		"internal/nf/udr/udr.go":         "secretflow",
+	}
+	found := make(map[string]bool)
+	for _, d := range diags {
+		if !d.Suppressed {
+			continue
+		}
+		for suffix, analyzer := range annotated {
+			if d.Analyzer == analyzer && strings.HasSuffix(d.Pos.Filename, suffix) {
+				found[suffix] = true
+			}
+		}
+	}
+	for suffix, analyzer := range annotated {
+		if !found[suffix] {
+			t.Errorf("%s: no suppressed %s finding — its shieldlint annotation is stale or the analyzer regressed", suffix, analyzer)
+		}
+	}
+}
+
+// TestShieldlintBinary runs the real CLI entry point end to end.
+func TestShieldlintBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go run in -short mode")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./tools/shieldlint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("shieldlint exited non-zero: %v\n%s", err, out)
+	}
+}

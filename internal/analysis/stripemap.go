@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StripeMap enforces the lock discipline of the internal/shard stripe
+// pattern and of every mutex-guarded NF store: in any struct that pairs
+// a sync.Mutex/RWMutex with map fields, the maps may only be indexed,
+// ranged over, measured or deleted from inside a function that takes
+// that struct's lock. Two escapes keep the rule honest: a function that
+// builds the owning struct with a composite literal is a constructor
+// (the value is not shared yet), and a map field whose declaration
+// carries //shieldlint:ignore stripemap <why> is excluded from
+// guarding (for maps that are immutable after construction). The
+// compiler already stops other packages from reaching shard.Map
+// internals; this analyzer closes the remaining gap, the package's own
+// functions growing an unlocked fast path.
+var StripeMap = &Analyzer{
+	Name: "stripemap",
+	Doc:  "mutex-guarded map fields must only be accessed under their lock",
+	Run:  runStripeMap,
+}
+
+// guardedMaps identifies, for the analyzed package, every map field
+// that lives next to a mutex, keyed by the variable; values identify
+// the owning struct so locks and accesses can be matched up.
+type guardedStructs struct {
+	mapOwner   map[*types.Var]*types.Struct // map field -> owning struct
+	mutexOwner map[*types.Var]*types.Struct // mutex field -> owning struct
+}
+
+func runStripeMap(pass *Pass) error {
+	info := pass.Pkg.Info
+	guards := collectGuards(pass.Pkg)
+	if len(guards.mapOwner) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLocks(pass, info, guards, fd)
+		}
+	}
+	return nil
+}
+
+// collectGuards walks the package's type declarations for structs that
+// pair a mutex with one or more maps. Map fields annotated
+// //shieldlint:ignore stripemap on their declaration are excluded.
+func collectGuards(pkg *Package) *guardedStructs {
+	g := &guardedStructs{
+		mapOwner:   make(map[*types.Var]*types.Struct),
+		mutexOwner: make(map[*types.Var]*types.Struct),
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			astStruct, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var mutexes, maps []*types.Var
+			for _, field := range astStruct.Fields.List {
+				if fieldOptsOut(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if isMutexType(v.Type()) {
+						mutexes = append(mutexes, v)
+					} else if _, ok := v.Type().Underlying().(*types.Map); ok {
+						maps = append(maps, v)
+					}
+				}
+			}
+			if len(mutexes) == 0 || len(maps) == 0 {
+				return true
+			}
+			for _, m := range maps {
+				g.mapOwner[m] = st
+			}
+			for _, m := range mutexes {
+				g.mutexOwner[m] = st
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// fieldOptsOut reports whether a struct field's declaration carries a
+// //shieldlint:ignore stripemap annotation.
+func fieldOptsOut(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if names, ok := parseDirective(c.Text); ok {
+				for _, name := range names {
+					if name == "stripemap" || name == "all" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// checkFuncLocks verifies one function: every access to a guarded map
+// must be matched by a Lock/RLock call on a mutex of the same struct
+// somewhere in the function (including its closures — the lock is
+// commonly taken in the enclosing scope). A function that builds the
+// owning struct with a composite literal is a constructor: the value
+// has not been published yet, so its maps may be filled lock-free.
+func checkFuncLocks(pass *Pass, info *types.Info, guards *guardedStructs, fd *ast.FuncDecl) {
+	locked := make(map[*types.Struct]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			if t := info.TypeOf(x); t != nil {
+				if st, ok := t.Underlying().(*types.Struct); ok {
+					for _, owner := range guards.mutexOwner {
+						if owner == st {
+							locked[owner] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+				return true
+			}
+			if v := baseVar(info, sel.X); v != nil {
+				if owner, ok := guards.mutexOwner[v]; ok {
+					locked[owner] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(e ast.Expr, verb string) {
+		v := baseVar(info, e)
+		if v == nil {
+			return
+		}
+		owner, ok := guards.mapOwner[v]
+		if !ok || locked[owner] {
+			return
+		}
+		pass.Reportf(e.Pos(),
+			"map field %s is guarded by a sibling mutex but %s in %s without the lock held; take the stripe's Lock/RLock first (or annotate: //shieldlint:ignore stripemap <why>)",
+			v.Name(), verb, fd.Name.Name)
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			if isGuardedSelector(info, guards, x.X) {
+				report(x.X, "indexed")
+			}
+		case *ast.RangeStmt:
+			if isGuardedSelector(info, guards, x.X) {
+				report(x.X, "ranged over")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "delete") && info.Uses[id] != nil && info.Uses[id].Parent() == types.Universe {
+				for _, arg := range x.Args {
+					if isGuardedSelector(info, guards, arg) {
+						report(arg, id.Name+"() called")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isGuardedSelector reports whether e denotes a guarded map field
+// (rather than a local copy of it).
+func isGuardedSelector(info *types.Info, guards *guardedStructs, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return false
+	}
+	_, guarded := guards.mapOwner[v]
+	return guarded
+}

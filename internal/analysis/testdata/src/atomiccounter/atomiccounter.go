@@ -1,0 +1,73 @@
+// Package atomiccounter is a shieldlint fixture: fields touched through
+// sync/atomic anywhere in the package must be touched that way
+// everywhere, and typed-atomic-bearing structs must not be copied.
+package atomiccounter
+
+import "sync/atomic"
+
+type stats struct {
+	success uint64
+	failure uint64
+	plain   uint64 // never accessed atomically: plain loads stay legal
+	// shieldlint:atomic
+	typed atomic.Uint64
+	// shieldlint:atomic
+	bogus uint64 // want "marked //shieldlint:atomic but has type uint64"
+}
+
+func (s *stats) inc() {
+	atomic.AddUint64(&s.success, 1)
+	atomic.AddUint64(&s.failure, 1)
+	s.typed.Add(1)
+	s.plain++
+}
+
+func (s *stats) read() uint64 {
+	return s.success // want "success is accessed with sync/atomic elsewhere"
+}
+
+func (s *stats) mix() uint64 {
+	return atomic.LoadUint64(&s.failure) + s.failure // want "failure is accessed with sync/atomic elsewhere"
+}
+
+func fresh() *stats {
+	return &stats{success: 0} // composite-literal keys name the field, they do not read it
+}
+
+var counter int64
+
+func bump() {
+	atomic.AddInt64(&counter, 1)
+}
+
+func get() int64 {
+	return counter // want "counter is accessed with sync/atomic elsewhere"
+}
+
+type census struct {
+	calls atomic.Int64
+}
+
+func (c census) snapshot() int64 { // want "value receiver of type .*census"
+	return c.calls.Load()
+}
+
+func (c *census) bump() {
+	c.calls.Add(1)
+}
+
+func sum(all []census) int64 {
+	var total int64
+	for _, c := range all { // want "range copies values of type .*census"
+		total += c.calls.Load()
+	}
+	return total
+}
+
+func sumByIndex(all []census) int64 {
+	var total int64
+	for i := range all {
+		total += all[i].calls.Load()
+	}
+	return total
+}

@@ -1,0 +1,40 @@
+// Package ctxcarry is a shieldlint fixture for the context-threading
+// analyzer in a library package, where there is no top level: every
+// fresh root context is a dropped request context.
+package ctxcarry
+
+import "context"
+
+var root = context.Background() // want "context.Background below the top level"
+
+func fetch(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+func second(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return fetch(ctx, name)
+}
+
+func detached() error {
+	ctx := context.Background() // want "context.Background below the top level"
+	return fetch(ctx, "x")
+}
+
+func todo() error {
+	return fetch(context.TODO(), "x") // want "context.TODO below the top level"
+}
+
+func nilCtx() error {
+	return fetch(nil, "x") // want "nil context passed"
+}
+
+func threaded(ctx context.Context) error {
+	return fetch(ctx, "ok")
+}
+
+func annotated() context.Context {
+	//shieldlint:ignore ctxcarry fixture exercises the escape hatch
+	return context.Background() // want:suppressed "context.Background below the top level"
+}

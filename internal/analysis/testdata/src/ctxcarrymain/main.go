@@ -1,0 +1,23 @@
+// Package main is a shieldlint fixture for the ctxcarry top-level
+// carve-out: in a main package, functions without a ctx parameter are
+// the binary's entry plumbing and may mint root contexts; a function
+// already handed a ctx may not.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // entry point: allowed
+	helper(ctx)
+}
+
+func run() int {
+	ctx := context.Background() // helper without a ctx param: still entry plumbing, allowed
+	helper(ctx)
+	return 0
+}
+
+func helper(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want "context.Background below the top level"
+}

@@ -1,0 +1,16 @@
+// Package paka is a shieldlint fixture proving the enclave-side
+// exemption: its directory path contains a "paka" segment, so the
+// secretflow analyzer must report nothing here even though the same
+// code would be flagged anywhere else.
+package paka
+
+import "fmt"
+
+type Vector struct {
+	KAUSF []byte
+	SQN   []byte
+}
+
+func dump(v Vector) {
+	fmt.Printf("enclave-side debug: %x %x\n", v.KAUSF, v.SQN)
+}

@@ -1,0 +1,71 @@
+// Package stripemap is a shieldlint fixture for the stripe-lock
+// analyzer: maps paired with a mutex in the same struct may only be
+// accessed under that lock, except in constructors and on fields that
+// opt out at their declaration.
+package stripemap
+
+import "sync"
+
+type stripe struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newStripe() *stripe {
+	s := &stripe{m: make(map[string]int)}
+	s.m["seed"] = 1 // constructor: the value is not published yet
+	return s
+}
+
+func (s *stripe) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func (s *stripe) fastPath(k string) int {
+	return s.m[k] // want "indexed in fastPath without the lock held"
+}
+
+func (s *stripe) size() int {
+	return len(s.m) // want "len.. called in size without the lock held"
+}
+
+func (s *stripe) drop(k string) {
+	delete(s.m, k) // want "delete.. called in drop without the lock held"
+}
+
+func (s *stripe) sum() int {
+	t := 0
+	for _, v := range s.m { // want "ranged over in sum without the lock held"
+		t += v
+	}
+	return t
+}
+
+func (s *stripe) reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string]int) // writing the field itself is always legal
+}
+
+type cache struct {
+	mu sync.RWMutex
+	//shieldlint:ignore stripemap immutable after construction in this fixture
+	frozen map[string]int
+	live   map[string]int
+}
+
+func (c *cache) readFrozen(k string) int {
+	return c.frozen[k] // opted out at the field declaration
+}
+
+func (c *cache) readLive(k string) int {
+	return c.live[k] // want "indexed in readLive without the lock held"
+}
+
+func (c *cache) readLiveLocked(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.live[k]
+}

@@ -39,10 +39,12 @@ func (r *Realizer) Realize(n simclock.Cycles) {
 	}
 	if d > 2*time.Millisecond {
 		// Long waits may yield the CPU; precision no longer matters.
+		//shieldlint:wallclock the Realizer's whole job is stretching virtual cost into real time
 		time.Sleep(d)
 		return
 	}
+	//shieldlint:wallclock spin-wait deadline must be real time by definition
 	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) { //nolint:revive // intentional spin
+	for time.Now().Before(deadline) { //shieldlint:wallclock intentional sub-millisecond spin (nolint:revive)
 	}
 }

@@ -94,6 +94,9 @@ type Slice struct {
 	GNB  *gnb.GNB
 
 	// Modules holds the extracted P-AKA modules (empty for Monolithic).
+	// Populated once inside NewSlice before the Slice is published and
+	// read-only afterwards; attestMu guards attested, not this map.
+	//shieldlint:ignore stripemap immutable after construction
 	Modules map[paka.ModuleKind]*paka.Module
 
 	// Remote clients expose the VNF-side response-time recorders

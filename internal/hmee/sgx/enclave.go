@@ -256,6 +256,7 @@ func (e *Enclave) acquireTCS(ctx context.Context) error {
 	select {
 	case e.tcs <- struct{}{}:
 	default:
+		//shieldlint:wallclock goroutines really block here, so the liveness bound must be real time
 		timer := time.NewTimer(tcsAcquireTimeout)
 		defer timer.Stop()
 		select {

@@ -12,6 +12,7 @@ import (
 
 	"shield5g/internal/costmodel"
 	"shield5g/internal/sbi"
+	"shield5g/internal/simclock"
 )
 
 // ServiceName is the NRF's own SBI service name.
@@ -86,7 +87,7 @@ func New(env *costmodel.Env, registry *sbi.Registry) (*NRF, error) {
 		server:    sbi.NewServer(ServiceName, env),
 		instances: make(map[string]NFProfile),
 		lastSeen:  make(map[string]time.Time),
-		now:       time.Now,
+		now:       virtualNow(env.Clock),
 	}
 	n.server.Handle(PathRegister, sbi.JSONHandler(n.handleRegister))
 	n.server.Handle(PathDeregister, sbi.JSONHandler(n.handleDeregister))
@@ -96,6 +97,13 @@ func New(env *costmodel.Env, registry *sbi.Registry) (*NRF, error) {
 		return nil, err
 	}
 	return n, nil
+}
+
+// virtualNow derives liveness timestamps from the slice's virtual
+// clock so heartbeat bookkeeping is deterministic across runs: the
+// zero time.Time advanced by the simulated elapsed duration.
+func virtualNow(clock *simclock.Clock) func() time.Time {
+	return func() time.Time { return time.Time{}.Add(clock.Now()) }
 }
 
 func (n *NRF) handleRegister(_ context.Context, req *RegisterRequest) (*RegisterResponse, error) {

@@ -232,6 +232,7 @@ func NewClient(invoker sbi.Invoker) *Client { return &Client{invoker: invoker} }
 
 // Provision installs a subscriber record.
 func (c *Client) Provision(ctx context.Context, s Subscriber) error {
+	//shieldlint:ignore secretflow provisioning is the one sanctioned K transfer (operator onboarding), modelled after the paper's degraded pre-HMEE baseline
 	return c.invoker.Post(ctx, ServiceName, PathProvision, &ProvisionRequest{Subscriber: s}, nil)
 }
 
@@ -249,9 +250,12 @@ func (c *Client) Resync(ctx context.Context, supi string, sqnMS []byte) error {
 	return c.invoker.Post(ctx, ServiceName, PathResync, &ResyncRequest{SUPI: supi, SQNMS: sqnMS}, nil)
 }
 
-// Get reads a subscriber record.
+// Get reads a subscriber record. The full record includes K, which is
+// why only the UDM's reprovisioning path (the paper's non-shielded
+// baseline) calls this; shielded deployments fetch vectors via NextAuth.
 func (c *Client) Get(ctx context.Context, supi string) (*Subscriber, error) {
 	var resp GetResponse
+	//shieldlint:ignore secretflow baseline (non-HMEE) reprovisioning path; shielded slices use NextAuth and K stays in the enclave store
 	if err := c.invoker.Post(ctx, ServiceName, PathGet, &GetRequest{SUPI: supi}, &resp); err != nil {
 		return nil, err
 	}

@@ -1,3 +1,7 @@
+//shieldlint:wallclock audited 2026-08: certificate NotBefore/NotAfter are real PKI
+// lifetimes consumed by crypto/tls in the runnable binaries; they never feed the
+// simulated cost model, so the virtual clock does not apply to this file.
+
 package sbi
 
 import (

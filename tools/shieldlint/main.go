@@ -1,0 +1,88 @@
+// Command shieldlint runs the repository's static-analysis suite (see
+// internal/analysis): determinism, secretflow, atomiccounter, ctxcarry
+// and stripemap. It exits non-zero when any unsuppressed finding
+// remains, which makes it a CI gate:
+//
+//	go run ./tools/shieldlint ./...          # the `make lint` entry point
+//	go run ./tools/shieldlint -v ./internal/gnb
+//	go run ./tools/shieldlint -show-suppressed ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shield5g/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-analyzer summary")
+	showSuppressed := flag.Bool("show-suppressed", false, "also print annotation-suppressed findings")
+	only := flag.String("only", "", "run a single analyzer by name")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shieldlint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		a := analysis.ByName(*only)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "shieldlint: unknown analyzer %q\n", *only)
+			os.Exit(2)
+		}
+		analyzers = []*analysis.Analyzer{a}
+	}
+
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shieldlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.NewLoader(root).Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shieldlint:", err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shieldlint:", err)
+		os.Exit(2)
+	}
+
+	perAnalyzer := make(map[string]int)
+	active := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showSuppressed {
+				fmt.Printf("%s [suppressed by annotation]\n", d)
+			}
+			continue
+		}
+		active++
+		perAnalyzer[d.Analyzer]++
+		fmt.Println(d)
+	}
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "shieldlint: %d package(s) analyzed\n", len(pkgs))
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %d finding(s)\n", a.Name, perAnalyzer[a.Name])
+		}
+	}
+	if active > 0 {
+		fmt.Fprintf(os.Stderr, "shieldlint: %d finding(s)\n", active)
+		os.Exit(1)
+	}
+}
