@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench ci experiments examples clean
+.PHONY: all build test race lint vet bench bench-compare ci experiments examples clean
 
 all: build test
 
@@ -11,7 +11,8 @@ test:
 	$(GO) test ./...
 
 # The repository's own static-analysis suite (see internal/analysis):
-# determinism, secretflow, atomiccounter, ctxcarry, stripemap. Exits
+# determinism, secretflow, atomiccounter, ctxcarry, stripemap, hotalloc.
+# Exits
 # non-zero on any unsuppressed finding. govulncheck runs when the host
 # has it installed (CI does); locally it is skipped rather than fetched,
 # keeping the target usable in network-free build environments.
@@ -37,7 +38,21 @@ bench:
 	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json \
 	BENCH_CHAOS_JSON=$(CURDIR)/BENCH_chaos_registration.json \
 	BENCH_BATCHED_JSON=$(CURDIR)/BENCH_batched_transitions.json \
+	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath_allocs.json \
 	$(GO) test -bench=. -benchmem ./...
+
+# Allocation-regression gate: one deterministic iteration of the hot-path
+# benchmark, diffed against the committed baseline. Only virtual-time and
+# allocation metrics are in the report, so the comparison is stable
+# across machines; benchdiff fails on a >10% regression in any
+# lower-is-better metric (allocs/reg, bytes/reg, transitions/reg) or
+# >10% drop in any higher-is-better one (virtual regs/s).
+bench-compare:
+	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath_allocs.candidate.json \
+	$(GO) test -run '^$$' -bench BenchmarkRegisterManyBatched -benchtime 1x .
+	$(GO) run ./tools/benchdiff testdata/bench/BENCH_hotpath_allocs.baseline.json \
+	    $(CURDIR)/BENCH_hotpath_allocs.candidate.json
+	rm -f $(CURDIR)/BENCH_hotpath_allocs.candidate.json
 
 # What CI runs: lint first (cheapest signal, fails fastest), then build,
 # the race-enabled test suite, static checks, and a single-iteration

@@ -6,6 +6,7 @@
 //
 //	gnbsim [-n 100] [-parallel 1] [-isolation sgx|container|monolithic] [-seed N]
 //	       [-chaos RATE] [-retries N] [-batch N] [-avpool N]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -chaos enables the deterministic fault injector at the given total
 // per-request fault rate (e.g. 0.1 injects a fault on 10% of SBI
@@ -14,6 +15,9 @@
 // requests over keep-alive sessions of the given depth, and -avpool
 // enables the UDM's authentication-vector precomputation pool with the
 // given per-SUPI ring depth — the two boundary-amortization mechanisms.
+// -cpuprofile and -memprofile write pprof profiles of the run for
+// `go tool pprof`; the memory profile is an allocs profile taken after a
+// final GC, covering every allocation of the run.
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -41,12 +47,43 @@ func run() int {
 	retries := flag.Int("retries", 0, "max registration attempts per UE (0 = 1, or 5 when -chaos is set)")
 	batch := flag.Int("batch", 0, "keep-alive session depth: module requests per connection (0 = one connection per request)")
 	avpool := flag.Int("avpool", 0, "UDM AV precomputation pool depth per SUPI (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocs profile of the run to this file")
 	flag.Parse()
 
 	iso, err := parseIsolation(*isolation)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gnbsim: %v\n", err)
 		return 2
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gnbsim: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gnbsim: start CPU profile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gnbsim: -memprofile: %v\n", err)
+				return
+			}
+			defer func() { _ = f.Close() }()
+			// Flush pending profile records so the written profile covers
+			// the whole run.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "gnbsim: write allocs profile: %v\n", err)
+			}
+		}()
 	}
 	if *chaosRate < 0 || *chaosRate > 1 {
 		fmt.Fprintf(os.Stderr, "gnbsim: -chaos rate %v outside [0, 1]\n", *chaosRate)

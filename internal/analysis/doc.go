@@ -36,6 +36,11 @@
 //	                internal/shard stripe pattern and every mu+map NF
 //	                store) must only be indexed, ranged, measured or
 //	                deleted from in functions that take that lock.
+//	hotalloc      — functions marked //shieldlint:hotpath (the
+//	                per-registration crypto and codec inner loop) must
+//	                not call fmt.Sprintf-style formatters or the
+//	                one-shot encoding/json Marshal/Unmarshal entry
+//	                points; arguments to the panic builtin are exempt.
 //
 // # Annotations
 //
@@ -51,6 +56,10 @@
 //	//shieldlint:atomic                   — declare a struct field as an
 //	                                        atomic counter; enforced to
 //	                                        have a sync/atomic type
+//	//shieldlint:hotpath                  — declare a function as part of
+//	                                        the registration hot path;
+//	                                        the hotalloc analyzer bans
+//	                                        allocating formatters there
 //
 // Every annotation must be load-bearing: the repository test
 // TestAnnotationsAreLoadBearing asserts that each annotated site in the

@@ -62,6 +62,7 @@ func TestAtomicCounterFixture(t *testing.T) { runFixture(t, AtomicCounter, "atom
 func TestCtxCarryFixture(t *testing.T)      { runFixture(t, CtxCarry, "ctxcarry") }
 func TestCtxCarryMainFixture(t *testing.T)  { runFixture(t, CtxCarry, "ctxcarrymain") }
 func TestStripeMapFixture(t *testing.T)     { runFixture(t, StripeMap, "stripemap") }
+func TestHotAllocFixture(t *testing.T)      { runFixture(t, HotAlloc, "hotalloc") }
 
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()

@@ -8,6 +8,7 @@ func Analyzers() []*Analyzer {
 		AtomicCounter,
 		CtxCarry,
 		StripeMap,
+		HotAlloc,
 	}
 }
 

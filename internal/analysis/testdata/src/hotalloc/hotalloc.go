@@ -1,0 +1,74 @@
+// Package hotalloc is a shieldlint fixture for the hot-path allocation
+// check: fmt.Sprintf and one-shot encoding/json codecs are banned in
+// functions whose doc comment carries //shieldlint:hotpath.
+package hotalloc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// encodeAV is the per-registration body encoder.
+//
+//shieldlint:hotpath
+func encodeAV(v any) ([]byte, error) {
+	return json.Marshal(v) // want "json.Marshal allocates on every call"
+}
+
+//shieldlint:hotpath
+func decodeAV(data []byte, v any) error {
+	return json.Unmarshal(data, v) // want "json.Unmarshal allocates on every call"
+}
+
+//shieldlint:hotpath
+func ueLabel(id int) string {
+	return fmt.Sprintf("ue-%d", id) // want "fmt.Sprintf allocates on every call"
+}
+
+// prettyAV exercises the MarshalIndent variant and the marker with
+// trailing prose after the directive word.
+//
+//shieldlint:hotpath (the AV response path)
+func prettyAV(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", " ") // want "json.MarshalIndent allocates on every call"
+}
+
+// coldFallback shows the sanctioned escape hatch for a genuinely cold
+// branch inside a marked function.
+//
+//shieldlint:hotpath
+func coldFallback(data []byte, v any) error {
+	if len(data) == 0 {
+		//shieldlint:ignore hotalloc canonical empty-input error, cold path
+		return json.Unmarshal(data, v) // want:suppressed "json.Unmarshal allocates"
+	}
+	return nil
+}
+
+// mustSetup shows the panic exemption: a panicking branch is never the
+// steady-state path, so its Sprintf argument is not flagged.
+//
+//shieldlint:hotpath
+func mustSetup(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("setup: %v", err))
+	}
+}
+
+// unmarked has no hotpath marker, so one-shot codecs are fine here.
+func unmarked(v any) string {
+	b, _ := json.Marshal(v)
+	return fmt.Sprintf("%d bytes", len(b))
+}
+
+// pooledStyle shows that fmt.Errorf on an error return and the
+// Encoder/Decoder methods (the pooled-codec shape) stay legal in marked
+// functions — only the one-shot entry points are banned.
+//
+//shieldlint:hotpath
+func pooledStyle(enc *json.Encoder, v any) error {
+	if enc == nil {
+		return fmt.Errorf("hotalloc: nil encoder")
+	}
+	return enc.Encode(v)
+}

@@ -167,6 +167,10 @@ func ExperimentRegistry() map[string]Experiment {
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.Batching(ctx, cfg)
 			}),
+		"profiles": render("profiles", "Hot-path allocation profile of a deterministic mass-registration run",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Profiles(ctx, cfg)
+			}),
 		"e2e": render("e2e", "End-to-end session setup and the SGX share",
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.E2E(ctx, cfg)
@@ -265,6 +269,13 @@ func csvWriters() map[string]func(ctx context.Context, cfg experiments.Config, w
 		},
 		"batching": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
 			r, err := experiments.Batching(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"profiles": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Profiles(ctx, cfg)
 			if err != nil {
 				return err
 			}

@@ -10,10 +10,12 @@
 package kdf
 
 import (
-	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"shield5g/internal/crypto/hashpool"
 )
 
 // Function code values from TS 33.501 Annex A.
@@ -43,29 +45,65 @@ const (
 	AlgoNASIntegrity AlgorithmType = 0x02
 )
 
+// sBuilderPool recycles the FC||P0||L0||... input string built per KDF
+// invocation; SNN-sized inputs fit the 128-byte seed capacity.
+var sBuilderPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 128)
+	return &b
+}}
+
 // Generic computes the TS 33.220 Annex B KDF:
 //
 //	HMAC-SHA-256(key, FC || P0 || L0 || P1 || L1 || ...)
 //
-// where each Li is the 16-bit big-endian length of Pi.
+// where each Li is the 16-bit big-endian length of Pi. The returned
+// 32-byte slice is freshly allocated and owned by the caller.
+//
+//shieldlint:hotpath
 func Generic(key []byte, fc byte, params ...[]byte) []byte {
-	s := make([]byte, 0, 1+len(params)*3+totalLen(params))
-	s = append(s, fc)
+	return AppendGeneric(make([]byte, 0, sha256.Size), key, fc, params...)
+}
+
+// AppendGeneric appends the 32-byte KDF output to dst and returns the
+// extended slice. The HMAC state and input scratch come from pools, so a
+// derivation that reuses dst performs no heap allocation.
+//
+//shieldlint:hotpath
+func AppendGeneric(dst, key []byte, fc byte, params ...[]byte) []byte {
+	sp := sBuilderPool.Get().(*[]byte)
+	s := append((*sp)[:0], fc)
 	for _, p := range params {
 		s = append(s, p...)
 		s = binary.BigEndian.AppendUint16(s, uint16(len(p)))
 	}
-	mac := hmac.New(sha256.New, key)
+	mac := hashpool.GetHMAC(key)
 	mac.Write(s)
-	return mac.Sum(nil)
+	dst = mac.Sum(dst)
+	hashpool.PutHMAC(mac)
+	*sp = s[:0]
+	sBuilderPool.Put(sp)
+	return dst
 }
 
-func totalLen(params [][]byte) int {
-	n := 0
+// GenericInto computes the TS 33.220 KDF directly into dst, which must
+// hold at least 32 bytes. Unlike AppendGeneric, dst never crosses a
+// hash.Hash interface boundary, so a stack-allocated or caller-owned dst
+// performs no heap allocation at all.
+//
+//shieldlint:hotpath
+func GenericInto(dst, key []byte, fc byte, params ...[]byte) {
+	sp := sBuilderPool.Get().(*[]byte)
+	s := append((*sp)[:0], fc)
 	for _, p := range params {
-		n += len(p)
+		s = append(s, p...)
+		s = binary.BigEndian.AppendUint16(s, uint16(len(p)))
 	}
-	return n
+	mac := hashpool.GetHMAC(key)
+	mac.Write(s)
+	mac.SumInto(dst)
+	hashpool.PutHMAC(mac)
+	*sp = s[:0]
+	sBuilderPool.Put(sp)
 }
 
 // KAUSF derives K_AUSF from CK||IK (TS 33.501 A.2). sqnXorAK is the 6-byte
@@ -77,8 +115,31 @@ func KAUSF(ck, ik []byte, snn string, sqnXorAK []byte) ([]byte, error) {
 	if len(sqnXorAK) != 6 {
 		return nil, fmt.Errorf("kdf: SQN^AK length %d, want 6", len(sqnXorAK))
 	}
-	key := append(append(make([]byte, 0, 32), ck...), ik...)
-	return Generic(key, fcKAUSF, []byte(snn), sqnXorAK), nil
+	// CK||IK on the stack: the key is copied into the pooled HMAC's pad
+	// blocks, never retained.
+	var key [32]byte
+	copy(key[:16], ck)
+	copy(key[16:], ik)
+	return Generic(key[:], fcKAUSF, []byte(snn), sqnXorAK), nil
+}
+
+// KAUSFInto is KAUSF writing the 32-byte key into dst, for callers that
+// place the result in a buffer they already own (allocation-free).
+func KAUSFInto(dst, ck, ik []byte, snn string, sqnXorAK []byte) error {
+	if len(dst) != KeyLen256 {
+		return fmt.Errorf("kdf: K_AUSF dst length %d, want %d", len(dst), KeyLen256)
+	}
+	if len(ck) != 16 || len(ik) != 16 {
+		return fmt.Errorf("kdf: CK/IK lengths %d/%d, want 16/16", len(ck), len(ik))
+	}
+	if len(sqnXorAK) != 6 {
+		return fmt.Errorf("kdf: SQN^AK length %d, want 6", len(sqnXorAK))
+	}
+	var key [32]byte
+	copy(key[:16], ck)
+	copy(key[16:], ik)
+	GenericInto(dst, key[:], fcKAUSF, []byte(snn), sqnXorAK)
+	return nil
 }
 
 // ResStar derives RES* (UE side) or XRES* (network side) from CK||IK
@@ -94,9 +155,36 @@ func ResStar(ck, ik []byte, snn string, rand, res []byte) ([]byte, error) {
 	if len(res) != 8 {
 		return nil, fmt.Errorf("kdf: RES length %d, want 8", len(res))
 	}
-	key := append(append(make([]byte, 0, 32), ck...), ik...)
-	out := Generic(key, fcResStar, []byte(snn), rand, res)
+	var key [32]byte
+	copy(key[:16], ck)
+	copy(key[16:], ik)
+	out := Generic(key[:], fcResStar, []byte(snn), rand, res)
 	return out[len(out)-KeyLen128:], nil
+}
+
+// ResStarInto is ResStar writing the 16-byte response into dst
+// (allocation-free; the discarded upper half of the KDF output lives on
+// the stack).
+func ResStarInto(dst, ck, ik []byte, snn string, rand, res []byte) error {
+	if len(dst) != KeyLen128 {
+		return fmt.Errorf("kdf: RES* dst length %d, want %d", len(dst), KeyLen128)
+	}
+	if len(ck) != 16 || len(ik) != 16 {
+		return fmt.Errorf("kdf: CK/IK lengths %d/%d, want 16/16", len(ck), len(ik))
+	}
+	if len(rand) != 16 {
+		return fmt.Errorf("kdf: RAND length %d, want 16", len(rand))
+	}
+	if len(res) != 8 {
+		return fmt.Errorf("kdf: RES length %d, want 8", len(res))
+	}
+	var key [32]byte
+	copy(key[:16], ck)
+	copy(key[16:], ik)
+	var out [sha256.Size]byte
+	GenericInto(out[:], key[:], fcResStar, []byte(snn), rand, res)
+	copy(dst, out[sha256.Size-KeyLen128:])
+	return nil
 }
 
 // HXResStar derives HXRES* = the 128 most-significant bits of
@@ -113,10 +201,39 @@ func HXResStar(rand, xresStar []byte) ([]byte, error) {
 	if len(xresStar) != 16 {
 		return nil, fmt.Errorf("kdf: XRES* length %d, want 16", len(xresStar))
 	}
-	h := sha256.New()
+	h := hashpool.GetSHA256()
 	h.Write(rand)
 	h.Write(xresStar)
-	return h.Sum(nil)[:KeyLen128], nil
+	out := h.Sum(make([]byte, 0, sha256.Size))
+	hashpool.PutSHA256(h)
+	return out[:KeyLen128], nil
+}
+
+// hxresScratchPool recycles the full-width digest buffer of HXResStarInto
+// so the pooled hash's interface Sum call has a heap destination without a
+// per-call allocation.
+var hxresScratchPool = sync.Pool{New: func() any { return new([sha256.Size]byte) }}
+
+// HXResStarInto is HXResStar writing the 16-byte value into dst, for
+// callers that only compare it (allocation-free).
+func HXResStarInto(dst, rand, xresStar []byte) error {
+	if len(dst) != KeyLen128 {
+		return fmt.Errorf("kdf: HXRES* dst length %d, want %d", len(dst), KeyLen128)
+	}
+	if len(rand) != 16 {
+		return fmt.Errorf("kdf: RAND length %d, want 16", len(rand))
+	}
+	if len(xresStar) != 16 {
+		return fmt.Errorf("kdf: XRES* length %d, want 16", len(xresStar))
+	}
+	h := hashpool.GetSHA256()
+	h.Write(rand)
+	h.Write(xresStar)
+	buf := hxresScratchPool.Get().(*[sha256.Size]byte)
+	copy(dst, h.Sum(buf[:0])[:KeyLen128])
+	hxresScratchPool.Put(buf)
+	hashpool.PutSHA256(h)
+	return nil
 }
 
 // KSEAF derives the serving-network anchor key K_SEAF from K_AUSF
@@ -126,6 +243,18 @@ func KSEAF(kausf []byte, snn string) ([]byte, error) {
 		return nil, fmt.Errorf("kdf: K_AUSF length %d, want %d", len(kausf), KeyLen256)
 	}
 	return Generic(kausf, fcKSEAF, []byte(snn)), nil
+}
+
+// KSEAFInto is KSEAF writing the 32-byte key into dst (allocation-free).
+func KSEAFInto(dst, kausf []byte, snn string) error {
+	if len(dst) != KeyLen256 {
+		return fmt.Errorf("kdf: K_SEAF dst length %d, want %d", len(dst), KeyLen256)
+	}
+	if len(kausf) != KeyLen256 {
+		return fmt.Errorf("kdf: K_AUSF length %d, want %d", len(kausf), KeyLen256)
+	}
+	GenericInto(dst, kausf, fcKSEAF, []byte(snn))
+	return nil
 }
 
 // KAMF derives K_AMF from K_SEAF (TS 33.501 A.7). supi is the subscription

@@ -1,0 +1,95 @@
+package milenage
+
+import (
+	"crypto/subtle"
+	"sync"
+)
+
+// Cache memoizes per-subscriber Cipher values so the registration hot
+// path does not re-expand the AES key schedule (aes.NewCipher) on every
+// authentication-vector request. Entries are keyed by subscriber
+// identifier (SUPI) and validated against the (K, OPc) pair they were
+// built from: a lookup whose credentials no longer match rebuilds the
+// entry in place, so a UDR re-provision can never serve a stale schedule
+// even if the owner forgets to call Invalidate.
+//
+// Invalidation triggers (see DESIGN.md §9): ProvisionSubscriber calls
+// Invalidate(supi); an enclave crash-restart calls Reset(), matching the
+// loss of all in-enclave state.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	k   [KeyLen]byte
+	opc [OPLen]byte
+	c   *Cipher
+}
+
+// NewCache returns an empty cache, safe for concurrent use.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]*cacheEntry)}
+}
+
+// Get returns the Cipher for subscriber id with credentials (k, opc),
+// reusing the cached key schedule when the credentials still match and
+// building (and caching) a fresh one otherwise. A nil receiver always
+// builds fresh, so callers can treat the cache as optional.
+//
+//shieldlint:hotpath
+func (cc *Cache) Get(id string, k, opc []byte) (*Cipher, error) {
+	if cc == nil {
+		return New(k, opc)
+	}
+	cc.mu.RLock()
+	e := cc.m[id]
+	cc.mu.RUnlock()
+	if e != nil && len(k) == KeyLen && len(opc) == OPLen &&
+		subtle.ConstantTimeCompare(e.k[:], k) == 1 &&
+		subtle.ConstantTimeCompare(e.opc[:], opc) == 1 {
+		return e.c, nil
+	}
+	c, err := New(k, opc)
+	if err != nil {
+		return nil, err
+	}
+	e = &cacheEntry{c: c}
+	copy(e.k[:], k)
+	copy(e.opc[:], opc)
+	cc.mu.Lock()
+	cc.m[id] = e
+	cc.mu.Unlock()
+	return c, nil
+}
+
+// Invalidate drops the entry for id; the next Get rebuilds it.
+func (cc *Cache) Invalidate(id string) {
+	if cc == nil {
+		return
+	}
+	cc.mu.Lock()
+	delete(cc.m, id)
+	cc.mu.Unlock()
+}
+
+// Reset drops every entry, modelling the loss of in-enclave state on a
+// crash-restart.
+func (cc *Cache) Reset() {
+	if cc == nil {
+		return
+	}
+	cc.mu.Lock()
+	cc.m = make(map[string]*cacheEntry)
+	cc.mu.Unlock()
+}
+
+// Len reports the number of cached schedules.
+func (cc *Cache) Len() int {
+	if cc == nil {
+		return 0
+	}
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return len(cc.m)
+}

@@ -12,6 +12,7 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"fmt"
+	"sync"
 )
 
 // Algorithm parameter sizes in bytes.
@@ -94,6 +95,18 @@ func (c *Cipher) OPc() []byte {
 	return out
 }
 
+// scratch holds the intermediate AES blocks of one MILENAGE evaluation.
+// The blocks live in a pooled struct rather than on the stack because
+// cipher.Block's interface methods force their arguments to escape; with
+// stack arrays every f1/f2345 call would heap-allocate its temporaries.
+type scratch struct {
+	in   [16]byte // E_K input being assembled
+	temp [16]byte // TEMP = E_K(RAND XOR OPc)
+	rot  [16]byte // rotated block
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // F1 computes the network authentication code MAC-A (TS 35.206 §4.1).
 func (c *Cipher) F1(rand, sqn, amf []byte) ([]byte, error) {
 	out1, err := c.f1Block(rand, sqn, amf)
@@ -112,46 +125,56 @@ func (c *Cipher) F1Star(rand, sqn, amf []byte) ([]byte, error) {
 	return out1[MACLen:], nil
 }
 
+//shieldlint:hotpath
 func (c *Cipher) f1Block(rand, sqn, amf []byte) ([]byte, error) {
 	if err := checkLens(rand, sqn, amf); err != nil {
 		return nil, err
 	}
-	temp := c.temp(rand)
+	s := scratchPool.Get().(*scratch)
+	c.tempInto(s, rand)
 
 	// IN1 = SQN || AMF || SQN || AMF.
-	var in1 [16]byte
-	copy(in1[0:6], sqn)
-	copy(in1[6:8], amf)
-	copy(in1[8:14], sqn)
-	copy(in1[14:16], amf)
+	copy(s.in[0:6], sqn)
+	copy(s.in[6:8], amf)
+	copy(s.in[8:14], sqn)
+	copy(s.in[14:16], amf)
 
 	// OUT1 = E_K(TEMP XOR rot(IN1 XOR OPc, r1) XOR c1) XOR OPc.
-	xorInto(in1[:], c.opc[:])
-	buf := rotate(in1[:], rotations[0])
-	buf[15] ^= constants[0]
-	xorInto(buf, temp)
+	xorInto(s.in[:], c.opc[:])
+	rotateInto(&s.rot, &s.in, rotations[0])
+	s.rot[15] ^= constants[0]
+	xorInto(s.rot[:], s.temp[:])
 	out := make([]byte, 16)
-	c.block.Encrypt(out, buf)
+	c.block.Encrypt(out, s.rot[:])
 	xorInto(out, c.opc[:])
+	scratchPool.Put(s)
 	return out, nil
 }
 
 // F2345 computes RES, CK, IK and AK from RAND in a single pass, matching
 // the derivations the UDM performs when building an authentication vector.
+// The four results share one freshly allocated backing array (their byte
+// ranges are disjoint); callers own them and may read them independently.
+//
+//shieldlint:hotpath
 func (c *Cipher) F2345(rand []byte) (res, ck, ik, ak []byte, err error) {
 	if len(rand) != RandLen {
 		return nil, nil, nil, nil, fmt.Errorf("milenage: RAND length %d, want %d", len(rand), RandLen)
 	}
-	temp := c.temp(rand)
+	s := scratchPool.Get().(*scratch)
+	c.tempInto(s, rand)
 
-	out2 := c.outBlock(temp, 1)
-	out3 := c.outBlock(temp, 2)
-	out4 := c.outBlock(temp, 3)
+	// One backing array for OUT2 || OUT3 || OUT4.
+	out := make([]byte, 48)
+	c.outBlockInto(s, 1, out[0:16])
+	c.outBlockInto(s, 2, out[16:32])
+	c.outBlockInto(s, 3, out[32:48])
+	scratchPool.Put(s)
 
-	res = out2[8:16]
-	ak = out2[0:AKLen]
-	ck = out3
-	ik = out4
+	res = out[8:16:16] // OUT2[8:16]
+	ak = out[0:AKLen:AKLen]
+	ck = out[16:32:32]
+	ik = out[32:48:48]
 	return res, ck, ik, ak, nil
 }
 
@@ -160,41 +183,38 @@ func (c *Cipher) F5Star(rand []byte) ([]byte, error) {
 	if len(rand) != RandLen {
 		return nil, fmt.Errorf("milenage: RAND length %d, want %d", len(rand), RandLen)
 	}
-	out5 := c.outBlock(c.temp(rand), 4)
-	return out5[0:AKLen], nil
-}
-
-// temp computes TEMP = E_K(RAND XOR OPc).
-func (c *Cipher) temp(rand []byte) []byte {
-	buf := make([]byte, 16)
-	copy(buf, rand)
-	xorInto(buf, c.opc[:])
-	temp := make([]byte, 16)
-	c.block.Encrypt(temp, buf)
-	return temp
-}
-
-// outBlock computes OUT_n = E_K(rot(TEMP XOR OPc, r_n) XOR c_n) XOR OPc for
-// n in {2..5}, indexed 1..4 into the constant tables.
-func (c *Cipher) outBlock(temp []byte, idx int) []byte {
-	buf := make([]byte, 16)
-	copy(buf, temp)
-	xorInto(buf, c.opc[:])
-	buf = rotate(buf, rotations[idx])
-	buf[15] ^= constants[idx]
+	s := scratchPool.Get().(*scratch)
+	c.tempInto(s, rand)
 	out := make([]byte, 16)
-	c.block.Encrypt(out, buf)
-	xorInto(out, c.opc[:])
-	return out
+	c.outBlockInto(s, 4, out)
+	scratchPool.Put(s)
+	return out[0:AKLen], nil
 }
 
-// rotate returns b cyclically rotated left by n bytes.
-func rotate(b []byte, n int) []byte {
-	out := make([]byte, len(b))
-	for i := range b {
-		out[i] = b[(i+n)%len(b)]
+// tempInto computes TEMP = E_K(RAND XOR OPc) into s.temp.
+func (c *Cipher) tempInto(s *scratch, rand []byte) {
+	copy(s.in[:], rand)
+	xorInto(s.in[:], c.opc[:])
+	c.block.Encrypt(s.temp[:], s.in[:])
+}
+
+// outBlockInto computes OUT_n = E_K(rot(TEMP XOR OPc, r_n) XOR c_n) XOR OPc
+// for n in {2..5}, indexed 1..4 into the constant tables, writing the
+// 16-byte result into dst.
+func (c *Cipher) outBlockInto(s *scratch, idx int, dst []byte) {
+	copy(s.in[:], s.temp[:])
+	xorInto(s.in[:], c.opc[:])
+	rotateInto(&s.rot, &s.in, rotations[idx])
+	s.rot[15] ^= constants[idx]
+	c.block.Encrypt(dst, s.rot[:])
+	xorInto(dst, c.opc[:])
+}
+
+// rotateInto writes src cyclically rotated left by n bytes into dst.
+func rotateInto(dst, src *[16]byte, n int) {
+	for i := range dst {
+		dst[i] = src[(i+n)%16]
 	}
-	return out
 }
 
 // xorInto xors src into dst in place.

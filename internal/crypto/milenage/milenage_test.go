@@ -168,15 +168,20 @@ func TestBadLengths(t *testing.T) {
 }
 
 func TestRotateIdentity(t *testing.T) {
-	in := []byte{1, 2, 3, 4}
-	if got := rotate(in, 0); !bytes.Equal(got, in) {
-		t.Fatalf("rotate by 0 = %v", got)
+	in := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	var out [16]byte
+	rotateInto(&out, &in, 0)
+	if out != in {
+		t.Fatalf("rotate by 0 = %v", out)
 	}
-	if got := rotate(in, 4); !bytes.Equal(got, in) {
-		t.Fatalf("rotate by len = %v", got)
+	rotateInto(&out, &in, 16)
+	if out != in {
+		t.Fatalf("rotate by len = %v", out)
 	}
-	if got := rotate(in, 1); !bytes.Equal(got, []byte{2, 3, 4, 1}) {
-		t.Fatalf("rotate by 1 = %v", got)
+	rotateInto(&out, &in, 1)
+	want := [16]byte{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 1}
+	if out != want {
+		t.Fatalf("rotate by 1 = %v", out)
 	}
 }
 

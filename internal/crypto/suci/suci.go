@@ -16,11 +16,15 @@ import (
 	"crypto/ecdh"
 	"crypto/hmac"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+
+	"shield5g/internal/crypto/hashpool"
 )
 
 // Protection scheme identifiers from TS 23.003 §2.2B.
@@ -175,17 +179,17 @@ func Conceal(rand io.Reader, supi SUPI, routingIndicator string, hnPub []byte, k
 		return nil, fmt.Errorf("suci: ECDH: %w", err)
 	}
 	ephPub := ephPriv.PublicKey().Bytes()
-	encKey, icb, macKey := deriveKeys(shared, ephPub)
+	ks := kdfScratchPool.Get().(*kdfScratch)
+	encKey, icb, macKey := deriveKeys(shared, ephPub, ks)
 
-	plaintext := []byte(supi.MSIN)
-	ciphertext := make([]byte, len(plaintext))
-	ctr(encKey, icb, ciphertext, plaintext)
-	tag := computeTag(macKey, ciphertext)
-
-	out := make([]byte, 0, len(ephPub)+len(ciphertext)+tagLen)
-	out = append(out, ephPub...)
-	out = append(out, ciphertext...)
-	out = append(out, tag...)
+	// Assemble ephPub || ciphertext || tag directly in the output buffer.
+	out := make([]byte, len(ephPub)+len(supi.MSIN)+tagLen)
+	copy(out, ephPub)
+	ciphertext := out[len(ephPub) : len(ephPub)+len(supi.MSIN)]
+	ctr(encKey, icb, ciphertext, []byte(supi.MSIN))
+	computeTagInto(macKey, ciphertext, &ks.tag)
+	copy(out[len(ephPub)+len(supi.MSIN):], ks.tag[:tagLen])
+	kdfScratchPool.Put(ks)
 	return &SUCI{
 		MCC:              supi.MCC,
 		MNC:              supi.MNC,
@@ -223,12 +227,24 @@ func (k *HomeNetworkKey) Deconceal(s *SUCI) (SUPI, error) {
 	if err != nil {
 		return SUPI{}, fmt.Errorf("suci: ECDH: %w", err)
 	}
-	encKey, icb, macKey := deriveKeys(shared, ephPub)
-	if !hmac.Equal(tag, computeTag(macKey, ciphertext)) {
+	ks := kdfScratchPool.Get().(*kdfScratch)
+	encKey, icb, macKey := deriveKeys(shared, ephPub, ks)
+	computeTagInto(macKey, ciphertext, &ks.tag)
+	if !hmac.Equal(tag, ks.tag[:tagLen]) {
+		kdfScratchPool.Put(ks)
 		return SUPI{}, ErrIntegrity
 	}
-	plaintext := make([]byte, len(ciphertext))
+	// MSIN-sized plaintexts fit on the stack; the string conversion below
+	// makes the only retained copy.
+	var ptBuf [32]byte
+	plaintext := ptBuf[:0]
+	if len(ciphertext) > len(ptBuf) {
+		plaintext = make([]byte, len(ciphertext))
+	} else {
+		plaintext = ptBuf[:len(ciphertext)]
+	}
 	ctr(encKey, icb, plaintext, ciphertext)
+	kdfScratchPool.Put(ks)
 
 	supi := SUPI{MCC: s.MCC, MNC: s.MNC, MSIN: string(plaintext)}
 	if err := supi.Validate(); err != nil {
@@ -237,39 +253,112 @@ func (k *HomeNetworkKey) Deconceal(s *SUCI) (SUPI, error) {
 	return supi, nil
 }
 
+// kdfScratch holds one concealment's derived key block, counter word and
+// MAC tag. Pooled because the slices handed to hash interfaces would
+// otherwise escape to the heap on every Conceal/Deconceal.
+type kdfScratch struct {
+	out [encKeyLen + icbLen + macKeyLen]byte
+	ctr [4]byte
+	tag [sha256.Size]byte
+}
+
+var kdfScratchPool = sync.Pool{New: func() any { return new(kdfScratch) }}
+
 // deriveKeys runs the ANSI X9.63 KDF with SHA-256 over the shared secret,
 // with the ephemeral public key as SharedInfo, and splits the output into
-// the AES key, initial counter block and MAC key (TS 33.501 C.3.2).
-func deriveKeys(shared, ephPub []byte) (encKey, icb, macKey []byte) {
+// the AES key, initial counter block and MAC key (TS 33.501 C.3.2). The
+// returned slices alias ks.out and are valid until ks is re-pooled.
+//
+//shieldlint:hotpath
+func deriveKeys(shared, ephPub []byte, ks *kdfScratch) (encKey, icb, macKey []byte) {
 	const total = encKeyLen + icbLen + macKeyLen
-	out := make([]byte, 0, total)
+	out := ks.out[:0]
 	var counter uint32 = 1
+	h := hashpool.GetSHA256()
 	for len(out) < total {
-		h := sha256.New()
+		h.Reset()
 		h.Write(shared)
-		var c [4]byte
-		binary.BigEndian.PutUint32(c[:], counter)
-		h.Write(c[:])
+		binary.BigEndian.PutUint32(ks.ctr[:], counter)
+		h.Write(ks.ctr[:])
 		h.Write(ephPub)
 		out = h.Sum(out)
 		counter++
 	}
+	hashpool.PutSHA256(h)
 	return out[:encKeyLen], out[encKeyLen : encKeyLen+icbLen], out[encKeyLen+icbLen : total]
 }
 
-func ctr(key, icb, dst, src []byte) {
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		// Key length is fixed by deriveKeys; this cannot happen.
-		panic(fmt.Sprintf("suci: AES key setup: %v", err))
-	}
-	cipher.NewCTR(block, icb).XORKeyStream(dst, src)
+// ctrBlocks caches AES key schedules by derived encryption key. The UE's
+// Conceal and the UDM's Deconceal derive the same key from the ECDH
+// exchange, so each registration's second CTR pass (and any retry) reuses
+// the schedule instead of calling aes.NewCipher again. The cache is
+// bounded and dropped wholesale when full; a miss just rebuilds.
+var ctrBlocks struct {
+	sync.RWMutex
+	m map[[encKeyLen]byte]cipher.Block
 }
 
-func computeTag(macKey, ciphertext []byte) []byte {
-	mac := hmac.New(sha256.New, macKey)
+const ctrBlockCacheMax = 4096
+
+// ctrScratch holds one CTR pass's counter block and keystream block;
+// pooled so the interface call block.Encrypt has heap destinations
+// without a per-call allocation.
+type ctrScratch struct {
+	iv, ks [aes.BlockSize]byte
+}
+
+var ctrScratchPool = sync.Pool{New: func() any { return new(ctrScratch) }}
+
+//shieldlint:hotpath
+func ctr(key, icb, dst, src []byte) {
+	var kk [encKeyLen]byte
+	copy(kk[:], key)
+	ctrBlocks.RLock()
+	block := ctrBlocks.m[kk]
+	ctrBlocks.RUnlock()
+	if block == nil {
+		var err error
+		block, err = aes.NewCipher(key)
+		if err != nil {
+			// Key length is fixed by deriveKeys; this cannot happen.
+			panic(fmt.Sprintf("suci: AES key setup: %v", err))
+		}
+		ctrBlocks.Lock()
+		if ctrBlocks.m == nil || len(ctrBlocks.m) >= ctrBlockCacheMax {
+			ctrBlocks.m = make(map[[encKeyLen]byte]cipher.Block, 64)
+		}
+		ctrBlocks.m[kk] = block
+		ctrBlocks.Unlock()
+	}
+	// Manual CTR, bit-identical to cipher.NewCTR(block, icb) (the counter
+	// increments big-endian across the whole block) but without the
+	// per-call stream-state allocation; MSIN-sized payloads are one block.
+	st := ctrScratchPool.Get().(*ctrScratch)
+	iv, ks := st.iv[:], st.ks[:]
+	copy(iv, icb)
+	for len(src) > 0 {
+		block.Encrypt(ks, iv)
+		n := subtle.XORBytes(dst, src, ks)
+		dst, src = dst[n:], src[n:]
+		for j := aes.BlockSize - 1; j >= 0; j-- {
+			iv[j]++
+			if iv[j] != 0 {
+				break
+			}
+		}
+	}
+	ctrScratchPool.Put(st)
+}
+
+// computeTagInto writes the full HMAC-SHA-256 of ciphertext into tag; the
+// wire format carries only the first tagLen bytes.
+//
+//shieldlint:hotpath
+func computeTagInto(macKey, ciphertext []byte, tag *[sha256.Size]byte) {
+	mac := hashpool.GetHMAC(macKey)
 	mac.Write(ciphertext)
-	return mac.Sum(nil)[:tagLen]
+	mac.Sum(tag[:0])
+	hashpool.PutHMAC(mac)
 }
 
 // String renders the SUCI in the 3GPP presentation format

@@ -2,7 +2,12 @@ package suci
 
 import (
 	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"strings"
 	"testing"
@@ -229,8 +234,9 @@ func padDigits(n uint64, width int) string {
 func TestDeriveKeysDeterministicAndDistinct(t *testing.T) {
 	shared := bytes.Repeat([]byte{0x42}, 32)
 	pub := bytes.Repeat([]byte{0x24}, 32)
-	e1, i1, m1 := deriveKeys(shared, pub)
-	e2, i2, m2 := deriveKeys(shared, pub)
+	var s1, s2 kdfScratch
+	e1, i1, m1 := deriveKeys(shared, pub, &s1)
+	e2, i2, m2 := deriveKeys(shared, pub, &s2)
 	if !bytes.Equal(e1, e2) || !bytes.Equal(i1, i2) || !bytes.Equal(m1, m2) {
 		t.Fatal("deriveKeys not deterministic")
 	}
@@ -297,5 +303,61 @@ func TestNullScheme(t *testing.T) {
 	bad := &SUCI{MCC: "001", MNC: "01", Scheme: SchemeNull, SchemeOutput: []byte("xx")}
 	if _, err := bad.NullSUPI(); err == nil {
 		t.Fatal("malformed null MSIN accepted")
+	}
+}
+
+// TestPooledPrimitivesMatchReference pins the pooled KDF/MAC/CTR paths to
+// plain-stdlib reference implementations mirroring the seed code.
+func TestPooledPrimitivesMatchReference(t *testing.T) {
+	shared := bytes.Repeat([]byte{0x42}, 32)
+	pub := bytes.Repeat([]byte{0x24}, 32)
+
+	refDerive := func() []byte {
+		const total = encKeyLen + icbLen + macKeyLen
+		out := make([]byte, 0, total)
+		var counter uint32 = 1
+		for len(out) < total {
+			h := sha256.New()
+			h.Write(shared)
+			var c [4]byte
+			binary.BigEndian.PutUint32(c[:], counter)
+			h.Write(c[:])
+			h.Write(pub)
+			out = h.Sum(out)
+			counter++
+		}
+		return out
+	}()
+
+	var ks kdfScratch
+	encKey, icb, macKey := deriveKeys(shared, pub, &ks)
+	got := append(append(append([]byte(nil), encKey...), icb...), macKey...)
+	if !bytes.Equal(got, refDerive) {
+		t.Fatalf("pooled deriveKeys diverges from reference\n got %x\nwant %x", got, refDerive)
+	}
+
+	msg := []byte("0000000001")
+	var tag [sha256.Size]byte
+	computeTagInto(macKey, msg, &tag)
+	ref := hmac.New(sha256.New, macKey)
+	ref.Write(msg)
+	if want := ref.Sum(nil); !bytes.Equal(tag[:], want) {
+		t.Fatalf("computeTagInto diverges from crypto/hmac")
+	}
+
+	// The cached-block CTR must match a fresh aes.NewCipher stream, on a
+	// cold key and again on the (now cached) warm key.
+	for round := 0; round < 2; round++ {
+		dst := make([]byte, len(msg))
+		ctr(encKey, icb, dst, msg)
+		block, err := aes.NewCipher(encKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, len(msg))
+		cipher.NewCTR(block, icb).XORKeyStream(want, msg)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("round %d: cached-block CTR diverges", round)
+		}
 	}
 }

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+
+	"shield5g/internal/deploy"
+	"shield5g/internal/gnb"
+	"shield5g/internal/paka"
+	"shield5g/internal/ue"
+)
+
+// ProfileRow is one function's share of the hot-path allocation profile.
+type ProfileRow struct {
+	Function string
+	Bytes    int64
+	Objects  int64
+}
+
+// ProfilesResult is the allocation profile of a deterministic
+// mass-registration run: the top-N functions by flat (allocated directly
+// in the function) and cumulative (allocated anywhere below it) bytes.
+type ProfilesResult struct {
+	UEs        int
+	Registered int
+	// TotalBytes/TotalObjects are the whole run's profiled allocations.
+	TotalBytes   int64
+	TotalObjects int64
+	Flat         []ProfileRow
+	Cum          []ProfileRow
+	TopN         int
+}
+
+// profileTopN bounds the rendered rows per table.
+const profileTopN = 15
+
+// Profiles runs a small deterministic mass-registration at full memory
+// profiling fidelity (MemProfileRate=1) and reports which functions the
+// registration hot path allocates in. This is the repo-native counterpart
+// of `gnbsim -memprofile` + `go tool pprof -top`: it needs no external
+// tooling and its tables land in the experiment log, so an allocation
+// regression shows up as a diff.
+func Profiles(ctx context.Context, cfg Config) (*ProfilesResult, error) {
+	n := cfg.iterations()
+	// Full-fidelity profiling makes every allocation take the slow path;
+	// a few dozen registrations already yield a stable profile.
+	if n > 60 {
+		n = 60
+	}
+	if n < 10 {
+		n = 10
+	}
+
+	s, err := deploy.NewSlice(ctx, deploy.SliceConfig{Isolation: paka.SGX, Seed: cfg.Seed + 47})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Stop()
+
+	// Warm the slice (TLS handshakes, enclave warm-up, pool priming) so
+	// the profile captures the steady state the benchmarks assert on.
+	warm, err := sliceSubscriber(ctx, s, "0000008888")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.GNB.RegisterUE(ctx, warm); err != nil {
+		return nil, err
+	}
+
+	oldRate := runtime.MemProfileRate
+	runtime.MemProfileRate = 1
+	defer func() { runtime.MemProfileRate = oldRate }()
+	// Two GCs flush pending mem-profile records so the baseline snapshot
+	// is complete (records are published at sweep time).
+	runtime.GC()
+	runtime.GC()
+	before := snapshotMemProfile()
+
+	res, err := s.GNB.RegisterManyWith(ctx, gnb.MassOptions{
+		N: n,
+		NewUE: func(i int) (*ue.UE, error) {
+			return sliceSubscriber(ctx, s, fmt.Sprintf("%010d", 7000+i))
+		},
+		Parallelism: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runtime.GC()
+	runtime.GC()
+	after := snapshotMemProfile()
+
+	result := &ProfilesResult{UEs: n, Registered: res.Registered, TopN: profileTopN}
+	flat := make(map[string]*ProfileRow)
+	cum := make(map[string]*ProfileRow)
+	for key, rec := range after {
+		b, o := rec.AllocBytes, rec.AllocObjects
+		if prev, ok := before[key]; ok {
+			b -= prev.AllocBytes
+			o -= prev.AllocObjects
+		}
+		if b <= 0 && o <= 0 {
+			continue
+		}
+		result.TotalBytes += b
+		result.TotalObjects += o
+		frames := symbolize(rec.Stack())
+		if len(frames) == 0 {
+			continue
+		}
+		addRow(flat, frames[0], b, o)
+		seen := make(map[string]bool, len(frames))
+		for _, fn := range frames {
+			if !seen[fn] {
+				seen[fn] = true
+				addRow(cum, fn, b, o)
+			}
+		}
+	}
+	result.Flat = topRows(flat, profileTopN)
+	result.Cum = topRows(cum, profileTopN)
+	return result, nil
+}
+
+// snapshotMemProfile reads every allocation record published so far,
+// keyed by call stack.
+func snapshotMemProfile() map[[32]uintptr]runtime.MemProfileRecord {
+	n, _ := runtime.MemProfile(nil, true)
+	var recs []runtime.MemProfileRecord
+	for {
+		recs = make([]runtime.MemProfileRecord, n+64)
+		m, ok := runtime.MemProfile(recs, true)
+		if ok {
+			recs = recs[:m]
+			break
+		}
+		n = m
+	}
+	out := make(map[[32]uintptr]runtime.MemProfileRecord, len(recs))
+	for _, r := range recs {
+		out[r.Stack0] = r
+	}
+	return out
+}
+
+// symbolize resolves a profile stack to function names, innermost first,
+// dropping the runtime's own allocator frames so the first entry is the
+// function that performed the allocation.
+func symbolize(stk []uintptr) []string {
+	if len(stk) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(stk))
+	frames := runtime.CallersFrames(stk)
+	for {
+		f, more := frames.Next()
+		if f.Function != "" && !strings.HasPrefix(f.Function, "runtime.") {
+			out = append(out, f.Function)
+		}
+		if !more {
+			break
+		}
+	}
+	return out
+}
+
+func addRow(m map[string]*ProfileRow, fn string, bytes, objects int64) {
+	r := m[fn]
+	if r == nil {
+		r = &ProfileRow{Function: fn}
+		m[fn] = r
+	}
+	r.Bytes += bytes
+	r.Objects += objects
+}
+
+// topRows sorts by bytes descending (function name as the deterministic
+// tiebreak) and keeps the first n.
+func topRows(m map[string]*ProfileRow, n int) []ProfileRow {
+	rows := make([]ProfileRow, 0, len(m))
+	for _, r := range m {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Bytes != rows[j].Bytes {
+			return rows[i].Bytes > rows[j].Bytes
+		}
+		return rows[i].Function < rows[j].Function
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Render prints the flat and cumulative top-N tables.
+func (r *ProfilesResult) Render(w io.Writer) {
+	fprintf(w, "Hot-path allocation profile (%d/%d registrations, MemProfileRate=1)\n", r.Registered, r.UEs)
+	perReg := func(v int64) float64 {
+		if r.Registered == 0 {
+			return 0
+		}
+		return float64(v) / float64(r.Registered)
+	}
+	fprintf(w, "total: %d B, %d objects (%.0f B/reg, %.1f allocs/reg)\n\n",
+		r.TotalBytes, r.TotalObjects, perReg(r.TotalBytes), perReg(r.TotalObjects))
+	renderProfileTable(w, fmt.Sprintf("top %d by flat bytes", r.TopN), r.Flat, r.TotalBytes)
+	fprintf(w, "\n")
+	renderProfileTable(w, fmt.Sprintf("top %d by cumulative bytes", r.TopN), r.Cum, r.TotalBytes)
+}
+
+func renderProfileTable(w io.Writer, title string, rows []ProfileRow, total int64) {
+	fprintf(w, "%s\n", title)
+	fprintf(w, "%12s %8s %10s  %s\n", "bytes", "pct", "objects", "function")
+	for _, row := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(row.Bytes) / float64(total)
+		}
+		fprintf(w, "%12d %7.1f%% %10d  %s\n", row.Bytes, pct, row.Objects, row.Function)
+	}
+}
+
+// WriteCSV emits the flat table as a series.
+func (r *ProfilesResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Flat))
+	for _, row := range r.Flat {
+		rows = append(rows, []string{row.Function, fmt.Sprintf("%d", row.Bytes), fmt.Sprintf("%d", row.Objects)})
+	}
+	return writeCSV(w, []string{"function", "flat_bytes", "flat_objects"}, rows)
+}

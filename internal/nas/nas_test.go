@@ -2,6 +2,8 @@ package nas
 
 import (
 	"bytes"
+	"crypto/cipher"
+	"encoding/binary"
 	"errors"
 	"reflect"
 	"testing"
@@ -346,5 +348,34 @@ func TestProtectRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Golden equivalence: the context's manual CTR must be bit-identical to
+// the stdlib cipher.NewCTR stream it replaced, across message sizes that
+// cover partial, exact and multi-block keystream consumption.
+func TestXORKeyStreamMatchesStdlibCTR(t *testing.T) {
+	sc, _ := testContexts(t)
+	for _, size := range []int{0, 1, 15, 16, 17, 32, 33, 100} {
+		src := make([]byte, size)
+		for i := range src {
+			src[i] = byte(i*7 + 3)
+		}
+		for _, dir := range []byte{dirUplink, dirDownlink} {
+			for _, count := range []uint32{0, 1, 0xFFFFFFFF} {
+				got := make([]byte, size)
+				sc.xorKeyStream(got, src, dir, count)
+
+				var iv [16]byte
+				binary.BigEndian.PutUint32(iv[0:4], count)
+				iv[4] = dir << 2
+				want := make([]byte, size)
+				cipher.NewCTR(sc.block, iv[:]).XORKeyStream(want, src)
+
+				if !bytes.Equal(got, want) {
+					t.Fatalf("size=%d dir=%d count=%d: manual CTR diverges from cipher.NewCTR", size, dir, count)
+				}
+			}
+		}
 	}
 }

@@ -5,10 +5,12 @@ import (
 	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"shield5g/internal/crypto/hashpool"
 	"shield5g/internal/crypto/kdf"
 )
 
@@ -48,6 +50,22 @@ type SecurityContext struct {
 	encKey []byte
 	intKey []byte
 
+	// block is the AES key schedule for K_NASenc, expanded once at context
+	// activation: the keys are fixed for the context's lifetime, so per-
+	// message aes.NewCipher calls were pure overhead. macState is likewise
+	// the context-owned HMAC state for K_NASint; macBuf and hdrBuf are its
+	// reusable output and header scratch (single-threaded per context, see
+	// above).
+	block    cipher.Block
+	macState *hashpool.HMAC
+	macBuf   [sha256.Size]byte
+	hdrBuf   [5]byte
+	// ctrIV and ctrKS are the counter block and keystream scratch of
+	// xorKeyStream; fields so the interface call block.Encrypt does not
+	// heap-allocate them per message.
+	ctrIV [aes.BlockSize]byte
+	ctrKS [aes.BlockSize]byte
+
 	IntegrityAlg byte
 	CipheringAlg byte
 
@@ -66,9 +84,15 @@ func NewSecurityContext(kamf []byte) (*SecurityContext, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nas: derive K_NASint: %w", err)
 	}
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("nas: cipher setup: %w", err)
+	}
 	return &SecurityContext{
 		encKey:       encKey,
 		intKey:       intKey,
+		block:        block,
+		macState:     hashpool.NewHMAC(intKey),
 		IntegrityAlg: AlgNIA2,
 		CipheringAlg: AlgNEA2,
 	}, nil
@@ -90,15 +114,14 @@ func (sc *SecurityContext) Protect(msg Message, uplink bool) ([]byte, error) {
 	}
 	dir, count := sc.sendState(uplink)
 
-	ct := make([]byte, len(plain))
-	sc.cipherStream(dir, count).XORKeyStream(ct, plain)
-
-	out := make([]byte, 0, 2+macLen+4+len(ct))
-	out = append(out, EPD5GMM, shtProtected)
-	mac := sc.mac(dir, count, ct)
-	out = append(out, mac...)
-	out = binary.BigEndian.AppendUint32(out, count)
-	out = append(out, ct...)
+	// Single output allocation: the ciphertext is written straight into
+	// its final position, then MAC and SEQ fill the header in place.
+	out := make([]byte, 2+macLen+4+len(plain))
+	out[0], out[1] = EPD5GMM, shtProtected
+	ct := out[2+macLen+4:]
+	sc.xorKeyStream(ct, plain, dir, count)
+	copy(out[2:2+macLen], sc.mac(dir, count, ct))
+	binary.BigEndian.PutUint32(out[2+macLen:2+macLen+4], count)
 
 	sc.advanceSend(uplink)
 	return out, nil
@@ -134,7 +157,7 @@ func (sc *SecurityContext) Unprotect(data []byte, uplink bool) (Message, error) 
 	}
 
 	plain := make([]byte, len(ct))
-	sc.cipherStream(dir, count).XORKeyStream(plain, ct)
+	sc.xorKeyStream(plain, ct, dir, count)
 	msg, err := Decode(plain)
 	if err != nil {
 		return nil, fmt.Errorf("nas: deciphered payload: %w", err)
@@ -158,26 +181,42 @@ func (sc *SecurityContext) advanceSend(uplink bool) {
 	}
 }
 
-// cipherStream builds the NEA2-style keystream for (direction, count).
-func (sc *SecurityContext) cipherStream(dir byte, count uint32) cipher.Stream {
-	block, err := aes.NewCipher(sc.encKey)
-	if err != nil {
-		// Key length is fixed at derivation; this cannot happen.
-		panic(fmt.Sprintf("nas: cipher setup: %v", err))
-	}
-	var iv [16]byte
+// xorKeyStream applies the NEA2-style AES-CTR keystream for
+// (direction, count) to src, writing into dst (dst and src may alias).
+// It is bit-identical to cipher.NewCTR over the same initial counter
+// block — the counter is incremented big-endian across all 16 bytes —
+// but reuses the context's scratch instead of allocating a stream state
+// per message.
+//
+//shieldlint:hotpath
+func (sc *SecurityContext) xorKeyStream(dst, src []byte, dir byte, count uint32) {
+	iv := sc.ctrIV[:]
+	clear(iv)
 	binary.BigEndian.PutUint32(iv[0:4], count)
 	iv[4] = dir << 2 // bearer(0) || direction, per the NEA IV layout
-	return cipher.NewCTR(block, iv[:])
+	ks := sc.ctrKS[:]
+	for len(src) > 0 {
+		sc.block.Encrypt(ks, iv)
+		n := subtle.XORBytes(dst, src, ks)
+		dst, src = dst[n:], src[n:]
+		for j := aes.BlockSize - 1; j >= 0; j-- {
+			iv[j]++
+			if iv[j] != 0 {
+				break
+			}
+		}
+	}
 }
 
-// mac computes the 32-bit NAS MAC over (direction, count, payload).
+// mac computes the 32-bit NAS MAC over (direction, count, payload). The
+// returned slice aliases sc.macBuf and is only valid until the next call.
+//
+//shieldlint:hotpath
 func (sc *SecurityContext) mac(dir byte, count uint32, payload []byte) []byte {
-	h := hmac.New(sha256.New, sc.intKey)
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[0:4], count)
-	hdr[4] = dir
-	h.Write(hdr[:])
-	h.Write(payload)
-	return h.Sum(nil)[:macLen]
+	binary.BigEndian.PutUint32(sc.hdrBuf[0:4], count)
+	sc.hdrBuf[4] = dir
+	sc.macState.Reset()
+	sc.macState.Write(sc.hdrBuf[:])
+	sc.macState.Write(payload)
+	return sc.macState.Sum(sc.macBuf[:0])[:macLen]
 }

@@ -309,11 +309,12 @@ func (a *AMF) handleAuthenticating(ctx context.Context, ranUEID uint64, ue *ueCo
 // derivation through the P-AKA environment, and NAS security activation.
 func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.AuthenticationResponse) ([]byte, error) {
 	// SEAF check: HXRES* == SHA-256(RAND || RES*) truncated.
-	hres, err := kdf.HXResStar(ue.rand, m.ResStar[:])
-	if err != nil {
+	// HRES* is compare-and-discard: compute it on the stack.
+	var hres [kdf.KeyLen128]byte
+	if err := kdf.HXResStarInto(hres[:], ue.rand, m.ResStar[:]); err != nil {
 		return nil, fmt.Errorf("amf: HRES* computation: %w", err)
 	}
-	if !hmac.Equal(hres, ue.hxresStar) {
+	if !hmac.Equal(hres[:], ue.hxresStar) {
 		return a.reject(ue)
 	}
 	conf, err := a.ausf.Confirm(ctx, &ausf.ConfirmRequest{AuthCtxID: ue.authCtxID, ResStar: m.ResStar[:]})

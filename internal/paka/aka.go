@@ -21,7 +21,15 @@ var (
 // over the subscriber key, AUTN assembly, and the XRES*/K_AUSF derivations
 // (the "Derive/Execute" column of Table I for the eUDM module).
 func GenerateAV(k []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, error) {
-	c, err := milenage.New(k, req.OPc)
+	return GenerateAVCached(nil, k, req)
+}
+
+// GenerateAVCached is GenerateAV with a per-subscriber key-schedule cache:
+// the two AES key expansions milenage.New performs are reused across every
+// AV for the same (SUPI, K, OPc). A nil cache builds fresh schedules,
+// which is exactly the uncached seed behaviour.
+func GenerateAVCached(cache *milenage.Cache, k []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, error) {
+	c, err := cache.Get(req.SUPI, k, req.OPc)
 	if err != nil {
 		return nil, fmt.Errorf("paka: eUDM: %w", err)
 	}
@@ -33,28 +41,33 @@ func GenerateAV(k []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, er
 	if err != nil {
 		return nil, fmt.Errorf("paka: eUDM f2345: %w", err)
 	}
-	sqnAK, err := kdf.XorSQNAK(req.SQN, ak)
-	if err != nil {
-		return nil, fmt.Errorf("paka: eUDM: %w", err)
+	// One 80-byte backing carries all four response fields; the full-slice
+	// caps keep a later append on one field from spilling into the next.
+	out := make([]byte, 80)
+	resp := &UDMGenerateAVResponse{
+		RAND:     out[0:16:16],
+		AUTN:     out[16:32:32],
+		XRESStar: out[32:48:48],
+		KAUSF:    out[48:80:80],
 	}
-	autn, err := kdf.BuildAUTN(sqnAK, req.AMFID, macA)
-	if err != nil {
-		return nil, fmt.Errorf("paka: eUDM AUTN: %w", err)
+	copy(resp.RAND, req.RAND)
+
+	// AUTN = (SQN XOR AK) || AMF || MAC-A, assembled in place. F1 has
+	// already validated the SQN and AMF lengths; AK is always 6 bytes.
+	sqnAK := resp.AUTN[0:6]
+	for i := range sqnAK {
+		sqnAK[i] = req.SQN[i] ^ ak[i]
 	}
-	xres, err := kdf.ResStar(ck, ik, req.SNN, req.RAND, res)
-	if err != nil {
+	copy(resp.AUTN[6:8], req.AMFID)
+	copy(resp.AUTN[8:16], macA)
+
+	if err := kdf.ResStarInto(resp.XRESStar, ck, ik, req.SNN, req.RAND, res); err != nil {
 		return nil, fmt.Errorf("paka: eUDM XRES*: %w", err)
 	}
-	kausf, err := kdf.KAUSF(ck, ik, req.SNN, sqnAK)
-	if err != nil {
+	if err := kdf.KAUSFInto(resp.KAUSF, ck, ik, req.SNN, sqnAK); err != nil {
 		return nil, fmt.Errorf("paka: eUDM K_AUSF: %w", err)
 	}
-	return &UDMGenerateAVResponse{
-		RAND:     append([]byte(nil), req.RAND...),
-		AUTN:     autn,
-		XRESStar: xres,
-		KAUSF:    kausf,
-	}, nil
+	return resp, nil
 }
 
 // Resync executes the eUDM-side AUTS verification (TS 33.102 §6.3.5): it
@@ -62,10 +75,16 @@ func GenerateAV(k []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, er
 // AMF*=0x0000). This also uses the long-term key and therefore belongs
 // inside the enclave.
 func Resync(k []byte, req *UDMResyncRequest) (*UDMResyncResponse, error) {
+	return ResyncCached(nil, k, req)
+}
+
+// ResyncCached is Resync sharing the same key-schedule cache as
+// GenerateAVCached; a nil cache builds fresh schedules.
+func ResyncCached(cache *milenage.Cache, k []byte, req *UDMResyncRequest) (*UDMResyncResponse, error) {
 	if len(req.AUTS) != 14 {
 		return nil, fmt.Errorf("paka: AUTS length %d, want 14", len(req.AUTS))
 	}
-	c, err := milenage.New(k, req.OPc)
+	c, err := cache.Get(req.SUPI, k, req.OPc)
 	if err != nil {
 		return nil, fmt.Errorf("paka: eUDM resync: %w", err)
 	}

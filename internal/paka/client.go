@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/milenage"
 	"shield5g/internal/metrics"
 	"shield5g/internal/sbi"
 	"shield5g/internal/simclock"
@@ -198,8 +199,9 @@ func (r *RemoteAMF) Response() *ResponseRecorder { return r.response }
 // OAI baseline the paper compares against). Subscriber keys live in plain
 // process memory.
 type MonolithicUDM struct {
-	env     *costmodel.Env
-	profile Profile
+	env      *costmodel.Env
+	profile  Profile
+	milCache *milenage.Cache
 
 	mu   sync.Mutex
 	keys map[string][]byte
@@ -207,7 +209,12 @@ type MonolithicUDM struct {
 
 // NewMonolithicUDM builds the in-process UDM AKA functions.
 func NewMonolithicUDM(env *costmodel.Env) *MonolithicUDM {
-	return &MonolithicUDM{env: env, profile: Profiles()[EUDM], keys: make(map[string][]byte)}
+	return &MonolithicUDM{
+		env:      env,
+		profile:  Profiles()[EUDM],
+		milCache: milenage.NewCache(),
+		keys:     make(map[string][]byte),
+	}
 }
 
 // ProvisionSubscriber stores a subscriber key in process memory.
@@ -215,6 +222,8 @@ func (u *MonolithicUDM) ProvisionSubscriber(supi string, k []byte) {
 	u.mu.Lock()
 	u.keys[supi] = append([]byte(nil), k...)
 	u.mu.Unlock()
+	// A re-provision may carry a new key; drop any cached schedule.
+	u.milCache.Invalidate(supi)
 }
 
 func (u *MonolithicUDM) key(supi string) ([]byte, bool) {
@@ -231,7 +240,7 @@ func (u *MonolithicUDM) GenerateAV(ctx context.Context, req *UDMGenerateAVReques
 		return nil, ErrUnknownSubscriber
 	}
 	u.env.Charge(ctx, u.env.JitterFor(ctx).LogNormal(u.profile.FnCycles, u.profile.FnSigma))
-	return GenerateAV(k, req)
+	return GenerateAVCached(u.milCache, k, req)
 }
 
 // GenerateAVBatch implements UDMBatchFunctions in-process: there is no
@@ -255,7 +264,7 @@ func (u *MonolithicUDM) Resync(ctx context.Context, req *UDMResyncRequest) (*UDM
 		return nil, ErrUnknownSubscriber
 	}
 	u.env.Charge(ctx, u.env.JitterFor(ctx).LogNormal(u.profile.FnCycles/2, u.profile.FnSigma))
-	return Resync(k, req)
+	return ResyncCached(u.milCache, k, req)
 }
 
 // MonolithicAUSF executes the AUSF AKA functions in-process.

@@ -4,7 +4,6 @@ import (
 	"context"
 	"crypto/ed25519"
 	"crypto/rand"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/milenage"
 	"shield5g/internal/hmee/gramine"
 	"shield5g/internal/hmee/sev"
 	"shield5g/internal/hmee/sgx"
@@ -87,6 +87,11 @@ type Module struct {
 	sessMu   sync.Mutex
 	sessions map[uint64]*moduleSession
 
+	// milCache memoizes per-subscriber MILENAGE key schedules (eUDM only).
+	// It is invalidated per SUPI on re-provision and wholesale on Restart,
+	// mirroring the loss of in-enclave state.
+	milCache *milenage.Cache
+
 	secretMu    sync.Mutex
 	secretNames []string
 	// sealed holds host-side sealed backups of provisioned subscriber
@@ -129,6 +134,7 @@ func New(ctx context.Context, cfg Config) (*Module, error) {
 		functional: &metrics.Recorder{},
 		total:      &metrics.Recorder{},
 		serverSide: &metrics.Recorder{},
+		milCache:   milenage.NewCache(),
 		sealed:     make(map[string][]byte),
 	}
 
@@ -292,58 +298,58 @@ func (m *Module) endpoint(handler func(ctx context.Context, ex Exec, body []byte
 
 func (m *Module) handleGenerateAV(_ context.Context, ex Exec, body []byte) ([]byte, error) {
 	var req UDMGenerateAVRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := sbi.UnmarshalBody(body, &req); err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
 	}
 	k, ok := ex.LoadSecret(subscriberSecret(req.SUPI))
 	if !ok {
 		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, req.SUPI)
 	}
-	resp, err := GenerateAV(k, &req)
+	resp, err := GenerateAVCached(m.milCache, k, &req)
 	if err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
 	}
-	return json.Marshal(resp)
+	return sbi.MarshalBody(resp)
 }
 
 func (m *Module) handleResync(_ context.Context, ex Exec, body []byte) ([]byte, error) {
 	var req UDMResyncRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := sbi.UnmarshalBody(body, &req); err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
 	}
 	k, ok := ex.LoadSecret(subscriberSecret(req.SUPI))
 	if !ok {
 		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, req.SUPI)
 	}
-	resp, err := Resync(k, &req)
+	resp, err := ResyncCached(m.milCache, k, &req)
 	if err != nil {
 		return nil, sbi.Problem(403, "Forbidden", "SYNC_FAILURE", "%v", err)
 	}
-	return json.Marshal(resp)
+	return sbi.MarshalBody(resp)
 }
 
 func (m *Module) handleDeriveSE(_ context.Context, _ Exec, body []byte) ([]byte, error) {
 	var req AUSFDeriveSERequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := sbi.UnmarshalBody(body, &req); err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
 	}
 	resp, err := DeriveSE(&req)
 	if err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
 	}
-	return json.Marshal(resp)
+	return sbi.MarshalBody(resp)
 }
 
 func (m *Module) handleDeriveKAMF(_ context.Context, _ Exec, body []byte) ([]byte, error) {
 	var req AMFDeriveKAMFRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := sbi.UnmarshalBody(body, &req); err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
 	}
 	resp, err := DeriveKAMF(&req)
 	if err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
 	}
-	return json.Marshal(resp)
+	return sbi.MarshalBody(resp)
 }
 
 func subscriberSecret(supi string) string { return "subscriber-k:" + supi }
@@ -376,7 +382,7 @@ func (m *Module) GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchReq
 			if !ok {
 				return sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, item.SUPI)
 			}
-			av, err := GenerateAV(key, item)
+			av, err := GenerateAVCached(m.milCache, key, item)
 			if err != nil {
 				return sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
 			}
@@ -406,6 +412,9 @@ func (m *Module) ProvisionSubscriber(ctx context.Context, supi string, k []byte)
 	if err != nil {
 		return fmt.Errorf("paka: provision %s: %w", supi, err)
 	}
+	// The key may have changed (UDR re-provision): any cached MILENAGE
+	// schedule for this subscriber is now stale.
+	m.milCache.Invalidate(supi)
 	m.secretMu.Lock()
 	m.secretNames = append(m.secretNames, name)
 	m.secretMu.Unlock()
@@ -599,6 +608,9 @@ func (m *Module) Restart(ctx context.Context) error {
 	m.rtMu.Lock()
 	m.runtime = fresh
 	m.rtMu.Unlock()
+	// Cached key schedules model in-enclave state and died with the old
+	// runtime; the first AV per subscriber after recovery rebuilds them.
+	m.milCache.Reset()
 	// Keep-alive sessions died with the old runtime; serve() also drops
 	// them lazily on runtime mismatch, this just frees the map eagerly.
 	m.dropSessions()

@@ -1,0 +1,132 @@
+package sbi
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+)
+
+// Pooled JSON codecs for SBI bodies. Every registration crosses the SBI
+// layer many times; json.Marshal allocates a fresh output copy per call
+// and json.Unmarshal a fresh decode state, so the body plumbing dominated
+// the hot path's allocation profile. MarshalBody encodes through a pooled
+// json.Encoder into a pooled buffer, UnmarshalBody decodes through a
+// pooled json.Decoder over a resettable reader, and ReleaseBody donates a
+// spent body's backing array back to the encode pool — so a keep-alive
+// session reuses the same few buffers for its whole lifetime.
+//
+// Ownership contract: a []byte returned by MarshalBody (and, by the
+// HandlerFunc contract, any handler-returned body) is owned by exactly
+// one party at a time. Whoever consumes it last calls ReleaseBody; after
+// that the bytes must not be touched. The encoded bytes are identical to
+// json.Marshal's output (the Encoder's trailing newline is trimmed), so
+// the modelled per-byte TLS/HTTP costs are unchanged.
+
+// sliceWriter is an io.Writer appending to a reusable byte slice.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type encCodec struct {
+	w   sliceWriter
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	c := &encCodec{}
+	c.enc = json.NewEncoder(&c.w)
+	return c
+}}
+
+// bufPool recycles body backing arrays. Bodies here are small (an AV
+// response is ~300 bytes of JSON); one size class is enough.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+func getBuf() []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	*bp = nil
+	boxPool.Put(bp)
+	return b
+}
+
+// boxPool recycles the *[]byte boxes themselves so getBuf/ReleaseBody
+// don't allocate a fresh box per donation.
+var boxPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// MarshalBody encodes v exactly as json.Marshal does, into a pooled
+// buffer. The returned slice is owned by the caller; pass it to
+// ReleaseBody when done to recycle the backing array.
+//
+//shieldlint:hotpath
+func MarshalBody(v any) ([]byte, error) {
+	c := encPool.Get().(*encCodec)
+	c.w.b = getBuf()
+	if err := c.enc.Encode(v); err != nil {
+		ReleaseBody(c.w.b)
+		c.w.b = nil
+		encPool.Put(c)
+		return nil, err
+	}
+	out := c.w.b
+	c.w.b = nil
+	encPool.Put(c)
+	// json.Encoder terminates every value with '\n'; trim it so the body
+	// bytes (and the per-byte transport costs) match json.Marshal.
+	if n := len(out); n > 0 && out[n-1] == '\n' {
+		out = out[:n-1]
+	}
+	return out, nil
+}
+
+// ReleaseBody donates b's backing array to the encode pool. The caller
+// must own b exclusively and must not touch it afterwards. nil and
+// zero-capacity slices are ignored.
+func ReleaseBody(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bp := boxPool.Get().(*[]byte)
+	*bp = b[:0]
+	bufPool.Put(bp)
+}
+
+type decCodec struct {
+	rd  bytes.Reader
+	dec *json.Decoder
+}
+
+var decPool = sync.Pool{New: func() any {
+	c := &decCodec{}
+	c.dec = json.NewDecoder(&c.rd)
+	return c
+}}
+
+// UnmarshalBody decodes data into v like json.Unmarshal, through a pooled
+// json.Decoder. SBI bodies are single complete JSON values, which is what
+// keeps the pooled decoder reusable: a successful decode consumes the
+// whole input, leaving no buffered state behind. A failed decode discards
+// the codec rather than re-pooling possibly poisoned state.
+//
+//shieldlint:hotpath
+func UnmarshalBody(data []byte, v any) error {
+	if len(data) == 0 {
+		// Match json.Unmarshal's canonical empty-input error; an empty
+		// body never occurs on the steady-state registration path.
+		//shieldlint:ignore hotalloc cold error-canonicalization fallback
+		return json.Unmarshal(data, v)
+	}
+	c := decPool.Get().(*decCodec)
+	c.rd.Reset(data)
+	if err := c.dec.Decode(v); err != nil {
+		return err
+	}
+	decPool.Put(c)
+	return nil
+}

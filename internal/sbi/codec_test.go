@@ -1,0 +1,144 @@
+package sbi
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+type codecFixture struct {
+	SUPI string        `json:"supi"`
+	RAND []byte        `json:"rand,omitempty"`
+	N    int           `json:"n"`
+	D    time.Duration `json:"d,omitempty"`
+	Nest *codecFixture `json:"nest,omitempty"`
+}
+
+// TestMarshalBodyMatchesJSONMarshal pins the pooled encoder byte-for-byte
+// to json.Marshal — the SBI cost model charges by body length, so even a
+// trailing newline would skew every modelled latency.
+func TestMarshalBodyMatchesJSONMarshal(t *testing.T) {
+	cases := []any{
+		&codecFixture{SUPI: "imsi-001010000000001", RAND: bytes.Repeat([]byte{0xAB}, 16), N: 7},
+		&codecFixture{SUPI: "<&>", D: 5 * time.Second, Nest: &codecFixture{N: -1}},
+		&ProblemDetails{Title: "Forbidden", Status: 403, Cause: "X", RetryAfter: time.Millisecond},
+		map[string]any{"a": 1.5, "b": []string{"x", "y"}},
+		nil,
+		42,
+		"plain \"string\" with <html>",
+	}
+	for i, v := range cases {
+		for round := 0; round < 3; round++ { // exercise pool reuse
+			got, gerr := MarshalBody(v)
+			want, werr := json.Marshal(v)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("case %d: err mismatch: %v vs %v", i, gerr, werr)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("case %d round %d:\n got %q\nwant %q", i, round, got, want)
+			}
+			ReleaseBody(got)
+		}
+	}
+}
+
+func TestMarshalBodyError(t *testing.T) {
+	if _, err := MarshalBody(func() {}); err == nil {
+		t.Fatal("marshal of a func: want error")
+	}
+	// The pool must still work after the error path.
+	out, err := MarshalBody(1)
+	if err != nil || string(out) != "1" {
+		t.Fatalf("after error: %q, %v", out, err)
+	}
+	ReleaseBody(out)
+}
+
+func TestUnmarshalBodyMatchesJSONUnmarshal(t *testing.T) {
+	body, _ := json.Marshal(&codecFixture{SUPI: "imsi-9", RAND: []byte{1, 2, 3}, N: 3,
+		Nest: &codecFixture{SUPI: "inner"}})
+	for round := 0; round < 3; round++ {
+		var a, b codecFixture
+		if err := UnmarshalBody(body, &a); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := json.Unmarshal(body, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.SUPI != b.SUPI || !bytes.Equal(a.RAND, b.RAND) || a.N != b.N ||
+			(a.Nest == nil) != (b.Nest == nil) || a.Nest.SUPI != b.Nest.SUPI {
+			t.Fatalf("round %d: decoded %+v, want %+v", round, a, b)
+		}
+	}
+}
+
+// TestUnmarshalBodyDecodedSlicesDoNotAlias: decoded []byte fields must
+// survive the body's release back into the pool.
+func TestUnmarshalBodyDecodedSlicesDoNotAlias(t *testing.T) {
+	body, _ := MarshalBody(&codecFixture{RAND: bytes.Repeat([]byte{0x5A}, 16)})
+	var v codecFixture
+	if err := UnmarshalBody(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseBody(body)
+	// Recycle the buffer through another marshal, overwriting its bytes.
+	other, _ := MarshalBody(map[string]string{"x": "yyyyyyyyyyyyyyyyyyyyyyyyyyyyyy"})
+	if !bytes.Equal(v.RAND, bytes.Repeat([]byte{0x5A}, 16)) {
+		t.Fatal("decoded field aliased the released body")
+	}
+	ReleaseBody(other)
+}
+
+func TestUnmarshalBodyErrors(t *testing.T) {
+	var v codecFixture
+	if err := UnmarshalBody(nil, &v); err == nil {
+		t.Fatal("empty body: want error")
+	}
+	if err := UnmarshalBody([]byte("{bad"), &v); err == nil {
+		t.Fatal("malformed body: want error")
+	}
+	// Pool still sane after the discard path.
+	if err := UnmarshalBody([]byte(`{"n":9}`), &v); err != nil || v.N != 9 {
+		t.Fatalf("after error: %+v, %v", v, err)
+	}
+}
+
+func TestReleaseBodyNilSafe(t *testing.T) {
+	ReleaseBody(nil)
+	ReleaseBody([]byte{})
+}
+
+// TestCodecConcurrent hammers the pools from many goroutines; run with
+// -race this proves codec states are never shared.
+func TestCodecConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in := &codecFixture{SUPI: "imsi-00101", N: g}
+			for i := 0; i < 300; i++ {
+				body, err := MarshalBody(in)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				var out codecFixture
+				if err := UnmarshalBody(body, &out); err != nil || out.N != g {
+					fail <- "decode mismatch under concurrency"
+					return
+				}
+				ReleaseBody(body)
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}

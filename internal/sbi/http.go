@@ -49,6 +49,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)
+	// Handler-returned bodies are transport-owned (HandlerFunc contract).
+	ReleaseBody(out)
 }
 
 func writeProblem(w http.ResponseWriter, pd *ProblemDetails) {
@@ -90,20 +92,26 @@ func (c *HTTPClient) Post(ctx context.Context, service, path string, req, resp a
 	if !ok {
 		return Problem(503, "Service Unavailable", "TARGET_NF_NOT_REACHABLE", "no base URL for %s", service)
 	}
-	body, err := json.Marshal(req)
+	body, err := MarshalBody(req)
 	if err != nil {
 		return fmt.Errorf("sbi: marshal request to %s%s: %w", service, path, err)
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
+		ReleaseBody(body)
 		return fmt.Errorf("sbi: build request: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 
 	httpResp, err := c.client.Do(httpReq)
 	if err != nil {
+		// A failed round trip may still have a background write goroutine
+		// holding the body reader; let the GC reclaim it instead.
 		return fmt.Errorf("sbi: %s%s: %w", service, path, err)
 	}
+	// A returned response means the request write completed; the body is
+	// spent, including any internal redirect replays.
+	ReleaseBody(body)
 	defer func() { _ = httpResp.Body.Close() }()
 
 	out, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
@@ -118,10 +126,13 @@ func (c *HTTPClient) Post(ctx context.Context, service, path string, req, resp a
 		return Problem(httpResp.StatusCode, httpResp.Status, "SYSTEM_FAILURE", "%s", out)
 	}
 	if resp == nil {
+		ReleaseBody(out)
 		return nil
 	}
-	if err := json.Unmarshal(out, resp); err != nil {
-		return fmt.Errorf("sbi: unmarshal response from %s%s: %w", service, path, err)
+	uerr := UnmarshalBody(out, resp)
+	ReleaseBody(out)
+	if uerr != nil {
+		return fmt.Errorf("sbi: unmarshal response from %s%s: %w", service, path, uerr)
 	}
 	return nil
 }

@@ -12,7 +12,6 @@ package sbi
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -76,6 +75,13 @@ func HasCause(err error, cause string) bool {
 // HandlerFunc serves one SBI endpoint: JSON request bytes in, JSON
 // response bytes out. Returning a *ProblemDetails preserves status and
 // cause across the transport; any other error becomes a 500.
+//
+// Ownership: the request body is on loan for the duration of the call —
+// handlers must not retain it. Ownership of a returned body transfers to
+// the transport, which releases it into the codec pool after delivery
+// (see MarshalBody/ReleaseBody); handlers must therefore return bodies
+// they own exclusively, e.g. from MarshalBody, never shared or static
+// slices they will read again.
 type HandlerFunc func(ctx context.Context, body []byte) ([]byte, error)
 
 // Server is one NF service instance exposing SBI endpoints.
@@ -218,13 +224,14 @@ func (c *Client) Post(ctx context.Context, service, path string, req, resp any) 
 		return Problem(504, "Gateway Timeout", CauseTimeout, "%s -> %s%s: %v", c.from, service, path, cerr)
 	}
 
-	body, err := json.Marshal(req)
+	body, err := MarshalBody(req)
 	if err != nil {
 		return fmt.Errorf("sbi: marshal request to %s%s: %w", service, path, err)
 	}
 
 	srv, ok := c.registry.Lookup(service)
 	if !ok {
+		ReleaseBody(body)
 		return Problem(503, "Service Unavailable", "TARGET_NF_NOT_REACHABLE", "%s cannot reach %s", c.from, service)
 	}
 
@@ -243,6 +250,8 @@ func (c *Client) Post(ctx context.Context, service, path string, req, resp any) 
 	c.env.Charge(ctx, c.env.JitterFor(ctx).Scale(m.LoopbackRTT, 0.15))
 
 	out, err := srv.serve(ctx, path, body)
+	// The handler has returned: the request body is spent either way.
+	ReleaseBody(body)
 	if err != nil {
 		var pd *ProblemDetails
 		if errors.As(err, &pd) {
@@ -255,20 +264,25 @@ func (c *Client) Post(ctx context.Context, service, path string, req, resp any) 
 	c.env.Charge(ctx, m.HTTPCost(len(out))+m.TLSRecordCost(len(out)))
 
 	if resp == nil {
+		ReleaseBody(out)
 		return nil
 	}
-	if err := json.Unmarshal(out, resp); err != nil {
-		return fmt.Errorf("sbi: unmarshal response from %s%s: %w", service, path, err)
+	uerr := UnmarshalBody(out, resp)
+	ReleaseBody(out)
+	if uerr != nil {
+		return fmt.Errorf("sbi: unmarshal response from %s%s: %w", service, path, uerr)
 	}
 	return nil
 }
 
 // JSONHandler adapts a typed request/response function into a HandlerFunc.
+// Both directions run through the pooled codecs; the returned body follows
+// the HandlerFunc ownership contract (the transport releases it).
 func JSONHandler[Req, Resp any](fn func(ctx context.Context, req *Req) (*Resp, error)) HandlerFunc {
 	return func(ctx context.Context, body []byte) ([]byte, error) {
 		var req Req
 		if len(body) > 0 {
-			if err := json.Unmarshal(body, &req); err != nil {
+			if err := UnmarshalBody(body, &req); err != nil {
 				return nil, Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
 			}
 		}
@@ -276,7 +290,7 @@ func JSONHandler[Req, Resp any](fn func(ctx context.Context, req *Req) (*Resp, e
 		if err != nil {
 			return nil, err
 		}
-		out, err := json.Marshal(resp)
+		out, err := MarshalBody(resp)
 		if err != nil {
 			return nil, Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "encode: %v", err)
 		}

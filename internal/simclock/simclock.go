@@ -107,7 +107,13 @@ type accountKey struct{}
 
 // WithAccount returns a context carrying the account. Costs charged by the
 // simulated substrate flow to the account of the request being served.
+// Re-attaching the account a context already carries (the
+// WithAccount(ctx, AccountFrom(ctx)) propagation idiom) returns ctx
+// unchanged instead of allocating a redundant wrapper.
 func WithAccount(ctx context.Context, a *Account) context.Context {
+	if existing, ok := ctx.Value(accountKey{}).(*Account); ok && existing == a {
+		return ctx
+	}
 	return context.WithValue(ctx, accountKey{}, a)
 }
 

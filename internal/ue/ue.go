@@ -84,7 +84,10 @@ type Config struct {
 
 // UE is one simulated device.
 type UE struct {
-	supi       suci.SUPI
+	supi suci.SUPI
+	// supiStr caches supi.String(): K_AMF derivation needs the IMSI form
+	// on every AKA run.
+	supiStr    string
 	mil        *milenage.Cipher
 	opc        []byte
 	hnPub      []byte
@@ -129,6 +132,7 @@ func New(cfg Config) (*UE, error) {
 	}
 	u := &UE{
 		supi:       cfg.SUPI,
+		supiStr:    cfg.SUPI.String(),
 		mil:        mil,
 		opc:        append([]byte(nil), cfg.OPc...),
 		hnPub:      append([]byte(nil), cfg.HomeNetworkPublicKey...),
@@ -303,11 +307,16 @@ func (u *UE) handleAuthRequest(ctx context.Context, m *nas.AuthenticationRequest
 	if err != nil {
 		return nil, false, fmt.Errorf("ue: AUTN: %w", err)
 	}
-	sqnHE, err := kdf.XorSQNAK(sqnAK, ak)
-	if err != nil {
-		return nil, false, fmt.Errorf("ue: SQN recovery: %w", err)
+	if len(ak) != 6 {
+		return nil, false, fmt.Errorf("ue: SQN recovery: AK length %d, want 6", len(ak))
 	}
-	wantMAC, err := u.mil.F1(m.RAND[:], sqnHE, amfField)
+	// SQN_HE = (SQN XOR AK) XOR AK, on the stack: it only feeds the local
+	// MAC check and SQN_MS update.
+	var sqnHE [6]byte
+	for i := range sqnHE {
+		sqnHE[i] = sqnAK[i] ^ ak[i]
+	}
+	wantMAC, err := u.mil.F1(m.RAND[:], sqnHE[:], amfField)
 	if err != nil {
 		return nil, false, fmt.Errorf("ue: f1: %w", err)
 	}
@@ -317,7 +326,7 @@ func (u *UE) handleAuthRequest(ctx context.Context, m *nas.AuthenticationRequest
 	}
 
 	// Freshness: the network SQN must be strictly ahead of the USIM's.
-	if !sqnAhead(sqnHE, u.sqnMS[:]) {
+	if !sqnAhead(sqnHE[:], u.sqnMS[:]) {
 		auts, err := u.buildAUTS(m.RAND[:])
 		if err != nil {
 			return nil, false, err
@@ -325,22 +334,23 @@ func (u *UE) handleAuthRequest(ctx context.Context, m *nas.AuthenticationRequest
 		up, err := nas.Encode(&nas.AuthenticationFailure{Cause: nas.CauseSyncFailure, AUTS: auts})
 		return up, false, err
 	}
-	copy(u.sqnMS[:], sqnHE)
+	copy(u.sqnMS[:], sqnHE[:])
 
-	// Derive the full hierarchy on the UE side.
+	// Derive the full hierarchy on the UE side. K_AUSF and K_SEAF are
+	// transient links in the chain here — they live on the stack; only
+	// RES* and K_AMF are retained.
 	resStar, err := kdf.ResStar(ck, ik, u.snn, m.RAND[:], res)
 	if err != nil {
 		return nil, false, fmt.Errorf("ue: RES*: %w", err)
 	}
-	kausf, err := kdf.KAUSF(ck, ik, u.snn, sqnAK)
-	if err != nil {
+	var kausf, kseaf [kdf.KeyLen256]byte
+	if err := kdf.KAUSFInto(kausf[:], ck, ik, u.snn, sqnAK); err != nil {
 		return nil, false, fmt.Errorf("ue: K_AUSF: %w", err)
 	}
-	kseaf, err := kdf.KSEAF(kausf, u.snn)
-	if err != nil {
+	if err := kdf.KSEAFInto(kseaf[:], kausf[:], u.snn); err != nil {
 		return nil, false, fmt.Errorf("ue: K_SEAF: %w", err)
 	}
-	kamf, err := kdf.KAMF(kseaf, u.supi.String(), m.ABBA)
+	kamf, err := kdf.KAMF(kseaf[:], u.supiStr, m.ABBA)
 	if err != nil {
 		return nil, false, fmt.Errorf("ue: K_AMF: %w", err)
 	}

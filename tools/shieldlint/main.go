@@ -1,6 +1,6 @@
 // Command shieldlint runs the repository's static-analysis suite (see
-// internal/analysis): determinism, secretflow, atomiccounter, ctxcarry
-// and stripemap. It exits non-zero when any unsuppressed finding
+// internal/analysis): determinism, secretflow, atomiccounter, ctxcarry,
+// stripemap and hotalloc. It exits non-zero when any unsuppressed finding
 // remains, which makes it a CI gate:
 //
 //	go run ./tools/shieldlint ./...          # the `make lint` entry point
