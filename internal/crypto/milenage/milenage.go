@@ -107,6 +107,15 @@ type scratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
+// putScratch scrubs the intermediate blocks before recycling: TEMP and
+// the rotation inputs are keyed intermediates (enough to reconstruct
+// OUT-block inputs), and pooled memory must not retain them between
+// evaluations — the same discipline hashpool.PutHMAC applies.
+func putScratch(s *scratch) {
+	*s = scratch{}
+	scratchPool.Put(s)
+}
+
 // F1 computes the network authentication code MAC-A (TS 35.206 §4.1).
 func (c *Cipher) F1(rand, sqn, amf []byte) ([]byte, error) {
 	out1, err := c.f1Block(rand, sqn, amf)
@@ -147,7 +156,7 @@ func (c *Cipher) f1Block(rand, sqn, amf []byte) ([]byte, error) {
 	out := make([]byte, 16)
 	c.block.Encrypt(out, s.rot[:])
 	xorInto(out, c.opc[:])
-	scratchPool.Put(s)
+	putScratch(s)
 	return out, nil
 }
 
@@ -169,7 +178,7 @@ func (c *Cipher) F2345(rand []byte) (res, ck, ik, ak []byte, err error) {
 	c.outBlockInto(s, 1, out[0:16])
 	c.outBlockInto(s, 2, out[16:32])
 	c.outBlockInto(s, 3, out[32:48])
-	scratchPool.Put(s)
+	putScratch(s)
 
 	res = out[8:16:16] // OUT2[8:16]
 	ak = out[0:AKLen:AKLen]
@@ -187,7 +196,7 @@ func (c *Cipher) F5Star(rand []byte) ([]byte, error) {
 	c.tempInto(s, rand)
 	out := make([]byte, 16)
 	c.outBlockInto(s, 4, out)
-	scratchPool.Put(s)
+	putScratch(s)
 	return out[0:AKLen], nil
 }
 

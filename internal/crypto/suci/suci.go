@@ -12,7 +12,6 @@ package suci
 
 import (
 	"crypto/aes"
-	"crypto/cipher"
 	"crypto/ecdh"
 	"crypto/hmac"
 	"crypto/sha256"
@@ -189,7 +188,7 @@ func Conceal(rand io.Reader, supi SUPI, routingIndicator string, hnPub []byte, k
 	ctr(encKey, icb, ciphertext, []byte(supi.MSIN))
 	computeTagInto(macKey, ciphertext, &ks.tag)
 	copy(out[len(ephPub)+len(supi.MSIN):], ks.tag[:tagLen])
-	kdfScratchPool.Put(ks)
+	putKDFScratch(ks)
 	return &SUCI{
 		MCC:              supi.MCC,
 		MNC:              supi.MNC,
@@ -231,7 +230,7 @@ func (k *HomeNetworkKey) Deconceal(s *SUCI) (SUPI, error) {
 	encKey, icb, macKey := deriveKeys(shared, ephPub, ks)
 	computeTagInto(macKey, ciphertext, &ks.tag)
 	if !hmac.Equal(tag, ks.tag[:tagLen]) {
-		kdfScratchPool.Put(ks)
+		putKDFScratch(ks)
 		return SUPI{}, ErrIntegrity
 	}
 	// MSIN-sized plaintexts fit on the stack; the string conversion below
@@ -244,7 +243,7 @@ func (k *HomeNetworkKey) Deconceal(s *SUCI) (SUPI, error) {
 		plaintext = ptBuf[:len(ciphertext)]
 	}
 	ctr(encKey, icb, plaintext, ciphertext)
-	kdfScratchPool.Put(ks)
+	putKDFScratch(ks)
 
 	supi := SUPI{MCC: s.MCC, MNC: s.MNC, MSIN: string(plaintext)}
 	if err := supi.Validate(); err != nil {
@@ -263,6 +262,14 @@ type kdfScratch struct {
 }
 
 var kdfScratchPool = sync.Pool{New: func() any { return new(kdfScratch) }}
+
+// putKDFScratch scrubs the derived enc/MAC keys (and tag) before
+// recycling, matching the discipline hashpool.PutHMAC establishes: pooled
+// memory never retains key material between operations.
+func putKDFScratch(ks *kdfScratch) {
+	*ks = kdfScratch{}
+	kdfScratchPool.Put(ks)
+}
 
 // deriveKeys runs the ANSI X9.63 KDF with SHA-256 over the shared secret,
 // with the ephemeral public key as SharedInfo, and splits the output into
@@ -288,18 +295,6 @@ func deriveKeys(shared, ephPub []byte, ks *kdfScratch) (encKey, icb, macKey []by
 	return out[:encKeyLen], out[encKeyLen : encKeyLen+icbLen], out[encKeyLen+icbLen : total]
 }
 
-// ctrBlocks caches AES key schedules by derived encryption key. The UE's
-// Conceal and the UDM's Deconceal derive the same key from the ECDH
-// exchange, so each registration's second CTR pass (and any retry) reuses
-// the schedule instead of calling aes.NewCipher again. The cache is
-// bounded and dropped wholesale when full; a miss just rebuilds.
-var ctrBlocks struct {
-	sync.RWMutex
-	m map[[encKeyLen]byte]cipher.Block
-}
-
-const ctrBlockCacheMax = 4096
-
 // ctrScratch holds one CTR pass's counter block and keystream block;
 // pooled so the interface call block.Encrypt has heap destinations
 // without a per-call allocation.
@@ -309,26 +304,26 @@ type ctrScratch struct {
 
 var ctrScratchPool = sync.Pool{New: func() any { return new(ctrScratch) }}
 
+// putCTRScratch scrubs the counter and keystream blocks before recycling:
+// the keystream XORs directly against the MSIN plaintext and must not
+// outlive the pass in pooled memory.
+func putCTRScratch(st *ctrScratch) {
+	*st = ctrScratch{}
+	ctrScratchPool.Put(st)
+}
+
+// ctr encrypts src into dst with AES-CTR under key. The key schedule is
+// scoped to this one pass — every ECIES exchange derives a fresh
+// ephemeral encryption key, so caching schedules across calls would only
+// pin key material in process-lifetime memory for a cache that almost
+// never hits.
+//
 //shieldlint:hotpath
 func ctr(key, icb, dst, src []byte) {
-	var kk [encKeyLen]byte
-	copy(kk[:], key)
-	ctrBlocks.RLock()
-	block := ctrBlocks.m[kk]
-	ctrBlocks.RUnlock()
-	if block == nil {
-		var err error
-		block, err = aes.NewCipher(key)
-		if err != nil {
-			// Key length is fixed by deriveKeys; this cannot happen.
-			panic(fmt.Sprintf("suci: AES key setup: %v", err))
-		}
-		ctrBlocks.Lock()
-		if ctrBlocks.m == nil || len(ctrBlocks.m) >= ctrBlockCacheMax {
-			ctrBlocks.m = make(map[[encKeyLen]byte]cipher.Block, 64)
-		}
-		ctrBlocks.m[kk] = block
-		ctrBlocks.Unlock()
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		// Key length is fixed by deriveKeys; this cannot happen.
+		panic(fmt.Sprintf("suci: AES key setup: %v", err))
 	}
 	// Manual CTR, bit-identical to cipher.NewCTR(block, icb) (the counter
 	// increments big-endian across the whole block) but without the
@@ -347,7 +342,7 @@ func ctr(key, icb, dst, src []byte) {
 			}
 		}
 	}
-	ctrScratchPool.Put(st)
+	putCTRScratch(st)
 }
 
 // computeTagInto writes the full HMAC-SHA-256 of ciphertext into tag; the

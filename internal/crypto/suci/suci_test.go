@@ -345,8 +345,8 @@ func TestPooledPrimitivesMatchReference(t *testing.T) {
 		t.Fatalf("computeTagInto diverges from crypto/hmac")
 	}
 
-	// The cached-block CTR must match a fresh aes.NewCipher stream, on a
-	// cold key and again on the (now cached) warm key.
+	// The manual CTR loop must match a stdlib cipher.NewCTR stream, on a
+	// first pass and again through the recycled (scrubbed) scratch.
 	for round := 0; round < 2; round++ {
 		dst := make([]byte, len(msg))
 		ctr(encKey, icb, dst, msg)
@@ -357,7 +357,7 @@ func TestPooledPrimitivesMatchReference(t *testing.T) {
 		want := make([]byte, len(msg))
 		cipher.NewCTR(block, icb).XORKeyStream(want, msg)
 		if !bytes.Equal(dst, want) {
-			t.Fatalf("round %d: cached-block CTR diverges", round)
+			t.Fatalf("round %d: manual CTR diverges from cipher.NewCTR", round)
 		}
 	}
 }

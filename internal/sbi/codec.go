@@ -85,11 +85,17 @@ func MarshalBody(v any) ([]byte, error) {
 	return out, nil
 }
 
+// maxPooledBodyCap bounds the backing arrays ReleaseBody donates back to
+// bufPool. Response reads can hand in buffers up to the 1 MiB transport
+// limit; pooling those would pin megabytes to serve ~300-byte encodes, so
+// oversized arrays are left to the GC instead.
+const maxPooledBodyCap = 4096
+
 // ReleaseBody donates b's backing array to the encode pool. The caller
-// must own b exclusively and must not touch it afterwards. nil and
-// zero-capacity slices are ignored.
+// must own b exclusively and must not touch it afterwards. nil,
+// zero-capacity and oversized slices are ignored.
 func ReleaseBody(b []byte) {
-	if cap(b) == 0 {
+	if cap(b) == 0 || cap(b) > maxPooledBodyCap {
 		return
 	}
 	bp := boxPool.Get().(*[]byte)
@@ -109,10 +115,13 @@ var decPool = sync.Pool{New: func() any {
 }}
 
 // UnmarshalBody decodes data into v like json.Unmarshal, through a pooled
-// json.Decoder. SBI bodies are single complete JSON values, which is what
-// keeps the pooled decoder reusable: a successful decode consumes the
-// whole input, leaving no buffered state behind. A failed decode discards
-// the codec rather than re-pooling possibly poisoned state.
+// json.Decoder. Decoder.Decode reads one value and, unlike json.Unmarshal,
+// tolerates trailing input, leaving it in the decoder's buffer — where it
+// would be served to the NEXT body decoded through the pooled codec. So a
+// codec is re-pooled only when the decode consumed data exactly; a decode
+// error or leftover input discards the codec, and trailing bytes are
+// re-judged by json.Unmarshal so callers see its canonical semantics
+// (trailing whitespace accepted, anything else a SyntaxError).
 //
 //shieldlint:hotpath
 func UnmarshalBody(data []byte, v any) error {
@@ -124,9 +133,24 @@ func UnmarshalBody(data []byte, v any) error {
 	}
 	c := decPool.Get().(*decCodec)
 	c.rd.Reset(data)
+	// The codec enters the pool only with its buffer fully scanned, so the
+	// InputOffset delta across Decode is exactly the bytes of data this
+	// decode consumed.
+	start := c.dec.InputOffset()
 	if err := c.dec.Decode(v); err != nil {
 		return err
 	}
+	if consumed := c.dec.InputOffset() - start; consumed != int64(len(data)) {
+		// Trailing input: the tail is sitting in the pooled decoder's
+		// buffer, so the codec is poisoned — drop it. json.Unmarshal
+		// validates before decoding, so it returns the canonical
+		// trailing-data SyntaxError without touching v, or re-decodes the
+		// identical value if the tail was only whitespace.
+		//shieldlint:ignore hotalloc cold trailing-data fallback
+		return json.Unmarshal(data, v)
+	}
+	// Drop the data reference so the pooled codec does not pin the body.
+	c.rd.Reset(nil)
 	decPool.Put(c)
 	return nil
 }

@@ -105,9 +105,59 @@ func TestUnmarshalBodyErrors(t *testing.T) {
 	}
 }
 
+// TestUnmarshalBodyTrailingData pins UnmarshalBody to json.Unmarshal's
+// trailing-data semantics — and, critically, proves a body with trailing
+// bytes cannot poison the pooled decoder: Decoder.Decode reads one value
+// and buffers the rest, so re-pooling that state would hand the leftover
+// bytes to the NEXT caller's decode (cross-request corruption).
+func TestUnmarshalBodyTrailingData(t *testing.T) {
+	cases := []string{
+		`{"n":1}{"n":99}`,  // second value
+		`{"n":1}garbage`,   // syntactic garbage
+		`{"n":1}]`,         // stray close bracket
+		`{"n":1} `,         // trailing whitespace (accepted)
+		"{\"n\":1}\n\t\r ", // more whitespace flavors (accepted)
+		`7 8`,              // bare values
+		` {"n":1}`,         // leading whitespace only (accepted)
+	}
+	for _, body := range cases {
+		var got, want codecFixture
+		gerr := UnmarshalBody([]byte(body), &got)
+		werr := json.Unmarshal([]byte(body), &want)
+		if (gerr == nil) != (werr == nil) {
+			t.Errorf("%q: err = %v, json.Unmarshal err = %v", body, gerr, werr)
+		}
+		if gerr == nil && got.N != want.N {
+			t.Errorf("%q: decoded %+v, want %+v", body, got, want)
+		}
+		// Whatever the outcome, the pool must decode the next clean body
+		// correctly — a poisoned re-pooled decoder would replay the tail
+		// of the previous body here. Drain several pool slots to make a
+		// poisoned codec hard to miss.
+		for i := 0; i < 4; i++ {
+			var next codecFixture
+			if err := UnmarshalBody([]byte(`{"n":42}`), &next); err != nil || next.N != 42 {
+				t.Fatalf("after %q: pooled decode corrupted: %+v, %v", body, next, err)
+			}
+		}
+	}
+}
+
 func TestReleaseBodyNilSafe(t *testing.T) {
 	ReleaseBody(nil)
 	ReleaseBody([]byte{})
+}
+
+// TestReleaseBodyCapsPooledSize: a large response buffer (up to the 1 MiB
+// transport limit) must fall to the GC, not get pinned in the pool that
+// serves ~300-byte encodes.
+func TestReleaseBodyCapsPooledSize(t *testing.T) {
+	ReleaseBody(make([]byte, 0, maxPooledBodyCap*4))
+	for i := 0; i < 8; i++ {
+		if b := getBuf(); cap(b) > maxPooledBodyCap {
+			t.Fatalf("oversized buffer (cap %d) entered the pool", cap(b))
+		}
+	}
 }
 
 // TestCodecConcurrent hammers the pools from many goroutines; run with

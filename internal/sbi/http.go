@@ -105,13 +105,12 @@ func (c *HTTPClient) Post(ctx context.Context, service, path string, req, resp a
 
 	httpResp, err := c.client.Do(httpReq)
 	if err != nil {
-		// A failed round trip may still have a background write goroutine
-		// holding the body reader; let the GC reclaim it instead.
 		return fmt.Errorf("sbi: %s%s: %w", service, path, err)
 	}
-	// A returned response means the request write completed; the body is
-	// spent, including any internal redirect replays.
-	ReleaseBody(body)
+	// The request body is never released back to the pool: net/http can
+	// deliver a response while its write goroutine is still draining the
+	// reader (a server may answer before reading the full body), so the
+	// bytes stay transport-owned until the GC reclaims them.
 	defer func() { _ = httpResp.Body.Close() }()
 
 	out, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
