@@ -55,15 +55,20 @@ bench-compare:
 	rm -f $(CURDIR)/BENCH_hotpath_allocs.candidate.json
 
 # What CI runs: lint first (cheapest signal, fails fastest), then build,
-# the race-enabled test suite, static checks, and a single-iteration
-# smoke of the boundary-amortization benchmark (its >=40%
-# transition-reduction assertion runs on deterministic virtual counts,
-# so one iteration is a stable gate).
+# the race-enabled test suite, static checks, a single-iteration smoke of
+# the boundary-amortization benchmark (its >=40% transition-reduction
+# assertion runs on deterministic virtual counts, so one iteration is a
+# stable gate), a short fuzz pass over the binary SBI frame parser, and
+# the batched allocation-regression gate — blocking, so a repeat of the
+# PR-5-era batched inversion fails the pipeline instead of landing
+# silently.
 ci: build
 	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) vet
 	$(GO) test -run '^$$' -bench RegisterManyBatched -benchtime=1x .
+	$(GO) test -run '^$$' -fuzz '^FuzzFramePayload$$' -fuzztime 5s ./internal/sbi/codec
+	$(MAKE) bench-compare
 
 # Regenerate every table and figure of the paper (500 samples each).
 experiments:

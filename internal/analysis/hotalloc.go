@@ -19,9 +19,14 @@ import (
 // error-canonicalization fallback, say) carries
 // //shieldlint:ignore hotalloc <why>; arguments to the panic builtin
 // are exempt outright, since a panicking path is never the hot path.
+// A bare make([]byte, ...) inside a marked function is the same
+// discipline violation in disguise: a fresh heap buffer per call. The
+// sanctioned shapes are pooled scratch (sync.Pool), appending into a
+// caller-owned buffer, or a deliberate single caller-owned output
+// allocation carrying //shieldlint:ignore hotalloc <why>.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "//shieldlint:hotpath functions must not call allocating formatters or one-shot JSON codecs",
+	Doc:  "//shieldlint:hotpath functions must not call allocating formatters, one-shot JSON codecs, or un-pooled make([]byte, ...)",
 	Run:  runHotAlloc,
 }
 
@@ -61,6 +66,12 @@ func runHotAlloc(pass *Pass) error {
 					// the steady-state path the budget measures.
 					return false
 				}
+				if isByteSliceMake(info, call) {
+					pass.Reportf(call.Pos(),
+						"make([]byte, ...) allocates a fresh buffer on every call but %s is marked //shieldlint:hotpath; reuse pooled scratch (sync.Pool), append into a caller-owned buffer, or annotate a deliberate output allocation: //shieldlint:ignore hotalloc <why>",
+						fd.Name.Name)
+					return true
+				}
 				fn := calleeOf(info, call)
 				if fn == nil || fn.Pkg() == nil {
 					return true
@@ -90,6 +101,28 @@ func isHotpathMarked(doc *ast.CommentGroup) bool {
 		}
 	}
 	return false
+}
+
+// isByteSliceMake reports whether call is the make builtin constructing
+// a []byte (or other byte-element slice). Named slice types with a byte
+// element count too: the allocation is the same.
+func isByteSliceMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	sl, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Byte)
 }
 
 // isPanicCall reports whether call invokes the panic builtin (a

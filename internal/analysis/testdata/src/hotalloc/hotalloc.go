@@ -72,3 +72,32 @@ func pooledStyle(enc *json.Encoder, v any) error {
 	}
 	return enc.Encode(v)
 }
+
+// frameScratch exercises the un-pooled byte-buffer rule: a bare
+// make([]byte, ...) in a marked function is a per-call heap buffer.
+//
+//shieldlint:hotpath
+func frameScratch(n int) []byte {
+	return make([]byte, n) // want "allocates a fresh buffer on every call"
+}
+
+// framedOutput shows the sanctioned single-output escape hatch.
+//
+//shieldlint:hotpath
+func framedOutput(n int) []byte {
+	//shieldlint:ignore hotalloc single caller-owned output buffer
+	return make([]byte, 0, n) // want:suppressed "allocates a fresh buffer"
+}
+
+// intScratch shows the rule is byte-slice specific: other element types
+// are outside the body-buffer discipline this analyzer enforces.
+//
+//shieldlint:hotpath
+func intScratch(n int) []int {
+	return make([]int, n)
+}
+
+// coldMake shows make is fine in unmarked functions.
+func coldMake(n int) []byte {
+	return make([]byte, n)
+}

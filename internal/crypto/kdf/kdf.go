@@ -61,6 +61,7 @@ var sBuilderPool = sync.Pool{New: func() any {
 //
 //shieldlint:hotpath
 func Generic(key []byte, fc byte, params ...[]byte) []byte {
+	//shieldlint:ignore hotalloc single caller-owned output; GenericInto is the allocation-free variant
 	return AppendGeneric(make([]byte, 0, sha256.Size), key, fc, params...)
 }
 
@@ -270,6 +271,22 @@ func KAMF(kseaf []byte, supi string, abba []byte) ([]byte, error) {
 	return Generic(kseaf, fcKAMF, []byte(supi), abba), nil
 }
 
+// KAMFInto is KAMF writing the 32-byte key into dst (allocation-free),
+// for callers that store K_AMF in an in-struct array.
+func KAMFInto(dst, kseaf []byte, supi string, abba []byte) error {
+	if len(dst) != KeyLen256 {
+		return fmt.Errorf("kdf: K_AMF dst length %d, want %d", len(dst), KeyLen256)
+	}
+	if len(kseaf) != KeyLen256 {
+		return fmt.Errorf("kdf: K_SEAF length %d, want %d", len(kseaf), KeyLen256)
+	}
+	if len(abba) == 0 {
+		abba = []byte{0x00, 0x00}
+	}
+	GenericInto(dst, kseaf, fcKAMF, []byte(supi), abba)
+	return nil
+}
+
 // AlgorithmKey derives a 128-bit NAS protection key from K_AMF
 // (TS 33.501 A.8): the 128 least-significant bits of the KDF output.
 func AlgorithmKey(kamf []byte, typ AlgorithmType, algoID byte) ([]byte, error) {
@@ -278,6 +295,22 @@ func AlgorithmKey(kamf []byte, typ AlgorithmType, algoID byte) ([]byte, error) {
 	}
 	out := Generic(kamf, fcAlgoKey, []byte{byte(typ)}, []byte{algoID})
 	return out[len(out)-KeyLen128:], nil
+}
+
+// AlgorithmKeyInto is AlgorithmKey writing the 16-byte key into dst
+// (allocation-free; the discarded upper half of the KDF output lives on
+// the stack).
+func AlgorithmKeyInto(dst, kamf []byte, typ AlgorithmType, algoID byte) error {
+	if len(dst) != KeyLen128 {
+		return fmt.Errorf("kdf: algorithm key dst length %d, want %d", len(dst), KeyLen128)
+	}
+	if len(kamf) != KeyLen256 {
+		return fmt.Errorf("kdf: K_AMF length %d, want %d", len(kamf), KeyLen256)
+	}
+	var out [sha256.Size]byte
+	GenericInto(out[:], kamf, fcAlgoKey, []byte{byte(typ)}, []byte{algoID})
+	copy(dst, out[sha256.Size-KeyLen128:])
+	return nil
 }
 
 // KGNB derives the gNB anchor key from K_AMF and the uplink NAS COUNT

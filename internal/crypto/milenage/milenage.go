@@ -153,6 +153,7 @@ func (c *Cipher) f1Block(rand, sqn, amf []byte) ([]byte, error) {
 	rotateInto(&s.rot, &s.in, rotations[0])
 	s.rot[15] ^= constants[0]
 	xorInto(s.rot[:], s.temp[:])
+	//shieldlint:ignore hotalloc single caller-owned MAC output per f1 invocation
 	out := make([]byte, 16)
 	c.block.Encrypt(out, s.rot[:])
 	xorInto(out, c.opc[:])
@@ -174,6 +175,7 @@ func (c *Cipher) F2345(rand []byte) (res, ck, ik, ak []byte, err error) {
 	c.tempInto(s, rand)
 
 	// One backing array for OUT2 || OUT3 || OUT4.
+	//shieldlint:ignore hotalloc single caller-owned backing for all three outputs
 	out := make([]byte, 48)
 	c.outBlockInto(s, 1, out[0:16])
 	c.outBlockInto(s, 2, out[16:32])

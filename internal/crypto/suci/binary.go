@@ -1,0 +1,39 @@
+package suci
+
+// Binary SBI field codec for SUCI values nested inside the UDM and AUSF
+// authentication messages (see internal/sbi/codec). The SUCI travels on
+// the registration hot path once per UE, inside GenerateAuthData and
+// Authenticate requests.
+
+import "shield5g/internal/sbi/codec"
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (s *SUCI) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendString(dst, s.MCC)
+	dst = codec.AppendString(dst, s.MNC)
+	dst = codec.AppendString(dst, s.RoutingIndicator)
+	dst = codec.AppendByte(dst, s.Scheme)
+	dst = codec.AppendByte(dst, s.HomeKeyID)
+	return codec.AppendBytes(dst, s.SchemeOutput)
+}
+
+// DecodeBinary implements codec.Unmarshaler. SchemeOutput is compacted
+// into its own backing: a decoded SUCI outlives the transport body (the
+// AUSF stores it in its session, the UDM hands it to deconcealment).
+//
+//shieldlint:hotpath
+func (s *SUCI) DecodeBinary(r *codec.Reader) error {
+	s.MCC = r.InternString()
+	s.MNC = r.InternString()
+	s.RoutingIndicator = r.InternString()
+	s.Scheme = r.Byte()
+	s.HomeKeyID = r.Byte()
+	s.SchemeOutput = r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	codec.Compact(&s.SchemeOutput)
+	return nil
+}

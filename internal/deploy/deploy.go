@@ -19,6 +19,7 @@ import (
 
 	"shield5g/internal/chaos"
 	"shield5g/internal/costmodel"
+	"shield5g/internal/crypto/kdf"
 	"shield5g/internal/crypto/suci"
 	"shield5g/internal/gnb"
 	"shield5g/internal/hmee/sev"
@@ -75,6 +76,12 @@ type SliceConfig struct {
 	// AVBatchSize is the number of vectors minted per pool refill; ≤0
 	// defaults to AVPoolDepth.
 	AVBatchSize int
+	// BinarySBI opts every SBI client of the slice into the negotiated
+	// binary frame codec (sbi.Client.EnableBinary): hot-path bodies switch
+	// from JSON to zero-copy length-prefixed frames once each client has
+	// seen its peer's capability snapshot. Off keeps the seed-identical
+	// JSON wire format everywhere.
+	BinarySBI bool
 }
 
 // Slice is a running network slice.
@@ -268,7 +275,11 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 // injected faults land below the retry layer and are actually retried)
 // and then by the resilience layer.
 func (s *Slice) buildInvoker(from string) sbi.Invoker {
-	var inv sbi.Invoker = sbi.NewClient(from, s.Env, s.Registry)
+	client := sbi.NewClient(from, s.Env, s.Registry)
+	if s.Config.BinarySBI {
+		client.EnableBinary()
+	}
+	var inv sbi.Invoker = client
 	if s.Chaos != nil {
 		inv = s.Chaos.Wrap(inv)
 	}
@@ -429,6 +440,18 @@ func (s *Slice) ProvisionSubscriber(ctx context.Context, supi suci.SUPI, k, opc 
 		}
 	}
 	return nil
+}
+
+// PrewarmAVPool fills the UDM's AV precomputation pool for the given
+// SUPIs ahead of traffic, derived for this slice's serving network name.
+// Call it after provisioning; each SUPI costs one UDR batch round trip
+// and one enclave crossing, and its first AVPoolDepth authentications
+// then hit the pool instead of paying a synchronous cold-start refill.
+func (s *Slice) PrewarmAVPool(ctx context.Context, supis []string) error {
+	if s.UDM == nil {
+		return fmt.Errorf("deploy: slice has no UDM")
+	}
+	return s.UDM.PrewarmAVPool(ctx, supis, kdf.ServingNetworkName(s.Config.MCC, s.Config.MNC))
 }
 
 // Stop tears the slice down, destroying any enclaves.

@@ -237,9 +237,10 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 	p := i.platform
 	m := p.Model()
 	acct := simclock.AccountFrom(ctx)
-	// Bind the resident process thread to this request's account and (in
+	// Bind a pooled request thread to this request's account and (in
 	// parallel mode) its per-worker jitter stream.
-	th := i.proc.WithRequest(simclock.WithAccount(ctx, acct))
+	th := i.reqThread(ctx, acct)
+	defer putThread(th)
 	start := acct.Total()
 
 	if first {
@@ -253,17 +254,15 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 		th.Compute(m.TLSHandshakeServer)
 	}
 
-	ocall := i.ocallFunc(th)
-
 	jig := int(simclock.JitterFrom(ctx, p.Jitter()).Uint64n(3))
 	for k := 0; k < i.syscalls.Pre+jig; k++ {
-		ocall(m.SyscallNative, 16, 16)
+		i.ocall(th, m.SyscallNative, 16, 16)
 	}
 
-	functional, total, err := i.requestCensus(th, acct, ocall, inBytes, outBytes, handler)
+	functional, total, err := i.requestCensus(th, acct, inBytes, outBytes, handler)
 
 	for k := 0; k < i.syscalls.Post; k++ {
-		ocall(m.SyscallNative, 16, 16)
+		i.ocall(th, m.SyscallNative, 16, 16)
 	}
 
 	return Breakdown{
@@ -273,16 +272,34 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 	}, err
 }
 
-// ocallFunc returns the proxied-syscall primitive for th: through the
-// exitless ring when enabled, otherwise a full EEXIT/EENTER transition
-// pair.
-func (i *Instance) ocallFunc(th *sgx.Thread) func(simclock.Cycles, int, int) {
-	return func(untrusted simclock.Cycles, out, in int) {
-		if i.exitless {
-			th.OCallExitless(untrusted, out, in)
-		} else {
-			th.OCall(untrusted, out, in)
-		}
+// threadPool recycles the per-request sgx.Thread bindings that
+// ServeRequest, ServeOnSession, OpenSession and Close mint: handlers are
+// synchronous and never retain the thread, so one pooled binding per
+// in-flight request replaces one heap allocation per served request on the
+// keep-alive hot path.
+var threadPool = sync.Pool{New: func() any { return new(sgx.Thread) }}
+
+// reqThread binds a pooled thread to this request's account and ctx's
+// jitter stream; release it with putThread when the request completes.
+//
+//shieldlint:hotpath
+func (i *Instance) reqThread(ctx context.Context, acct *simclock.Account) *sgx.Thread {
+	th := threadPool.Get().(*sgx.Thread)
+	i.proc.BindRequest(ctx, acct, th)
+	return th
+}
+
+func putThread(th *sgx.Thread) { threadPool.Put(th) }
+
+// ocall issues one proxied syscall on th: through the exitless ring when
+// enabled, otherwise a full EEXIT/EENTER transition pair.
+//
+//shieldlint:hotpath
+func (i *Instance) ocall(th *sgx.Thread, untrusted simclock.Cycles, out, in int) {
+	if i.exitless {
+		th.OCallExitless(untrusted, out, in)
+	} else {
+		th.OCall(untrusted, out, in)
 	}
 }
 
@@ -292,19 +309,19 @@ func (i *Instance) ocallFunc(th *sgx.Thread) func(simclock.Cycles, int, int) {
 // ServeOnSession share it so their charge order stays literally
 // identical; only the connection-scoped Pre/Post machinery around it
 // differs between the two paths.
-func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, ocall func(simclock.Cycles, int, int), inBytes, outBytes int, handler func(*sgx.Thread) error) (functional, total simclock.Cycles, err error) {
+func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, inBytes, outBytes int, handler func(*sgx.Thread) error) (functional, total simclock.Cycles, err error) {
 	m := i.platform.Model()
 
 	totalStart := acct.Total()
 	for k := 0; k < i.syscalls.Read; k++ {
-		ocall(m.SyscallNative, 0, inBytes/i.syscalls.Read+1)
+		i.ocall(th, m.SyscallNative, 0, inBytes/i.syscalls.Read+1)
 	}
 	th.Compute(m.TLSRecordCost(inBytes) + m.HTTPCost(inBytes))
 	th.Touch(uint64(inBytes))
 
 	fnStart := acct.Total()
 	for k := 0; k < i.syscalls.InHandler; k++ {
-		ocall(m.SyscallNative, 8, 8)
+		i.ocall(th, m.SyscallNative, 8, 8)
 	}
 	err = handler(th)
 	fnEnd := acct.Total()
@@ -312,7 +329,7 @@ func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, ocall f
 	th.Compute(m.HTTPCost(outBytes) + m.TLSRecordCost(outBytes))
 	th.Touch(uint64(outBytes))
 	for k := 0; k < i.syscalls.Write; k++ {
-		ocall(m.SyscallNative, outBytes/i.syscalls.Write+1, 0)
+		i.ocall(th, m.SyscallNative, outBytes/i.syscalls.Write+1, 0)
 	}
 	totalEnd := acct.Total()
 	return fnEnd - fnStart, totalEnd - totalStart, err
@@ -346,7 +363,8 @@ func (i *Instance) OpenSession(ctx context.Context) (*Session, error) {
 	i.mu.Unlock()
 
 	m := i.platform.Model()
-	th := i.proc.WithRequest(simclock.WithAccount(ctx, simclock.AccountFrom(ctx)))
+	th := i.reqThread(ctx, simclock.AccountFrom(ctx))
+	defer putThread(th)
 
 	if first {
 		for k := 0; k < warmupOCALLs; k++ {
@@ -355,9 +373,8 @@ func (i *Instance) OpenSession(ctx context.Context) (*Session, error) {
 		th.Compute(simclock.Cycles(warmupVerifyBytes) * m.TrustedFileHashPerByte)
 	}
 
-	ocall := i.ocallFunc(th)
 	for k := 0; k < i.syscalls.Pre; k++ {
-		ocall(m.SyscallNative, 16, 16)
+		i.ocall(th, m.SyscallNative, 16, 16)
 	}
 	th.Compute(m.TLSHandshakeServer)
 	return &Session{inst: i, open: true}, nil
@@ -390,16 +407,16 @@ func (i *Instance) ServeOnSession(ctx context.Context, s *Session, inBytes, outB
 	p := i.platform
 	m := p.Model()
 	acct := simclock.AccountFrom(ctx)
-	th := i.proc.WithRequest(simclock.WithAccount(ctx, acct))
+	th := i.reqThread(ctx, acct)
+	defer putThread(th)
 	start := acct.Total()
-	ocall := i.ocallFunc(th)
 
 	jig := int(simclock.JitterFrom(ctx, p.Jitter()).Uint64n(3))
 	for k := 0; k < jig; k++ {
-		ocall(m.SyscallNative, 16, 16)
+		i.ocall(th, m.SyscallNative, 16, 16)
 	}
 
-	functional, total, err := i.requestCensus(th, acct, ocall, inBytes, outBytes, handler)
+	functional, total, err := i.requestCensus(th, acct, inBytes, outBytes, handler)
 	return Breakdown{
 		Functional: functional,
 		Total:      total,
@@ -434,10 +451,10 @@ func (s *Session) Close(ctx context.Context) error {
 	i.mu.Unlock()
 
 	m := i.platform.Model()
-	th := i.proc.WithRequest(simclock.WithAccount(ctx, simclock.AccountFrom(ctx)))
-	ocall := i.ocallFunc(th)
+	th := i.reqThread(ctx, simclock.AccountFrom(ctx))
+	defer putThread(th)
 	for k := 0; k < i.syscalls.Post; k++ {
-		ocall(m.SyscallNative, 16, 16)
+		i.ocall(th, m.SyscallNative, 16, 16)
 	}
 	return nil
 }

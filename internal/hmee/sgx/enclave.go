@@ -351,6 +351,21 @@ func (t *Thread) WithRequest(ctx context.Context) *Thread {
 	}
 }
 
+// BindRequest is the allocation-free counterpart of WithRequest for pooled
+// request threads: it rebinds dst to t's enclave, charging acct and drawing
+// from ctx's per-worker jitter stream (platform jitter when none is
+// attached). The account is passed explicitly because AccountFrom mints a
+// fresh throwaway when ctx carries none — the caller has already derived
+// the account it reports against and both must be the same object. dst is
+// caller-owned and must not be retained past the request it was bound for.
+//
+//shieldlint:hotpath
+func (t *Thread) BindRequest(ctx context.Context, acct *simclock.Account, dst *Thread) {
+	dst.enclave = t.enclave
+	dst.acct = acct
+	dst.jitter = simclock.JitterFrom(ctx, nil)
+}
+
 // OCall models the thread leaving the enclave to have the untrusted
 // runtime perform work on its behalf (a proxied syscall): EEXIT, the
 // untrusted work expressed in cycles, then EENTER. Argument and result

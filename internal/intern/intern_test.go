@@ -1,0 +1,84 @@
+package intern
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBytesCanonicalises(t *testing.T) {
+	if got := Bytes(nil); got != "" {
+		t.Errorf("Bytes(nil) = %q", got)
+	}
+	if got := Bytes([]byte{}); got != "" {
+		t.Errorf("Bytes(empty) = %q", got)
+	}
+	a := Bytes([]byte("intern-test-001"))
+	b := Bytes([]byte("intern-test-001"))
+	if a != b {
+		t.Fatalf("Bytes returned different values: %q vs %q", a, b)
+	}
+}
+
+func TestBytesHitIsAllocationFree(t *testing.T) {
+	val := []byte("intern-test-5G:mnc001.mcc001.3gppnetwork.org")
+	Bytes(val) // seed the table
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := Bytes(val); got != string(val) {
+			t.Fatalf("Bytes = %q", got)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("interned hit allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestBytesOverlongBypassesTable(t *testing.T) {
+	long := []byte(strings.Repeat("x", maxLen+1))
+	got := Bytes(long)
+	if got != string(long) {
+		t.Fatalf("Bytes(long) = %q", got)
+	}
+	table.RLock()
+	_, cached := table.m[string(long)]
+	table.RUnlock()
+	if cached {
+		t.Errorf("over-length value was admitted to the table")
+	}
+}
+
+func TestBytesCapBoundsTable(t *testing.T) {
+	// Hammer the table with high-cardinality values: it must never grow
+	// past maxEntries, and lookups must stay correct afterwards.
+	for i := 0; i < maxEntries+100; i++ {
+		v := fmt.Sprintf("intern-test-churn-%04d", i)
+		if got := Bytes([]byte(v)); got != v {
+			t.Fatalf("Bytes(%q) = %q", v, got)
+		}
+	}
+	table.RLock()
+	n := len(table.m)
+	table.RUnlock()
+	if n > maxEntries {
+		t.Fatalf("table grew to %d entries, cap is %d", n, maxEntries)
+	}
+}
+
+func TestBytesConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := fmt.Sprintf("intern-test-conc-%d", i%16)
+				if got := Bytes([]byte(v)); got != v {
+					t.Errorf("Bytes(%q) = %q", v, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

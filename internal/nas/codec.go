@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"shield5g/internal/crypto/suci"
+	"shield5g/internal/intern"
 )
 
 // Codec errors.
@@ -24,8 +26,34 @@ const (
 	shtProtected byte = 0x2 // integrity protected and ciphered
 )
 
+// Codec scratch pools. The writer and reader structs escape through the
+// interface calls into the per-message codecs, so without pooling every
+// Encode/Decode heap-allocates its state; per-UE NAS signalling is the
+// registration hot path, so that state is recycled instead.
+var (
+	writerPool = sync.Pool{New: func() any { return new(writer) }}
+	readerPool = sync.Pool{New: func() any { return new(reader) }}
+)
+
+// encodeCap pre-sizes Encode's single output allocation; the largest plain
+// message (a RegistrationRequest carrying an ECIES SUCI) is ~70 bytes, so
+// the append chain never regrows the buffer.
+const encodeCap = 96
+
 // Encode serialises a plain (unprotected) NAS message.
+//
+//shieldlint:hotpath
 func Encode(m Message) ([]byte, error) {
+	//shieldlint:ignore hotalloc single caller-owned output buffer per encoded message
+	return appendEncode(make([]byte, 0, encodeCap), m)
+}
+
+// appendEncode serialises m onto dst (for callers that own a reusable
+// buffer, e.g. the protected-mode encryptor) and returns the extended
+// slice. The encoding itself is allocation-free.
+//
+//shieldlint:hotpath
+func appendEncode(dst []byte, m Message) ([]byte, error) {
 	if m == nil {
 		return nil, errors.New("nas: nil message")
 	}
@@ -34,17 +62,43 @@ func Encode(m Message) ([]byte, error) {
 			return nil, err
 		}
 	}
-	w := &writer{}
+	w := writerPool.Get().(*writer)
+	w.buf = dst
 	w.u8(EPD5GMM)
 	w.u8(shtPlain)
 	w.u8(byte(m.Type()))
 	m.encodeBody(w)
-	return w.buf, nil
+	out := w.buf
+	w.buf = nil
+	writerPool.Put(w)
+	return out, nil
 }
 
-// Decode parses a plain NAS message.
+// Decode parses a plain NAS message. Every field of the returned message
+// is copied out of data, so the caller may reuse the buffer immediately.
+//
+//shieldlint:hotpath
 func Decode(data []byte) (Message, error) {
-	r := &reader{buf: data}
+	r := readerPool.Get().(*reader)
+	*r = reader{buf: data}
+	m, err := decodeMessage(r)
+	*r = reader{}
+	readerPool.Put(r)
+	return m, err
+}
+
+// IsProtected reports whether data carries a security-protected NAS
+// message (SHT=2). Receivers should branch on it and route protected
+// PDUs straight to SecurityContext.Unprotect instead of calling Decode
+// and recovering from its error, which costs two allocations per
+// protected message on the hot path.
+//
+//shieldlint:hotpath
+func IsProtected(data []byte) bool {
+	return len(data) >= 2 && data[0] == EPD5GMM && data[1] == shtProtected
+}
+
+func decodeMessage(r *reader) (Message, error) {
 	epd := r.u8()
 	sht := r.u8()
 	typ := MessageType(r.u8())
@@ -247,9 +301,9 @@ func decodeIdentity(r *reader, id *MobileIdentity) error {
 	switch t := r.u8(); t {
 	case IdentityTypeSUCI:
 		s := &suci.SUCI{}
-		s.MCC = r.str()
-		s.MNC = r.str()
-		s.RoutingIndicator = r.str()
+		s.MCC = r.internStr()
+		s.MNC = r.internStr()
+		s.RoutingIndicator = r.internStr()
 		s.Scheme = r.u8()
 		s.HomeKeyID = r.u8()
 		s.SchemeOutput = r.lv16()
@@ -280,8 +334,8 @@ func encodeGUTI(w *writer, g *GUTI) {
 }
 
 func decodeGUTI(r *reader, g *GUTI) error {
-	g.MCC = r.str()
-	g.MNC = r.str()
+	g.MCC = r.internStr()
+	g.MNC = r.internStr()
 	g.AMFRegionID = r.u8()
 	g.AMFSetID = r.u16()
 	g.AMFPointer = r.u8()
@@ -362,4 +416,19 @@ func (r *reader) lv16() []byte {
 	return append([]byte(nil), b...)
 }
 
-func (r *reader) str() string { return string(r.lv()) }
+// str decodes a length-prefixed string in one copy (take aliases the
+// input; the string conversion is the copy that detaches it).
+func (r *reader) str() string {
+	n := int(r.u8())
+	return string(r.take(n))
+}
+
+// internStr decodes a length-prefixed string through the bounded intern
+// table — for protocol constants only (PLMN digits, routing
+// indicators), never per-subscriber values like SUPIs.
+//
+//shieldlint:hotpath
+func (r *reader) internStr() string {
+	n := int(r.u8())
+	return intern.Bytes(r.take(n))
+}

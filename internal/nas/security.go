@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"shield5g/internal/crypto/hashpool"
 	"shield5g/internal/crypto/kdf"
@@ -47,8 +48,11 @@ const (
 // on each side from the shared K_AMF after a successful AKA run. It is not
 // safe for concurrent use; NAS signalling per UE is sequential.
 type SecurityContext struct {
-	encKey []byte
-	intKey []byte
+	// encKey and intKey are in-struct arrays (not slices) so key
+	// derivation into an activated context costs no allocations beyond
+	// the context itself.
+	encKey [kdf.KeyLen128]byte
+	intKey [kdf.KeyLen128]byte
 
 	// block is the AES key schedule for K_NASenc, expanded once at context
 	// activation: the keys are fixed for the context's lifetime, so per-
@@ -76,26 +80,23 @@ type SecurityContext struct {
 // NewSecurityContext derives the NAS protection keys from K_AMF
 // (TS 33.501 Annex A.8).
 func NewSecurityContext(kamf []byte) (*SecurityContext, error) {
-	encKey, err := kdf.AlgorithmKey(kamf, kdf.AlgoNASEncryption, AlgNEA2)
-	if err != nil {
+	sc := &SecurityContext{
+		IntegrityAlg: AlgNIA2,
+		CipheringAlg: AlgNEA2,
+	}
+	if err := kdf.AlgorithmKeyInto(sc.encKey[:], kamf, kdf.AlgoNASEncryption, AlgNEA2); err != nil {
 		return nil, fmt.Errorf("nas: derive K_NASenc: %w", err)
 	}
-	intKey, err := kdf.AlgorithmKey(kamf, kdf.AlgoNASIntegrity, AlgNIA2)
-	if err != nil {
+	if err := kdf.AlgorithmKeyInto(sc.intKey[:], kamf, kdf.AlgoNASIntegrity, AlgNIA2); err != nil {
 		return nil, fmt.Errorf("nas: derive K_NASint: %w", err)
 	}
-	block, err := aes.NewCipher(encKey)
+	block, err := aes.NewCipher(sc.encKey[:])
 	if err != nil {
 		return nil, fmt.Errorf("nas: cipher setup: %w", err)
 	}
-	return &SecurityContext{
-		encKey:       encKey,
-		intKey:       intKey,
-		block:        block,
-		macState:     hashpool.NewHMAC(intKey),
-		IntegrityAlg: AlgNIA2,
-		CipheringAlg: AlgNEA2,
-	}, nil
+	sc.block = block
+	sc.macState = hashpool.NewHMAC(sc.intKey[:])
+	return sc, nil
 }
 
 // Counts reports the current uplink and downlink NAS COUNT values.
@@ -103,25 +104,41 @@ func (sc *SecurityContext) Counts() (uplink, downlink uint32) {
 	return sc.uplinkCount, sc.downlinkCount
 }
 
+// plainPool recycles the plaintext scratch of Protect (the pre-encryption
+// encoding) and Unprotect (the deciphered payload). Both uses end inside
+// the call — the ciphertext is written elsewhere and Decode copies every
+// field out — so the buffer never escapes.
+var plainPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, encodeCap)
+	return &b
+}}
+
 // Protect encodes msg and wraps it as an integrity-protected and ciphered
 // NAS message for the given direction, consuming one sequence number.
 //
 // Wire format: EPD || SHT || MAC[4] || SEQ[4] || ciphertext.
+//
+//shieldlint:hotpath
 func (sc *SecurityContext) Protect(msg Message, uplink bool) ([]byte, error) {
-	plain, err := Encode(msg)
+	pb := plainPool.Get().(*[]byte)
+	plain, err := appendEncode((*pb)[:0], msg)
 	if err != nil {
+		plainPool.Put(pb)
 		return nil, err
 	}
 	dir, count := sc.sendState(uplink)
 
 	// Single output allocation: the ciphertext is written straight into
 	// its final position, then MAC and SEQ fill the header in place.
+	//shieldlint:ignore hotalloc single caller-owned output per protected message
 	out := make([]byte, 2+macLen+4+len(plain))
 	out[0], out[1] = EPD5GMM, shtProtected
 	ct := out[2+macLen+4:]
 	sc.xorKeyStream(ct, plain, dir, count)
 	copy(out[2:2+macLen], sc.mac(dir, count, ct))
 	binary.BigEndian.PutUint32(out[2+macLen:2+macLen+4], count)
+	*pb = plain
+	plainPool.Put(pb)
 
 	sc.advanceSend(uplink)
 	return out, nil
@@ -129,6 +146,8 @@ func (sc *SecurityContext) Protect(msg Message, uplink bool) ([]byte, error) {
 
 // Unprotect verifies and deciphers a protected NAS message from the given
 // direction (uplink=true means the receiver is the network side).
+//
+//shieldlint:hotpath
 func (sc *SecurityContext) Unprotect(data []byte, uplink bool) (Message, error) {
 	if len(data) < 2+macLen+4 {
 		return nil, fmt.Errorf("%w: protected header", ErrTruncated)
@@ -156,9 +175,15 @@ func (sc *SecurityContext) Unprotect(data []byte, uplink bool) (Message, error) 
 		return nil, ErrIntegrity
 	}
 
-	plain := make([]byte, len(ct))
+	pb := plainPool.Get().(*[]byte)
+	if cap(*pb) < len(ct) {
+		//shieldlint:ignore hotalloc pool grow, amortised across the pool entry's lifetime
+		*pb = make([]byte, len(ct))
+	}
+	plain := (*pb)[:len(ct)]
 	sc.xorKeyStream(plain, ct, dir, count)
 	msg, err := Decode(plain)
+	plainPool.Put(pb)
 	if err != nil {
 		return nil, fmt.Errorf("nas: deciphered payload: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"crypto/hmac"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"shield5g/internal/costmodel"
@@ -305,8 +306,15 @@ func (a *AMF) handleAuthenticating(ctx context.Context, ranUEID uint64, ue *ueCo
 	}
 }
 
+var (
+	confirmReqPool    = sync.Pool{New: func() any { return new(ausf.ConfirmRequest) }}
+	deriveKAMFReqPool = sync.Pool{New: func() any { return new(paka.AMFDeriveKAMFRequest) }}
+)
+
 // completeAuth runs the SEAF HXRES* check, home confirmation, K_AMF
 // derivation through the P-AKA environment, and NAS security activation.
+//
+//shieldlint:hotpath
 func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.AuthenticationResponse) ([]byte, error) {
 	// SEAF check: HXRES* == SHA-256(RAND || RES*) truncated.
 	// HRES* is compare-and-discard: compute it on the stack.
@@ -317,7 +325,13 @@ func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.Authentica
 	if !hmac.Equal(hres[:], ue.hxresStar) {
 		return a.reject(ue)
 	}
-	conf, err := a.ausf.Confirm(ctx, &ausf.ConfirmRequest{AuthCtxID: ue.authCtxID, ResStar: m.ResStar[:]})
+	// Outbound request structs are pooled: the client stubs marshal them
+	// synchronously and nothing downstream retains them.
+	creq := confirmReqPool.Get().(*ausf.ConfirmRequest)
+	creq.AuthCtxID, creq.ResStar = ue.authCtxID, m.ResStar[:]
+	conf, err := a.ausf.Confirm(ctx, creq)
+	*creq = ausf.ConfirmRequest{}
+	confirmReqPool.Put(creq)
 	if err != nil {
 		// Graceful degradation: CONTEXT_NOT_FOUND means the AUSF no longer
 		// holds the auth session — it consumed it while the reply was
@@ -340,11 +354,11 @@ func (a *AMF) completeAuth(ctx context.Context, ue *ueContext, m *nas.Authentica
 	ue.supi = conf.SUPI
 	ue.kseaf = conf.KSEAF
 
-	kamf, err := a.fns.DeriveKAMF(ctx, &paka.AMFDeriveKAMFRequest{
-		KSEAF: conf.KSEAF,
-		SUPI:  conf.SUPI,
-		ABBA:  abba(),
-	})
+	kreq := deriveKAMFReqPool.Get().(*paka.AMFDeriveKAMFRequest)
+	kreq.KSEAF, kreq.SUPI, kreq.ABBA = conf.KSEAF, conf.SUPI, abba()
+	kamf, err := a.fns.DeriveKAMF(ctx, kreq)
+	*kreq = paka.AMFDeriveKAMFRequest{}
+	deriveKAMFReqPool.Put(kreq)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,8 @@ import (
 	"context"
 	"crypto/hmac"
 	"fmt"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -152,9 +154,9 @@ func New(ctx context.Context, cfg Config) (*AUSF, error) {
 		sessions: shard.NewString[*session](),
 		ttl:      ttl,
 	}
-	a.server.Handle(PathAuthenticate, sbi.JSONHandler(a.handleAuthenticate))
-	a.server.Handle(PathConfirm, sbi.JSONHandler(a.handleConfirm))
-	a.server.Handle(PathResync, sbi.JSONHandler(a.handleResync))
+	a.server.HandleDual(PathAuthenticate, sbi.BinHandler(a.handleAuthenticate))
+	a.server.HandleDual(PathConfirm, sbi.BinHandler(a.handleConfirm))
+	a.server.HandleDual(PathResync, sbi.BinHandler(a.handleResync))
 	if err := cfg.Registry.Register(a.server); err != nil {
 		return nil, err
 	}
@@ -173,27 +175,38 @@ func (a *AUSF) handleAuthenticate(ctx context.Context, req *AuthenticateRequest)
 	return a.newChallenge(ctx, req.SUCI, req.SUPI, req.ServingNetworkName)
 }
 
+var (
+	genAuthReqPool  = sync.Pool{New: func() any { return new(udm.GenerateAuthDataRequest) }}
+	deriveSEReqPool = sync.Pool{New: func() any { return new(paka.AUSFDeriveSERequest) }}
+)
+
 // newChallenge fetches an HE AV and turns it into an SE AV session.
+//
+//shieldlint:hotpath
 func (a *AUSF) newChallenge(ctx context.Context, id *suci.SUCI, supi, snn string) (*AuthenticateResponse, error) {
-	he, err := a.udm.GenerateAuthData(ctx, &udm.GenerateAuthDataRequest{
-		SUCI:               id,
-		SUPI:               supi,
-		ServingNetworkName: snn,
-	})
+	// The outbound request structs are pooled: the client stubs marshal
+	// them synchronously and nothing downstream retains them.
+	greq := genAuthReqPool.Get().(*udm.GenerateAuthDataRequest)
+	greq.SUCI, greq.SUPI, greq.ServingNetworkName = id, supi, snn
+	he, err := a.udm.GenerateAuthData(ctx, greq)
+	*greq = udm.GenerateAuthDataRequest{}
+	genAuthReqPool.Put(greq)
 	if err != nil {
 		return nil, err
 	}
-	se, err := a.fns.DeriveSE(ctx, &paka.AUSFDeriveSERequest{
-		RAND:     he.RAND,
-		XRESStar: he.XRESStar,
-		KAUSF:    he.KAUSF,
-		SNN:      snn,
-	})
+	sreq := deriveSEReqPool.Get().(*paka.AUSFDeriveSERequest)
+	sreq.RAND, sreq.XRESStar, sreq.KAUSF, sreq.SNN = he.RAND, he.XRESStar, he.KAUSF, snn
+	se, err := a.fns.DeriveSE(ctx, sreq)
+	*sreq = paka.AUSFDeriveSERequest{}
+	deriveSEReqPool.Put(sreq)
 	if err != nil {
 		return nil, err
 	}
 
-	ctxID := fmt.Sprintf("authctx-%d", a.nextID.Add(1))
+	// Assembled in stack scratch so the ID costs exactly one string
+	// allocation (Sprintf boxed the counter and built two strings).
+	var idBuf [24]byte
+	ctxID := string(strconv.AppendUint(append(idBuf[:0], "authctx-"...), a.nextID.Add(1), 10))
 	a.sessions.Store(ctxID, &session{
 		supi:     he.SUPI,
 		snn:      snn,

@@ -286,3 +286,57 @@ func TestAVPoolDisabledMatchesSeedPath(t *testing.T) {
 	}
 	h.udm.InvalidateAVPool() // must not panic
 }
+
+// TestPrewarmEliminatesColdStartMisses covers the PR-6 cold-start fix:
+// without prewarm every SUPI's first authentication is one synchronous
+// refill (201 misses for 200 UEs in the PR-5 bench); after PrewarmAVPool
+// the same traffic is all hits.
+func TestPrewarmEliminatesColdStartMisses(t *testing.T) {
+	const depth = 4
+	h := newPoolHarness(t, depth, depth, true)
+	supis := []suci.SUPI{
+		{MCC: "001", MNC: "01", MSIN: "0000000001"},
+		{MCC: "001", MNC: "01", MSIN: "0000000002"},
+		{MCC: "001", MNC: "01", MSIN: "0000000003"},
+	}
+	names := make([]string, len(supis))
+	for i, s := range supis {
+		h.provision(t, s)
+		names[i] = s.String()
+	}
+
+	if err := h.udm.PrewarmAVPool(context.Background(), names, testSNN); err != nil {
+		t.Fatalf("PrewarmAVPool: %v", err)
+	}
+	s := h.udm.AVPoolStats()
+	if s.Prewarmed != uint64(depth*len(supis)) || s.Pooled != depth*len(supis) {
+		t.Fatalf("after prewarm: %+v, want %d prewarmed and pooled", s, depth*len(supis))
+	}
+	if s.Misses != 0 || s.Hits != 0 {
+		t.Fatalf("prewarm counted as traffic: %+v", s)
+	}
+
+	// Every first-contact authentication is now a pool hit.
+	for _, supi := range supis {
+		h.auth(t, supi)
+	}
+	s = h.udm.AVPoolStats()
+	if s.Misses != 0 {
+		t.Fatalf("cold-start misses survived prewarm: %+v", s)
+	}
+	if s.Hits != uint64(len(supis)) {
+		t.Fatalf("hits = %d, want %d: %+v", s.Hits, len(supis), s)
+	}
+	if s.Pooled != (depth-1)*len(supis) {
+		t.Fatalf("pooled = %d, want %d: %+v", s.Pooled, (depth-1)*len(supis), s)
+	}
+}
+
+// TestPrewarmDisabledPool verifies the explicit error when the pool is
+// off — a silent no-op would make a misconfigured bench look warmed.
+func TestPrewarmDisabledPool(t *testing.T) {
+	h := newHarness(t) // no AVPoolDepth: pool disabled
+	if err := h.udm.PrewarmAVPool(context.Background(), []string{"imsi-001010000000001"}, testSNN); err == nil {
+		t.Fatalf("PrewarmAVPool on disabled pool succeeded")
+	}
+}

@@ -93,6 +93,16 @@ type Config struct {
 	// AVBatchSize is the number of vectors minted per refill crossing;
 	// ≤0 defaults to AVPoolDepth.
 	AVBatchSize int
+	// PrewarmSUPIs lists subscribers whose pool rings are filled at
+	// construction (PrewarmAVPool), eliminating their first-contact
+	// refill misses. The SUPIs must already be provisioned in the UDR and
+	// the execution environment, so this only suits a UDM built against
+	// an existing deployment; otherwise call PrewarmAVPool after
+	// provisioning. Requires AVPoolDepth > 0.
+	PrewarmSUPIs []string
+	// PrewarmSNN is the serving network name the prewarmed vectors are
+	// derived for; required when PrewarmSUPIs is set.
+	PrewarmSNN string
 }
 
 // UDM is the data-management VNF.
@@ -138,8 +148,8 @@ func New(ctx context.Context, cfg Config) (*UDM, error) {
 	if cfg.AVPoolDepth > 0 {
 		u.pool = newAVPool(cfg.AVPoolDepth, cfg.AVBatchSize)
 	}
-	u.server.Handle(PathGenerateAuthData, sbi.JSONHandler(u.handleGenerateAuthData))
-	u.server.Handle(PathResync, sbi.JSONHandler(u.handleResync))
+	u.server.HandleDual(PathGenerateAuthData, sbi.BinHandler(u.handleGenerateAuthData))
+	u.server.HandleDual(PathResync, sbi.BinHandler(u.handleResync))
 	if err := cfg.Registry.Register(u.server); err != nil {
 		return nil, err
 	}
@@ -147,6 +157,17 @@ func New(ctx context.Context, cfg Config) (*UDM, error) {
 		InstanceID: "udm-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
 	}); err != nil {
 		return nil, fmt.Errorf("udm: NRF registration: %w", err)
+	}
+	if len(cfg.PrewarmSUPIs) > 0 {
+		if u.pool == nil {
+			return nil, fmt.Errorf("udm: PrewarmSUPIs requires AVPoolDepth > 0")
+		}
+		if cfg.PrewarmSNN == "" {
+			return nil, fmt.Errorf("udm: PrewarmSUPIs requires PrewarmSNN")
+		}
+		if err := u.PrewarmAVPool(ctx, cfg.PrewarmSUPIs, cfg.PrewarmSNN); err != nil {
+			return nil, err
+		}
 	}
 	return u, nil
 }
@@ -246,6 +267,38 @@ func (u *UDM) freshAV(ctx context.Context, supi, snn string) (*paka.UDMGenerateA
 	return u.generateAV(ctx, &avReq)
 }
 
+// avRequestBatch mints count enclave inputs through one UDR round trip
+// (NextAuthBatch) and one entropy draw. The state evolution is
+// bit-identical to count sequential avRequest calls: the UDR advances the
+// SQN with the same per-vector step under one lock, and the single
+// entropy read is sliced into the same 16 bytes per item, in order.
+//
+//shieldlint:hotpath
+func (u *UDM) avRequestBatch(ctx context.Context, supi, snn string, count int) ([]paka.UDMGenerateAVRequest, error) {
+	auth, err := u.udr.NextAuthBatch(ctx, supi, count)
+	if err != nil {
+		return nil, err
+	}
+	//shieldlint:ignore hotalloc one RAND backing per refill, amortized over the batch
+	randBytes := make([]byte, 16*count)
+	if _, err := io.ReadFull(u.entropy, randBytes); err != nil {
+		return nil, sbi.Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "RAND generation: %v", err)
+	}
+	//shieldlint:ignore hotalloc one item slice per refill, amortized over the batch
+	items := make([]paka.UDMGenerateAVRequest, count)
+	for i := range items {
+		items[i] = paka.UDMGenerateAVRequest{
+			SUPI:  supi,
+			OPc:   auth.OPc,
+			RAND:  randBytes[i*16 : (i+1)*16 : (i+1)*16],
+			SQN:   auth.SQN(i),
+			AMFID: auth.AMFField,
+			SNN:   snn,
+		}
+	}
+	return items, nil
+}
+
 // pooledAV serves from the precomputation pool, refilling synchronously on
 // a miss: one batch crossing mints AVBatchSize vectors, the oldest serves
 // this request and the rest are banked for the SUPI's next
@@ -254,13 +307,9 @@ func (u *UDM) pooledAV(ctx context.Context, supi, snn string) (*paka.UDMGenerate
 	if av, ok := u.pool.take(supi); ok {
 		return av, nil
 	}
-	items := make([]paka.UDMGenerateAVRequest, 0, u.pool.batch)
-	for i := 0; i < u.pool.batch; i++ {
-		item, err := u.avRequest(ctx, supi, snn)
-		if err != nil {
-			return nil, err
-		}
-		items = append(items, item)
+	items, err := u.avRequestBatch(ctx, supi, snn, u.pool.batch)
+	if err != nil {
+		return nil, err
 	}
 	vectors, err := u.generateBatch(ctx, items)
 	if err != nil {

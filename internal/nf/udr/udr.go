@@ -20,10 +20,11 @@ const ServiceName = "udr"
 
 // SBI endpoint paths.
 const (
-	PathProvision = "/nudr-dr/v1/subscription-data/provision"
-	PathNextAuth  = "/nudr-dr/v1/subscription-data/next-auth"
-	PathResync    = "/nudr-dr/v1/subscription-data/resync"
-	PathGet       = "/nudr-dr/v1/subscription-data/get"
+	PathProvision     = "/nudr-dr/v1/subscription-data/provision"
+	PathNextAuth      = "/nudr-dr/v1/subscription-data/next-auth"
+	PathNextAuthBatch = "/nudr-dr/v1/subscription-data/next-auth-batch"
+	PathResync        = "/nudr-dr/v1/subscription-data/resync"
+	PathGet           = "/nudr-dr/v1/subscription-data/get"
 )
 
 // sqnStep is the sequence-number increment per generated vector
@@ -88,6 +89,39 @@ type NextAuthResponse struct {
 	AMFField []byte `json:"amf_field"`
 }
 
+// NextAuthBatchRequest fetches the subscriber's auth material once and
+// atomically advances the SQN Count times — the UDR half of an AV pool
+// refill. One request replaces Count NextAuth round trips, and the
+// per-refill SQN evolution is bit-identical to Count sequential NextAuth
+// calls (the same advanceSQN per vector, under one stripe lock).
+type NextAuthBatchRequest struct {
+	SUPI  string `json:"supi"`
+	Count int    `json:"count"`
+}
+
+// NextAuthBatchResponse carries the shared material once plus the Count
+// advanced sequence numbers, concatenated oldest first (6 bytes each).
+type NextAuthBatchResponse struct {
+	OPc      []byte `json:"opc"`
+	AMFField []byte `json:"amf_field"`
+	// SQNs is Count six-byte sequence numbers, back to back.
+	SQNs []byte `json:"sqns"`
+}
+
+// SQN returns the i-th six-byte sequence number of the batch.
+func (r *NextAuthBatchResponse) SQN(i int) []byte {
+	return r.SQNs[i*sqnLen : (i+1)*sqnLen : (i+1)*sqnLen]
+}
+
+// Vectors reports how many sequence numbers the batch carries.
+func (r *NextAuthBatchResponse) Vectors() int { return len(r.SQNs) / sqnLen }
+
+// sqnLen is the wire size of one sequence number.
+const sqnLen = 6
+
+// maxNextAuthBatch bounds one batch request; pool refills are single-digit.
+const maxNextAuthBatch = 1024
+
 // ResyncRequest overwrites the network SQN after a UE resynchronisation:
 // the new value starts above the UE's reported SQN_MS.
 type ResyncRequest struct {
@@ -121,10 +155,11 @@ func New(env *costmodel.Env, registry *sbi.Registry) (*UDR, error) {
 		server: sbi.NewServer(ServiceName, env),
 		subs:   shard.NewString[*Subscriber](),
 	}
-	u.server.Handle(PathProvision, sbi.JSONHandler(u.handleProvision))
-	u.server.Handle(PathNextAuth, sbi.JSONHandler(u.handleNextAuth))
-	u.server.Handle(PathResync, sbi.JSONHandler(u.handleResync))
-	u.server.Handle(PathGet, sbi.JSONHandler(u.handleGet))
+	u.server.HandleDual(PathProvision, sbi.BinHandler(u.handleProvision))
+	u.server.HandleDual(PathNextAuth, sbi.BinHandler(u.handleNextAuth))
+	u.server.HandleDual(PathNextAuthBatch, sbi.BinHandler(u.handleNextAuthBatch))
+	u.server.HandleDual(PathResync, sbi.BinHandler(u.handleResync))
+	u.server.HandleDual(PathGet, sbi.BinHandler(u.handleGet))
 	if err := registry.Register(u.server); err != nil {
 		return nil, err
 	}
@@ -152,12 +187,49 @@ func (u *UDR) handleNextAuth(_ context.Context, req *NextAuthRequest) (*NextAuth
 			return
 		}
 		// Advance the SQN first, then hand out the new value, so that
-		// two consecutive vectors never share a sequence number.
+		// two consecutive vectors never share a sequence number. One
+		// backing array carries all three copied fields.
 		advanceSQN(s.SQN, sqnStep)
+		buf := make([]byte, 0, len(s.OPc)+sqnLen+len(s.AMFField))
+		buf = append(buf, s.OPc...)
+		buf = append(buf, s.SQN...)
+		buf = append(buf, s.AMFField...)
 		resp = &NextAuthResponse{
-			OPc:      append([]byte(nil), s.OPc...),
-			SQN:      append([]byte(nil), s.SQN...),
-			AMFField: append([]byte(nil), s.AMFField...),
+			OPc:      buf[:len(s.OPc):len(s.OPc)],
+			SQN:      buf[len(s.OPc) : len(s.OPc)+sqnLen : len(s.OPc)+sqnLen],
+			AMFField: buf[len(s.OPc)+sqnLen:],
+		}
+	})
+	if resp == nil {
+		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "subscriber %s", req.SUPI)
+	}
+	return resp, nil
+}
+
+// handleNextAuthBatch advances the SQN Count times under one stripe lock
+// and returns the shared material once. The state evolution is exactly
+// Count sequential NextAuth calls; only the wire shape is batched.
+func (u *UDR) handleNextAuthBatch(_ context.Context, req *NextAuthBatchRequest) (*NextAuthBatchResponse, error) {
+	if req.Count < 1 || req.Count > maxNextAuthBatch {
+		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "batch count %d", req.Count)
+	}
+	var resp *NextAuthBatchResponse
+	u.subs.Update(req.SUPI, func(s *Subscriber, ok bool) {
+		if !ok {
+			return
+		}
+		buf := make([]byte, 0, len(s.OPc)+len(s.AMFField)+req.Count*sqnLen)
+		buf = append(buf, s.OPc...)
+		buf = append(buf, s.AMFField...)
+		shared := len(buf)
+		for i := 0; i < req.Count; i++ {
+			advanceSQN(s.SQN, sqnStep)
+			buf = append(buf, s.SQN...)
+		}
+		resp = &NextAuthBatchResponse{
+			OPc:      buf[:len(s.OPc):len(s.OPc)],
+			AMFField: buf[len(s.OPc):shared:shared],
+			SQNs:     buf[shared:],
 		}
 	})
 	if resp == nil {
@@ -241,6 +313,20 @@ func (c *Client) NextAuth(ctx context.Context, supi string) (*NextAuthResponse, 
 	var resp NextAuthResponse
 	if err := c.invoker.Post(ctx, ServiceName, PathNextAuth, &NextAuthRequest{SUPI: supi}, &resp); err != nil {
 		return nil, err
+	}
+	return &resp, nil
+}
+
+// NextAuthBatch fetches auth material once and advances the SQN count
+// times, returning the per-vector sequence numbers oldest first.
+func (c *Client) NextAuthBatch(ctx context.Context, supi string, count int) (*NextAuthBatchResponse, error) {
+	var resp NextAuthBatchResponse
+	if err := c.invoker.Post(ctx, ServiceName, PathNextAuthBatch, &NextAuthBatchRequest{SUPI: supi, Count: count}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Vectors() != count || len(resp.SQNs)%sqnLen != 0 {
+		return nil, sbi.Problem(500, "Internal Server Error", "SYSTEM_FAILURE",
+			"next-auth batch returned %d bytes of SQNs for count %d", len(resp.SQNs), count)
 	}
 	return &resp, nil
 }

@@ -24,31 +24,58 @@ func GenerateAV(k []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, er
 	return GenerateAVCached(nil, k, req)
 }
 
+// AVBackingBytes is the combined size of one AV's four response fields
+// (RAND 16 || AUTN 16 || XRES* 16 || K_AUSF 32).
+const AVBackingBytes = 80
+
+// AVInto carves the canonical single-backing field layout out of buf,
+// which must be AVBackingBytes long. The full-slice caps keep a later
+// append on one field from spilling into the next.
+//
+//shieldlint:hotpath
+func AVInto(buf []byte, resp *UDMGenerateAVResponse) {
+	resp.RAND = buf[0:16:16]
+	resp.AUTN = buf[16:32:32]
+	resp.XRESStar = buf[32:48:48]
+	resp.KAUSF = buf[48:80:80]
+}
+
 // GenerateAVCached is GenerateAV with a per-subscriber key-schedule cache:
 // the two AES key expansions milenage.New performs are reused across every
 // AV for the same (SUPI, K, OPc). A nil cache builds fresh schedules,
 // which is exactly the uncached seed behaviour.
+//
+//shieldlint:hotpath
 func GenerateAVCached(cache *milenage.Cache, k []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, error) {
+	// One backing carries all four response fields.
+	//shieldlint:ignore hotalloc single caller-owned backing per minted AV; batch mints share one via AVInto
+	out := make([]byte, AVBackingBytes)
+	resp := &UDMGenerateAVResponse{}
+	AVInto(out, resp)
+	if err := GenerateAVCachedInto(cache, k, req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// GenerateAVCachedInto derives an AV into resp, whose four fields must
+// already point at caller-owned backings of the canonical sizes (use
+// AVInto). The batch mint derives a whole refill into one backing array
+// this way instead of allocating per vector.
+//
+//shieldlint:hotpath
+func GenerateAVCachedInto(cache *milenage.Cache, k []byte, req *UDMGenerateAVRequest, resp *UDMGenerateAVResponse) error {
 	c, err := cache.Get(req.SUPI, k, req.OPc)
 	if err != nil {
-		return nil, fmt.Errorf("paka: eUDM: %w", err)
+		return fmt.Errorf("paka: eUDM: %w", err)
 	}
 	macA, err := c.F1(req.RAND, req.SQN, req.AMFID)
 	if err != nil {
-		return nil, fmt.Errorf("paka: eUDM f1: %w", err)
+		return fmt.Errorf("paka: eUDM f1: %w", err)
 	}
 	res, ck, ik, ak, err := c.F2345(req.RAND)
 	if err != nil {
-		return nil, fmt.Errorf("paka: eUDM f2345: %w", err)
-	}
-	// One 80-byte backing carries all four response fields; the full-slice
-	// caps keep a later append on one field from spilling into the next.
-	out := make([]byte, 80)
-	resp := &UDMGenerateAVResponse{
-		RAND:     out[0:16:16],
-		AUTN:     out[16:32:32],
-		XRESStar: out[32:48:48],
-		KAUSF:    out[48:80:80],
+		return fmt.Errorf("paka: eUDM f2345: %w", err)
 	}
 	copy(resp.RAND, req.RAND)
 
@@ -62,12 +89,12 @@ func GenerateAVCached(cache *milenage.Cache, k []byte, req *UDMGenerateAVRequest
 	copy(resp.AUTN[8:16], macA)
 
 	if err := kdf.ResStarInto(resp.XRESStar, ck, ik, req.SNN, req.RAND, res); err != nil {
-		return nil, fmt.Errorf("paka: eUDM XRES*: %w", err)
+		return fmt.Errorf("paka: eUDM XRES*: %w", err)
 	}
 	if err := kdf.KAUSFInto(resp.KAUSF, ck, ik, req.SNN, sqnAK); err != nil {
-		return nil, fmt.Errorf("paka: eUDM K_AUSF: %w", err)
+		return fmt.Errorf("paka: eUDM K_AUSF: %w", err)
 	}
-	return resp, nil
+	return nil
 }
 
 // Resync executes the eUDM-side AUTS verification (TS 33.102 §6.3.5): it
@@ -112,12 +139,14 @@ func ResyncCached(cache *milenage.Cache, k []byte, req *UDMResyncRequest) (*UDMR
 // DeriveSE executes the eAUSF P-AKA function set: HXRES* hashing and
 // K_SEAF derivation.
 func DeriveSE(req *AUSFDeriveSERequest) (*AUSFDeriveSEResponse, error) {
-	hxres, err := kdf.HXResStar(req.RAND, req.XRESStar)
-	if err != nil {
+	// Single backing for both derived outputs, the same pattern
+	// GenerateAVCached uses for its response fields.
+	buf := make([]byte, kdf.KeyLen128+kdf.KeyLen256)
+	hxres, kseaf := buf[:kdf.KeyLen128:kdf.KeyLen128], buf[kdf.KeyLen128:]
+	if err := kdf.HXResStarInto(hxres, req.RAND, req.XRESStar); err != nil {
 		return nil, fmt.Errorf("paka: eAUSF HXRES*: %w", err)
 	}
-	kseaf, err := kdf.KSEAF(req.KAUSF, req.SNN)
-	if err != nil {
+	if err := kdf.KSEAFInto(kseaf, req.KAUSF, req.SNN); err != nil {
 		return nil, fmt.Errorf("paka: eAUSF K_SEAF: %w", err)
 	}
 	return &AUSFDeriveSEResponse{HXRESStar: hxres, KSEAF: kseaf}, nil

@@ -1,0 +1,249 @@
+package paka
+
+// Binary SBI codecs for the P-AKA module messages (see internal/sbi/codec
+// for the frame format and ownership rules). Request decodes are
+// zero-copy views into the loaned body; response decodes Compact their
+// retained fields into one backing array per message, mirroring the
+// single-backing layout GenerateAVCached already uses.
+
+import "shield5g/internal/sbi/codec"
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVRequest) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendString(dst, m.SUPI)
+	dst = codec.AppendBytes(dst, m.OPc)
+	dst = codec.AppendBytes(dst, m.RAND)
+	dst = codec.AppendBytes(dst, m.SQN)
+	dst = codec.AppendBytes(dst, m.AMFID)
+	return codec.AppendString(dst, m.SNN)
+}
+
+// DecodeBinary implements codec.Unmarshaler. Byte fields are views into
+// the frame (the request loan); the handler must not retain them.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVRequest) DecodeBinary(r *codec.Reader) error {
+	m.SUPI = r.String()
+	m.OPc = r.Bytes()
+	m.RAND = r.Bytes()
+	m.SQN = r.Bytes()
+	m.AMFID = r.Bytes()
+	m.SNN = r.InternString()
+	return r.Err()
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVResponse) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendBytes(dst, m.RAND)
+	dst = codec.AppendBytes(dst, m.AUTN)
+	dst = codec.AppendBytes(dst, m.XRESStar)
+	return codec.AppendBytes(dst, m.KAUSF)
+}
+
+// DecodeBinary implements codec.Unmarshaler. The four AV fields are
+// compacted into one caller-owned 80-byte backing.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVResponse) DecodeBinary(r *codec.Reader) error {
+	m.RAND = r.Bytes()
+	m.AUTN = r.Bytes()
+	m.XRESStar = r.Bytes()
+	m.KAUSF = r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	codec.Compact(&m.RAND, &m.AUTN, &m.XRESStar, &m.KAUSF)
+	return nil
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVBatchRequest) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendCount(dst, len(m.Items))
+	for i := range m.Items {
+		dst = m.Items[i].AppendBinary(dst)
+	}
+	return dst
+}
+
+// DecodeBinary implements codec.Unmarshaler. Items are views into the
+// frame, decoded into one slice allocation for the whole batch.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVBatchRequest) DecodeBinary(r *codec.Reader) error {
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		m.Items = nil
+		return nil
+	}
+	//shieldlint:ignore hotalloc one item backing per decoded batch, amortized over the batch
+	m.Items = make([]UDMGenerateAVRequest, n)
+	for i := range m.Items {
+		if err := m.Items[i].DecodeBinary(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVBatchResponse) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendCount(dst, len(m.Vectors))
+	for i := range m.Vectors {
+		dst = m.Vectors[i].AppendBinary(dst)
+	}
+	return dst
+}
+
+// DecodeBinary implements codec.Unmarshaler: one slice allocation for the
+// vectors plus each vector's compacted backing.
+//
+//shieldlint:hotpath
+func (m *UDMGenerateAVBatchResponse) DecodeBinary(r *codec.Reader) error {
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		m.Vectors = nil
+		return nil
+	}
+	//shieldlint:ignore hotalloc one vector backing per decoded batch, amortized over the batch
+	m.Vectors = make([]UDMGenerateAVResponse, n)
+	for i := range m.Vectors {
+		if err := m.Vectors[i].DecodeBinary(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *UDMResyncRequest) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendString(dst, m.SUPI)
+	dst = codec.AppendBytes(dst, m.OPc)
+	dst = codec.AppendBytes(dst, m.RAND)
+	return codec.AppendBytes(dst, m.AUTS)
+}
+
+// DecodeBinary implements codec.Unmarshaler (zero-copy request views).
+//
+//shieldlint:hotpath
+func (m *UDMResyncRequest) DecodeBinary(r *codec.Reader) error {
+	m.SUPI = r.String()
+	m.OPc = r.Bytes()
+	m.RAND = r.Bytes()
+	m.AUTS = r.Bytes()
+	return r.Err()
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *UDMResyncResponse) AppendBinary(dst []byte) []byte {
+	return codec.AppendBytes(dst, m.SQNMS)
+}
+
+// DecodeBinary implements codec.Unmarshaler.
+//
+//shieldlint:hotpath
+func (m *UDMResyncResponse) DecodeBinary(r *codec.Reader) error {
+	m.SQNMS = r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	codec.Compact(&m.SQNMS)
+	return nil
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *AUSFDeriveSERequest) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendBytes(dst, m.RAND)
+	dst = codec.AppendBytes(dst, m.XRESStar)
+	dst = codec.AppendBytes(dst, m.KAUSF)
+	return codec.AppendString(dst, m.SNN)
+}
+
+// DecodeBinary implements codec.Unmarshaler (zero-copy request views).
+//
+//shieldlint:hotpath
+func (m *AUSFDeriveSERequest) DecodeBinary(r *codec.Reader) error {
+	m.RAND = r.Bytes()
+	m.XRESStar = r.Bytes()
+	m.KAUSF = r.Bytes()
+	m.SNN = r.InternString()
+	return r.Err()
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *AUSFDeriveSEResponse) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendBytes(dst, m.HXRESStar)
+	return codec.AppendBytes(dst, m.KSEAF)
+}
+
+// DecodeBinary implements codec.Unmarshaler (one compacted backing).
+//
+//shieldlint:hotpath
+func (m *AUSFDeriveSEResponse) DecodeBinary(r *codec.Reader) error {
+	m.HXRESStar = r.Bytes()
+	m.KSEAF = r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	codec.Compact(&m.HXRESStar, &m.KSEAF)
+	return nil
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *AMFDeriveKAMFRequest) AppendBinary(dst []byte) []byte {
+	dst = codec.AppendBytes(dst, m.KSEAF)
+	dst = codec.AppendString(dst, m.SUPI)
+	return codec.AppendBytes(dst, m.ABBA)
+}
+
+// DecodeBinary implements codec.Unmarshaler (zero-copy request views).
+//
+//shieldlint:hotpath
+func (m *AMFDeriveKAMFRequest) DecodeBinary(r *codec.Reader) error {
+	m.KSEAF = r.Bytes()
+	m.SUPI = r.String()
+	m.ABBA = r.Bytes()
+	return r.Err()
+}
+
+// AppendBinary implements codec.Marshaler.
+//
+//shieldlint:hotpath
+func (m *AMFDeriveKAMFResponse) AppendBinary(dst []byte) []byte {
+	return codec.AppendBytes(dst, m.KAMF)
+}
+
+// DecodeBinary implements codec.Unmarshaler.
+//
+//shieldlint:hotpath
+func (m *AMFDeriveKAMFResponse) DecodeBinary(r *codec.Reader) error {
+	m.KAMF = r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	codec.Compact(&m.KAMF)
+	return nil
+}

@@ -253,38 +253,61 @@ func (m *Module) rt() Runtime {
 func (m *Module) registerEndpoints() {
 	switch m.kind {
 	case EUDM:
-		m.server.Handle(PathUDMGenerateAV, m.endpoint(m.handleGenerateAV))
-		m.server.Handle(PathUDMResync, m.endpoint(m.handleResync))
+		m.server.HandleDual(PathUDMGenerateAV, m.endpoint(m.handleGenerateAV))
+		m.server.HandleDual(PathUDMResync, m.endpoint(m.handleResync))
 		// The batch endpoint is a maintenance path (the AV pool refill),
 		// not a served request: it bypasses the endpoint wrapper so the
 		// L_F/L_T recorders keep measuring only the paper's request path.
-		m.server.Handle(PathUDMGenerateAVBatch,
-			sbi.JSONHandler(func(ctx context.Context, req *UDMGenerateAVBatchRequest) (*UDMGenerateAVBatchResponse, error) {
+		m.server.HandleDual(PathUDMGenerateAVBatch,
+			sbi.BinHandler(func(ctx context.Context, req *UDMGenerateAVBatchRequest) (*UDMGenerateAVBatchResponse, error) {
 				return m.GenerateAVBatch(ctx, req)
 			}))
 	case EAUSF:
-		m.server.Handle(PathAUSFDeriveSE, m.endpoint(m.handleDeriveSE))
+		m.server.HandleDual(PathAUSFDeriveSE, m.endpoint(m.handleDeriveSE))
 	case EAMF:
-		m.server.Handle(PathAMFDeriveKAMF, m.endpoint(m.handleDeriveKAMF))
+		m.server.HandleDual(PathAMFDeriveKAMF, m.endpoint(m.handleDeriveKAMF))
 	}
+}
+
+// endpointCall binds one served request's state for serve's
+// func(Exec) error callback. A per-call closure would capture ctx, body
+// and the out variable on the heap every request; pooling the binding
+// leaves only the method-value header as per-request overhead.
+type endpointCall struct {
+	m       *Module
+	ctx     context.Context
+	body    []byte
+	handler func(ctx context.Context, ex Exec, body []byte) ([]byte, error)
+	out     []byte
+}
+
+var endpointCallPool = sync.Pool{New: func() any { return new(endpointCall) }}
+
+//shieldlint:hotpath
+func (c *endpointCall) run(ex Exec) error {
+	m := c.m
+	fn := m.env.JitterFor(c.ctx).LogNormal(m.profile.FnCycles, m.profile.FnSigma)
+	if m.isolation == SGX {
+		fn += m.profile.SGXExtraCycles
+	}
+	ex.Compute(fn)
+	ex.Touch(m.profile.HeapBytes)
+	var err error
+	c.out, err = c.handler(c.ctx, ex, c.body)
+	return err
 }
 
 // endpoint wraps a handler with the runtime's modelled request path and
 // the module's calibrated functional cost, recording the L_F/L_T windows.
 func (m *Module) endpoint(handler func(ctx context.Context, ex Exec, body []byte) ([]byte, error)) sbi.HandlerFunc {
+	//shieldlint:hotpath
 	return func(ctx context.Context, body []byte) ([]byte, error) {
-		var out []byte
-		bd, err := m.serve(ctx, m.profile.InBytes, m.profile.OutBytes, func(ex Exec) error {
-			fn := m.env.JitterFor(ctx).LogNormal(m.profile.FnCycles, m.profile.FnSigma)
-			if m.isolation == SGX {
-				fn += m.profile.SGXExtraCycles
-			}
-			ex.Compute(fn)
-			ex.Touch(m.profile.HeapBytes)
-			var herr error
-			out, herr = handler(ctx, ex, body)
-			return herr
-		})
+		c := endpointCallPool.Get().(*endpointCall)
+		c.m, c.ctx, c.body, c.handler = m, ctx, body, handler
+		bd, err := m.serve(ctx, m.profile.InBytes, m.profile.OutBytes, c.run)
+		out := c.out
+		*c = endpointCall{}
+		endpointCallPool.Put(c)
 		if err != nil {
 			return nil, err
 		}
@@ -296,60 +319,107 @@ func (m *Module) endpoint(handler func(ctx context.Context, ex Exec, body []byte
 	}
 }
 
+// Handler request structs are pooled: the decoded fields are either
+// copied strings or zero-copy views into the loaned body, nothing below
+// the handler retains the struct, and every response carries its own
+// backing (GenerateAVCachedInto, DeriveSE's single buffer, kdf outputs).
+// Each struct is zeroed before going back so a partial decode cannot
+// leak into the next request.
+var (
+	genAVReqPool      = sync.Pool{New: func() any { return new(UDMGenerateAVRequest) }}
+	resyncReqPool     = sync.Pool{New: func() any { return new(UDMResyncRequest) }}
+	deriveSEReqPool   = sync.Pool{New: func() any { return new(AUSFDeriveSERequest) }}
+	deriveKAMFReqPool = sync.Pool{New: func() any { return new(AMFDeriveKAMFRequest) }}
+)
+
+//shieldlint:hotpath
 func (m *Module) handleGenerateAV(_ context.Context, ex Exec, body []byte) ([]byte, error) {
-	var req UDMGenerateAVRequest
-	if err := sbi.UnmarshalBody(body, &req); err != nil {
+	req := genAVReqPool.Get().(*UDMGenerateAVRequest)
+	resp, perr := m.generateAV(ex, body, req)
+	*req = UDMGenerateAVRequest{}
+	genAVReqPool.Put(req)
+	if perr != nil {
+		return nil, perr
+	}
+	return sbi.MarshalBodyLike(body, resp)
+}
+
+func (m *Module) generateAV(ex Exec, body []byte, req *UDMGenerateAVRequest) (*UDMGenerateAVResponse, error) {
+	if err := sbi.DecodeBody(body, req); err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
 	}
 	k, ok := ex.LoadSecret(subscriberSecret(req.SUPI))
 	if !ok {
 		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, req.SUPI)
 	}
-	resp, err := GenerateAVCached(m.milCache, k, &req)
+	resp, err := GenerateAVCached(m.milCache, k, req)
 	if err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
 	}
-	return sbi.MarshalBody(resp)
+	return resp, nil
 }
 
+//shieldlint:hotpath
 func (m *Module) handleResync(_ context.Context, ex Exec, body []byte) ([]byte, error) {
-	var req UDMResyncRequest
-	if err := sbi.UnmarshalBody(body, &req); err != nil {
+	req := resyncReqPool.Get().(*UDMResyncRequest)
+	resp, perr := m.resync(ex, body, req)
+	*req = UDMResyncRequest{}
+	resyncReqPool.Put(req)
+	if perr != nil {
+		return nil, perr
+	}
+	return sbi.MarshalBodyLike(body, resp)
+}
+
+func (m *Module) resync(ex Exec, body []byte, req *UDMResyncRequest) (*UDMResyncResponse, error) {
+	if err := sbi.DecodeBody(body, req); err != nil {
 		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
 	}
 	k, ok := ex.LoadSecret(subscriberSecret(req.SUPI))
 	if !ok {
 		return nil, sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, req.SUPI)
 	}
-	resp, err := ResyncCached(m.milCache, k, &req)
+	resp, err := ResyncCached(m.milCache, k, req)
 	if err != nil {
 		return nil, sbi.Problem(403, "Forbidden", "SYNC_FAILURE", "%v", err)
 	}
-	return sbi.MarshalBody(resp)
+	return resp, nil
 }
 
+//shieldlint:hotpath
 func (m *Module) handleDeriveSE(_ context.Context, _ Exec, body []byte) ([]byte, error) {
-	var req AUSFDeriveSERequest
-	if err := sbi.UnmarshalBody(body, &req); err != nil {
-		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
+	req := deriveSEReqPool.Get().(*AUSFDeriveSERequest)
+	var resp *AUSFDeriveSEResponse
+	perr := sbi.DecodeBody(body, req)
+	if perr != nil {
+		perr = sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", perr)
+	} else if resp, perr = DeriveSE(req); perr != nil {
+		perr = sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", perr)
 	}
-	resp, err := DeriveSE(&req)
-	if err != nil {
-		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
+	*req = AUSFDeriveSERequest{}
+	deriveSEReqPool.Put(req)
+	if perr != nil {
+		return nil, perr
 	}
-	return sbi.MarshalBody(resp)
+	return sbi.MarshalBodyLike(body, resp)
 }
 
+//shieldlint:hotpath
 func (m *Module) handleDeriveKAMF(_ context.Context, _ Exec, body []byte) ([]byte, error) {
-	var req AMFDeriveKAMFRequest
-	if err := sbi.UnmarshalBody(body, &req); err != nil {
-		return nil, sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", err)
+	req := deriveKAMFReqPool.Get().(*AMFDeriveKAMFRequest)
+	var resp *AMFDeriveKAMFResponse
+	perr := sbi.DecodeBody(body, req)
+	if perr != nil {
+		perr = sbi.Problem(400, "Bad Request", "MANDATORY_IE_INCORRECT", "decode: %v", perr)
+	} else if resp, perr = DeriveKAMF(req); perr != nil {
+		perr = sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", perr)
 	}
-	resp, err := DeriveKAMF(&req)
-	if err != nil {
-		return nil, sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
+	*req = AMFDeriveKAMFRequest{}
+	deriveKAMFReqPool.Put(req)
+	if perr != nil {
+		return nil, perr
 	}
-	return sbi.MarshalBody(resp)
+	return sbi.MarshalBodyLike(body, resp)
 }
 
 func subscriberSecret(supi string) string { return "subscriber-k:" + supi }
@@ -365,11 +435,22 @@ func (m *Module) GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchReq
 		return nil, fmt.Errorf("paka: %s does not generate authentication vectors", m.kind)
 	}
 	k := len(req.Items)
-	resp := &UDMGenerateAVBatchResponse{Vectors: make([]UDMGenerateAVResponse, 0, k)}
+	resp := &UDMGenerateAVBatchResponse{}
 	if k == 0 {
 		return resp, nil
 	}
+	// The whole refill derives into one backing array and one vector
+	// slice: two allocations per batch instead of one 80-byte backing,
+	// one response struct and one secret-name string per vector.
+	//shieldlint:ignore hotalloc one field backing per refill, amortized over the batch
+	backing := make([]byte, k*AVBackingBytes)
+	//shieldlint:ignore hotalloc one vector slice per refill, amortized over the batch
+	resp.Vectors = make([]UDMGenerateAVResponse, k)
 	err := m.rt().DoBatch(ctx, k*m.profile.InBytes, k*m.profile.OutBytes, func(ex Exec) error {
+		// A refill is per-SUPI: reuse the key lookup (and its secret-name
+		// string) across consecutive items for the same subscriber.
+		var key []byte
+		lastSUPI := ""
 		for i := range req.Items {
 			item := &req.Items[i]
 			fn := m.env.JitterFor(ctx).LogNormal(m.profile.FnCycles, m.profile.FnSigma)
@@ -378,15 +459,19 @@ func (m *Module) GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchReq
 			}
 			ex.Compute(fn)
 			ex.Touch(m.profile.HeapBytes)
-			key, ok := ex.LoadSecret(subscriberSecret(item.SUPI))
-			if !ok {
-				return sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, item.SUPI)
+			if i == 0 || item.SUPI != lastSUPI {
+				var ok bool
+				key, ok = ex.LoadSecret(subscriberSecret(item.SUPI))
+				if !ok {
+					return sbi.Problem(404, "Not Found", "USER_NOT_FOUND", "%v: %s", ErrUnknownSubscriber, item.SUPI)
+				}
+				lastSUPI = item.SUPI
 			}
-			av, err := GenerateAVCached(m.milCache, key, item)
-			if err != nil {
+			av := &resp.Vectors[i]
+			AVInto(backing[i*AVBackingBytes:(i+1)*AVBackingBytes], av)
+			if err := GenerateAVCachedInto(m.milCache, key, item, av); err != nil {
 				return sbi.Problem(400, "Bad Request", "AV_GENERATION_PROBLEM", "%v", err)
 			}
-			resp.Vectors = append(resp.Vectors, *av)
 		}
 		return nil
 	})

@@ -1,0 +1,302 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// buildFrame assembles a finished frame around the given payload-writing
+// function.
+func buildFrame(t *testing.T, fill func(dst []byte) []byte) []byte {
+	t.Helper()
+	buf := AppendHeader(nil)
+	buf = fill(buf)
+	frame, err := FinishFrame(buf)
+	if err != nil {
+		t.Fatalf("FinishFrame: %v", err)
+	}
+	return frame
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frame := buildFrame(t, func(dst []byte) []byte {
+		dst = AppendString(dst, "imsi-00101-0000000001")
+		dst = AppendBytes(dst, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+		dst = AppendBytes(dst, nil)
+		dst = AppendBytes(dst, []byte{})
+		dst = AppendByte(dst, 0x2A)
+		dst = AppendCount(dst, 3)
+		for i := byte(0); i < 3; i++ {
+			dst = AppendByte(dst, i)
+		}
+		return dst
+	})
+	if !IsFrame(frame) {
+		t.Fatalf("IsFrame(frame) = false")
+	}
+	payload, err := Payload(frame)
+	if err != nil {
+		t.Fatalf("Payload: %v", err)
+	}
+	r := NewReader(payload)
+	if got := r.String(); got != "imsi-00101-0000000001" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{0xDE, 0xAD, 0xBE, 0xEF}) {
+		t.Errorf("Bytes = %x", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Errorf("nil Bytes decoded as %#v, want nil", got)
+	}
+	if got := r.Bytes(); got == nil || len(got) != 0 {
+		t.Errorf("empty Bytes decoded as %#v, want non-nil empty", got)
+	}
+	if got := r.Byte(); got != 0x2A {
+		t.Errorf("Byte = %#x", got)
+	}
+	n := r.Count()
+	if n != 3 {
+		t.Errorf("Count = %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if got := r.Byte(); got != byte(i) {
+			t.Errorf("element %d = %#x", i, got)
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+func TestIsFrameRejectsJSONAndShort(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, []byte(`{"supi":"x"}`), []byte(`[1]`), []byte(`"s"`), {Magic}, {Magic, 0, 0, 0}} {
+		if IsFrame(b) {
+			t.Errorf("IsFrame(%q) = true", b)
+		}
+	}
+}
+
+func TestPayloadErrors(t *testing.T) {
+	valid := buildFrame(t, func(dst []byte) []byte { return AppendString(dst, "x") })
+
+	t.Run("not-frame", func(t *testing.T) {
+		if _, err := Payload([]byte(`{"a":1}`)); !errors.Is(err, ErrNotFrame) {
+			t.Fatalf("err = %v, want ErrNotFrame", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Payload(valid[:len(valid)-1]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		if _, err := Payload(append(append([]byte{}, valid...), 0xFF)); !errors.Is(err, ErrTrailing) {
+			t.Fatalf("err = %v, want ErrTrailing", err)
+		}
+	})
+	t.Run("oversized-declared-length", func(t *testing.T) {
+		b := []byte{Magic, 0, 0, 0, 0}
+		binary.BigEndian.PutUint32(b[1:], MaxPayload+1)
+		if _, err := Payload(b); !errors.Is(err, ErrOversized) {
+			t.Fatalf("err = %v, want ErrOversized", err)
+		}
+	})
+}
+
+func TestFinishFrameOversized(t *testing.T) {
+	buf := AppendHeader(make([]byte, 0, headerLen+MaxPayload+1))
+	buf = append(buf, make([]byte, MaxPayload+1)...)
+	if _, err := FinishFrame(buf); !errors.Is(err, ErrOversized) {
+		t.Fatalf("err = %v, want ErrOversized", err)
+	}
+	if _, err := FinishFrame([]byte{'{', 0, 0, 0, 0}); !errors.Is(err, ErrNotFrame) {
+		t.Fatalf("err = %v, want ErrNotFrame", err)
+	}
+}
+
+func TestReaderStickyErrors(t *testing.T) {
+	// A string claiming more bytes than remain poisons the reader; every
+	// later accessor returns the zero value and Done reports the first
+	// error.
+	payload := binary.AppendUvarint(nil, 100)
+	payload = append(payload, "short"...)
+	r := NewReader(payload)
+	if got := r.String(); got != "" {
+		t.Errorf("String after truncation = %q", got)
+	}
+	if got := r.Byte(); got != 0 {
+		t.Errorf("Byte after error = %#x", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Errorf("Bytes after error = %#v", got)
+	}
+	if got := r.Count(); got != 0 {
+		t.Errorf("Count after error = %d", got)
+	}
+	if got := r.Uint(); got != 0 {
+		t.Errorf("Uint after error = %d", got)
+	}
+	if err := r.Done(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Done = %v, want ErrTruncated", err)
+	}
+
+	// Reset clears the sticky error.
+	r.Reset([]byte{0x07})
+	if got := r.Byte(); got != 0x07 {
+		t.Errorf("Byte after Reset = %#x", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done after Reset: %v", err)
+	}
+}
+
+func TestReaderDoneTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.Byte()
+	if err := r.Done(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Done = %v, want ErrTrailing", err)
+	}
+}
+
+func TestCountBoundsHostileValue(t *testing.T) {
+	// A count far beyond the remaining payload must fail instead of
+	// sizing a huge decode-side allocation.
+	payload := binary.AppendUvarint(nil, 1<<40)
+	r := NewReader(payload)
+	if got := r.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	if err := r.Err(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", err)
+	}
+	// Uint is a bare scalar and accepts the same value.
+	r.Reset(payload)
+	if got := r.Uint(); got != 1<<40 {
+		t.Fatalf("Uint = %d", got)
+	}
+}
+
+func TestCompactOwnership(t *testing.T) {
+	backing := []byte("aaaabbbbcc")
+	a := backing[0:4]
+	b := backing[4:8]
+	var nilField []byte
+	empty := backing[8:8]
+
+	Compact(&a, &b, &nilField, &empty)
+
+	if nilField != nil {
+		t.Errorf("nil field rewritten to %#v", nilField)
+	}
+	if empty == nil || len(empty) != 0 {
+		t.Errorf("empty field = %#v, want non-nil empty", empty)
+	}
+	// The compacted fields no longer alias the transport buffer:
+	// clobbering it must not change them.
+	for i := range backing {
+		backing[i] = 0xFF
+	}
+	if string(a) != "aaaa" || string(b) != "bbbb" {
+		t.Errorf("compacted fields alias the old backing: a=%q b=%q", a, b)
+	}
+	// Full-capacity slices: a write past one field cannot reach the next
+	// even though they share a backing array.
+	if cap(a) != len(a) || cap(b) != len(b) {
+		t.Errorf("compacted fields are not capacity-clamped: cap(a)=%d cap(b)=%d", cap(a), cap(b))
+	}
+}
+
+func TestCompactAllEmpty(t *testing.T) {
+	var nilField []byte
+	empty := []byte{}
+	Compact(&nilField, &empty)
+	if nilField != nil {
+		t.Errorf("nil field = %#v", nilField)
+	}
+	if empty == nil || len(empty) != 0 {
+		t.Errorf("empty field = %#v", empty)
+	}
+}
+
+func TestInternStringStable(t *testing.T) {
+	encode := func(s string) []byte { return AppendString(nil, s) }
+	payload := encode("5G:mnc001.mcc001.3gppnetwork.org")
+	r := NewReader(payload)
+	first := r.InternString()
+	if first != "5G:mnc001.mcc001.3gppnetwork.org" {
+		t.Fatalf("InternString = %q", first)
+	}
+	// Decoding the same constant again must not allocate: the bounded
+	// intern table serves the canonical copy.
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(payload)
+		if got := r.InternString(); got != first {
+			t.Fatalf("InternString = %q", got)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("interned decode allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// FuzzFramePayload throws arbitrary bytes at the frame parser and reader:
+// whatever the input, parsing must never panic, and a frame accepted by
+// Payload must satisfy the header/length invariants.
+func FuzzFramePayload(f *testing.F) {
+	valid := AppendHeader(nil)
+	valid = AppendString(valid, "imsi-00101-0000000001")
+	valid = AppendBytes(valid, []byte{1, 2, 3, 4})
+	valid = AppendBytes(valid, nil)
+	valid = AppendByte(valid, 7)
+	valid = AppendCount(valid, 2)
+	valid, _ = FinishFrame(valid)
+	f.Add(valid)
+
+	empty, _ := FinishFrame(AppendHeader(nil))
+	f.Add(empty)
+	f.Add([]byte(`{"supi":"imsi-00101-0000000001"}`))
+	f.Add([]byte{Magic})
+	f.Add([]byte{Magic, 0xFF, 0xFF, 0xFF, 0xFF})
+	truncated := append([]byte{}, valid...)
+	f.Add(truncated[:len(truncated)-3])
+	f.Add(append(append([]byte{}, valid...), 0xAA))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Payload(data)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("Payload returned bytes alongside error %v", err)
+			}
+			return
+		}
+		if !IsFrame(data) {
+			t.Fatalf("Payload accepted a non-frame")
+		}
+		if len(payload) > MaxPayload {
+			t.Fatalf("payload length %d exceeds MaxPayload", len(payload))
+		}
+		// Walk the payload with a mix of accessors; sticky errors must
+		// absorb any malformed field without panicking.
+		r := NewReader(payload)
+		for i := 0; r.Err() == nil && i < 1024; i++ {
+			switch i % 5 {
+			case 0:
+				_ = r.Bytes()
+			case 1:
+				_ = r.String()
+			case 2:
+				_ = r.Byte()
+			case 3:
+				_ = r.Count()
+			case 4:
+				_ = r.InternString()
+			}
+			if r.Err() == nil && len(payload) == 0 {
+				break
+			}
+		}
+		_ = r.Done()
+	})
+}

@@ -1,0 +1,259 @@
+package codec_test
+
+// Golden round-trip tests: for every SBI message type carrying a binary
+// codec, a struct decoded from its binary frame must be bit-identical
+// (reflect.DeepEqual, including the nil/empty distinction) to the same
+// value pushed through the JSON path. This is the contract that lets the
+// transport negotiate formats per path without the two fleets observing
+// different message contents.
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"shield5g/internal/crypto/suci"
+	"shield5g/internal/nf/ausf"
+	"shield5g/internal/nf/udm"
+	"shield5g/internal/nf/udr"
+	"shield5g/internal/paka"
+	"shield5g/internal/sbi/codec"
+)
+
+// message is any SBI type with both halves of the binary codec.
+type message interface {
+	codec.Marshaler
+	codec.Unmarshaler
+}
+
+// golden frames in, decodes the frame into a fresh struct, runs the same
+// value through JSON marshal/unmarshal, and demands identical results.
+func golden(t *testing.T, name string, in message) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		typ := reflect.TypeOf(in).Elem()
+
+		frame := codec.AppendHeader(nil)
+		frame = in.AppendBinary(frame)
+		frame, err := codec.FinishFrame(frame)
+		if err != nil {
+			t.Fatalf("FinishFrame: %v", err)
+		}
+		payload, err := codec.Payload(frame)
+		if err != nil {
+			t.Fatalf("Payload: %v", err)
+		}
+		binOut := reflect.New(typ).Interface().(message)
+		r := codec.NewReader(payload)
+		if err := binOut.DecodeBinary(r); err != nil {
+			t.Fatalf("DecodeBinary: %v", err)
+		}
+		if err := r.Done(); err != nil {
+			t.Fatalf("Done: %v (codec did not consume its own encoding exactly)", err)
+		}
+
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		jsonOut := reflect.New(typ).Interface()
+		if err := json.Unmarshal(data, jsonOut); err != nil {
+			t.Fatalf("json.Unmarshal: %v", err)
+		}
+
+		if !reflect.DeepEqual(binOut, jsonOut) {
+			t.Errorf("binary and JSON decodes diverge:\n binary: %#v\n json:   %#v", binOut, jsonOut)
+		}
+	})
+}
+
+func sampleSUCI() *suci.SUCI {
+	return &suci.SUCI{
+		MCC:              "001",
+		MNC:              "01",
+		RoutingIndicator: "0000",
+		Scheme:           suci.SchemeProfileA,
+		HomeKeyID:        1,
+		SchemeOutput:     []byte{0x10, 0x11, 0x12, 0x13, 0x14},
+	}
+}
+
+func sampleAVRequest(supi string) paka.UDMGenerateAVRequest {
+	return paka.UDMGenerateAVRequest{
+		SUPI:  supi,
+		OPc:   bytesOf(16, 0xA0),
+		RAND:  bytesOf(16, 0xB0),
+		SQN:   bytesOf(6, 0xC0),
+		AMFID: []byte{0x80, 0x00},
+		SNN:   "5G:mnc001.mcc001.3gppnetwork.org",
+	}
+}
+
+func sampleAVResponse(seed byte) paka.UDMGenerateAVResponse {
+	return paka.UDMGenerateAVResponse{
+		RAND:     bytesOf(16, seed),
+		AUTN:     bytesOf(16, seed+1),
+		XRESStar: bytesOf(16, seed+2),
+		KAUSF:    bytesOf(32, seed+3),
+	}
+}
+
+func bytesOf(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestGoldenPAKAMessages(t *testing.T) {
+	avReq := sampleAVRequest("imsi-001010000000001")
+	golden(t, "UDMGenerateAVRequest", &avReq)
+	golden(t, "UDMGenerateAVRequest/nil-fields", &paka.UDMGenerateAVRequest{SUPI: "imsi-001010000000002"})
+
+	avResp := sampleAVResponse(0x20)
+	golden(t, "UDMGenerateAVResponse", &avResp)
+	golden(t, "UDMGenerateAVResponse/zero", &paka.UDMGenerateAVResponse{})
+
+	// The acceptance-criteria case: a batch of one must behave exactly
+	// like the JSON path, so pool refills with batch size 1 are
+	// indistinguishable across codecs.
+	golden(t, "UDMGenerateAVBatchRequest/batch-of-1", &paka.UDMGenerateAVBatchRequest{
+		Items: []paka.UDMGenerateAVRequest{sampleAVRequest("imsi-001010000000003")},
+	})
+	golden(t, "UDMGenerateAVBatchRequest/batch-of-3", &paka.UDMGenerateAVBatchRequest{
+		Items: []paka.UDMGenerateAVRequest{
+			sampleAVRequest("imsi-001010000000004"),
+			sampleAVRequest("imsi-001010000000005"),
+			sampleAVRequest("imsi-001010000000006"),
+		},
+	})
+	golden(t, "UDMGenerateAVBatchRequest/nil-items", &paka.UDMGenerateAVBatchRequest{})
+
+	golden(t, "UDMGenerateAVBatchResponse/batch-of-1", &paka.UDMGenerateAVBatchResponse{
+		Vectors: []paka.UDMGenerateAVResponse{sampleAVResponse(0x30)},
+	})
+	golden(t, "UDMGenerateAVBatchResponse/batch-of-3", &paka.UDMGenerateAVBatchResponse{
+		Vectors: []paka.UDMGenerateAVResponse{sampleAVResponse(0x40), sampleAVResponse(0x50), sampleAVResponse(0x60)},
+	})
+	golden(t, "UDMGenerateAVBatchResponse/nil-vectors", &paka.UDMGenerateAVBatchResponse{})
+
+	golden(t, "UDMResyncRequest", &paka.UDMResyncRequest{
+		SUPI: "imsi-001010000000007",
+		OPc:  bytesOf(16, 0x70),
+		RAND: bytesOf(16, 0x71),
+		AUTS: bytesOf(14, 0x72),
+	})
+	golden(t, "UDMResyncResponse", &paka.UDMResyncResponse{SQNMS: bytesOf(6, 0x73)})
+
+	golden(t, "AUSFDeriveSERequest", &paka.AUSFDeriveSERequest{
+		RAND:     bytesOf(16, 0x74),
+		XRESStar: bytesOf(16, 0x75),
+		KAUSF:    bytesOf(32, 0x76),
+		SNN:      "5G:mnc001.mcc001.3gppnetwork.org",
+	})
+	golden(t, "AUSFDeriveSEResponse", &paka.AUSFDeriveSEResponse{
+		HXRESStar: bytesOf(16, 0x77),
+		KSEAF:     bytesOf(32, 0x78),
+	})
+
+	golden(t, "AMFDeriveKAMFRequest", &paka.AMFDeriveKAMFRequest{
+		KSEAF: bytesOf(32, 0x79),
+		SUPI:  "imsi-001010000000008",
+		ABBA:  []byte{0x00, 0x00},
+	})
+	golden(t, "AMFDeriveKAMFResponse", &paka.AMFDeriveKAMFResponse{KAMF: bytesOf(32, 0x7A)})
+}
+
+func TestGoldenUDMMessages(t *testing.T) {
+	golden(t, "GenerateAuthDataRequest/suci", &udm.GenerateAuthDataRequest{
+		SUCI:               sampleSUCI(),
+		ServingNetworkName: "5G:mnc001.mcc001.3gppnetwork.org",
+	})
+	golden(t, "GenerateAuthDataRequest/supi-reauth", &udm.GenerateAuthDataRequest{
+		SUPI:               "imsi-001010000000009",
+		ServingNetworkName: "5G:mnc001.mcc001.3gppnetwork.org",
+	})
+	golden(t, "GenerateAuthDataResponse", &udm.GenerateAuthDataResponse{
+		SUPI:     "imsi-001010000000010",
+		RAND:     bytesOf(16, 0x01),
+		AUTN:     bytesOf(16, 0x02),
+		XRESStar: bytesOf(16, 0x03),
+		KAUSF:    bytesOf(32, 0x04),
+	})
+	golden(t, "ResyncRequest", &udm.ResyncRequest{
+		SUPI: "imsi-001010000000011",
+		RAND: bytesOf(16, 0x05),
+		AUTS: bytesOf(14, 0x06),
+	})
+	golden(t, "Empty", &udm.Empty{})
+}
+
+func TestGoldenAUSFMessages(t *testing.T) {
+	golden(t, "AuthenticateRequest/suci", &ausf.AuthenticateRequest{
+		SUCI:               sampleSUCI(),
+		ServingNetworkName: "5G:mnc001.mcc001.3gppnetwork.org",
+	})
+	golden(t, "AuthenticateRequest/supi-reauth", &ausf.AuthenticateRequest{
+		SUPI:               "imsi-001010000000012",
+		ServingNetworkName: "5G:mnc001.mcc001.3gppnetwork.org",
+	})
+	golden(t, "AuthenticateResponse", &ausf.AuthenticateResponse{
+		AuthCtxID: "authctx-42",
+		RAND:      bytesOf(16, 0x07),
+		AUTN:      bytesOf(16, 0x08),
+		HXRESStar: bytesOf(16, 0x09),
+	})
+	golden(t, "ConfirmRequest", &ausf.ConfirmRequest{
+		AuthCtxID: "authctx-42",
+		ResStar:   bytesOf(16, 0x0A),
+	})
+	golden(t, "ConfirmResponse", &ausf.ConfirmResponse{
+		SUPI:  "imsi-001010000000013",
+		KSEAF: bytesOf(32, 0x0B),
+	})
+	golden(t, "ResyncRequest", &ausf.ResyncRequest{
+		AuthCtxID: "authctx-43",
+		AUTS:      bytesOf(14, 0x0C),
+	})
+}
+
+func TestGoldenUDRMessages(t *testing.T) {
+	sub := udr.Subscriber{
+		SUPI:     "imsi-001010000000014",
+		K:        bytesOf(16, 0x0D),
+		OPc:      bytesOf(16, 0x0E),
+		SQN:      bytesOf(6, 0x0F),
+		AMFField: []byte{0x80, 0x00},
+	}
+	golden(t, "Subscriber", &sub)
+	golden(t, "ProvisionRequest", &udr.ProvisionRequest{Subscriber: sub})
+	golden(t, "Empty", &udr.Empty{})
+	golden(t, "NextAuthRequest", &udr.NextAuthRequest{SUPI: sub.SUPI})
+	golden(t, "NextAuthResponse", &udr.NextAuthResponse{
+		OPc:      bytesOf(16, 0x10),
+		SQN:      bytesOf(6, 0x11),
+		AMFField: []byte{0x80, 0x00},
+	})
+	golden(t, "NextAuthBatchRequest", &udr.NextAuthBatchRequest{SUPI: sub.SUPI, Count: 8})
+	golden(t, "NextAuthBatchResponse", &udr.NextAuthBatchResponse{
+		OPc:      bytesOf(16, 0x12),
+		AMFField: []byte{0x80, 0x00},
+		SQNs:     bytesOf(48, 0x13),
+	})
+	golden(t, "ResyncRequest", &udr.ResyncRequest{SUPI: sub.SUPI, SQNMS: bytesOf(6, 0x14)})
+	golden(t, "GetRequest", &udr.GetRequest{SUPI: sub.SUPI})
+	golden(t, "GetResponse", &udr.GetResponse{Subscriber: sub})
+}
+
+func TestGoldenSUCI(t *testing.T) {
+	golden(t, "SUCI/profile-a", sampleSUCI())
+	golden(t, "SUCI/null-scheme", &suci.SUCI{
+		MCC:              "001",
+		MNC:              "01",
+		RoutingIndicator: "0000",
+		Scheme:           suci.SchemeNull,
+		HomeKeyID:        0,
+		SchemeOutput:     []byte("0000000001"),
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"shield5g/internal/costmodel"
+	"shield5g/internal/sbi/codec"
 )
 
 // ProblemDetails is the 3GPP TS 29.500 error body carried on SBI failures.
@@ -55,6 +56,9 @@ const (
 	CauseCongestion  = "NF_CONGESTION"
 	CauseUnreachable = "TARGET_NF_NOT_REACHABLE"
 	CauseSystem      = "SYSTEM_FAILURE"
+	// CauseUnsupportedMedia is returned when a binary SBI frame reaches a
+	// path that only speaks JSON (stale codec negotiation, see binary.go).
+	CauseUnsupportedMedia = "UNSUPPORTED_MEDIA_TYPE"
 )
 
 // AsProblem extracts the ProblemDetails from an error chain.
@@ -91,20 +95,30 @@ type Server struct {
 
 	mu       sync.RWMutex
 	handlers map[string]HandlerFunc
+	// binPaths marks endpoints registered via HandleDual as accepting the
+	// negotiated binary frame format alongside JSON (see binary.go).
+	binPaths map[string]bool
 }
 
 // NewServer creates a named SBI server charging costs through env.
 func NewServer(name string, env *costmodel.Env) *Server {
-	return &Server{name: name, env: env, handlers: make(map[string]HandlerFunc)}
+	return &Server{
+		name:     name,
+		env:      env,
+		handlers: make(map[string]HandlerFunc),
+		binPaths: make(map[string]bool),
+	}
 }
 
 // Name returns the service name used for discovery and routing.
 func (s *Server) Name() string { return s.name }
 
-// Handle registers an endpoint handler for path.
+// Handle registers an endpoint handler for path. The path speaks JSON
+// only; use HandleDual for handlers that also accept binary frames.
 func (s *Server) Handle(path string, h HandlerFunc) {
 	s.mu.Lock()
 	s.handlers[path] = h
+	delete(s.binPaths, path)
 	s.mu.Unlock()
 }
 
@@ -135,6 +149,13 @@ func (s *Server) serve(ctx context.Context, path string, body []byte) ([]byte, e
 	h, ok := s.lookup(path)
 	if !ok {
 		return nil, Problem(404, "Not Found", "RESOURCE_NOT_FOUND", "%s has no endpoint %s", s.name, path)
+	}
+	if codec.IsFrame(body) && !s.binaryPath(path) {
+		// A frame reached a JSON-only path: the client's negotiation is
+		// stale (e.g. this server restarted without its binary endpoints).
+		// 415 tells it to downgrade the path to JSON and retry.
+		return nil, Problem(415, "Unsupported Media Type", CauseUnsupportedMedia,
+			"%s%s does not accept binary SBI frames", s.name, path)
 	}
 	resp, err := h(ctx, body)
 	if s.env != nil && err == nil {
@@ -207,15 +228,29 @@ type Client struct {
 
 	mu        sync.Mutex
 	connected map[string]bool
+	// binary opts this client into frame negotiation (EnableBinary);
+	// negotiated holds, per peer, the binary-capable path snapshot taken
+	// at first contact — the modelled keep-alive session open.
+	binary     bool
+	negotiated map[string]map[string]bool
 }
 
 // NewClient creates a client identified as from.
 func NewClient(from string, env *costmodel.Env, registry *Registry) *Client {
-	return &Client{from: from, env: env, registry: registry, connected: make(map[string]bool)}
+	return &Client{
+		from:       from,
+		env:        env,
+		registry:   registry,
+		connected:  make(map[string]bool),
+		negotiated: make(map[string]map[string]bool),
+	}
 }
 
 // Post marshals req, invokes service's path endpoint, and unmarshals the
-// response into resp (which may be nil to discard).
+// response into resp (which may be nil to discard). With the binary codec
+// enabled (EnableBinary), paths the peer advertised at first contact are
+// exchanged as binary frames; everything else — including the first
+// request itself, which opens the session — stays on JSON.
 func (c *Client) Post(ctx context.Context, service, path string, req, resp any) error {
 	// A cancelled or expired context is a client-side timeout, not a
 	// server failure: surface it as 504/TIMEOUT so callers and the retry
@@ -224,34 +259,64 @@ func (c *Client) Post(ctx context.Context, service, path string, req, resp any) 
 		return Problem(504, "Gateway Timeout", CauseTimeout, "%s -> %s%s: %v", c.from, service, path, cerr)
 	}
 
-	body, err := MarshalBody(req)
-	if err != nil {
-		return fmt.Errorf("sbi: marshal request to %s%s: %w", service, path, err)
-	}
-
 	srv, ok := c.registry.Lookup(service)
 	if !ok {
-		ReleaseBody(body)
 		return Problem(503, "Service Unavailable", "TARGET_NF_NOT_REACHABLE", "%s cannot reach %s", c.from, service)
 	}
 
 	m := c.env.Model
-	// First contact pays the mutual TLS handshake on both sides.
+	// First contact pays the mutual TLS handshake on both sides and, with
+	// the binary codec enabled, snapshots the peer's binary-capable paths
+	// — the codec negotiation rides the session open, so the opening
+	// request itself still travels as JSON.
 	c.mu.Lock()
 	fresh := !c.connected[service]
 	c.connected[service] = true
+	var caps map[string]bool
+	if c.binary {
+		if fresh {
+			c.negotiated[service] = srv.binaryPaths()
+		} else {
+			caps = c.negotiated[service]
+		}
+	}
 	c.mu.Unlock()
 	if fresh {
 		c.env.Charge(ctx, m.TLSHandshakeClient+m.TLSHandshakeServer)
 	}
 
-	// Client-side request processing and the bridge round trip.
-	c.env.Charge(ctx, m.HTTPCost(len(body))+m.TLSRecordCost(len(body)))
-	c.env.Charge(ctx, c.env.JitterFor(ctx).Scale(m.LoopbackRTT, 0.15))
+	binReq := false
+	var body []byte
+	var err error
+	if caps[path] {
+		if bm, ok := req.(codec.Marshaler); ok && binaryDecodable(resp) {
+			body, err = MarshalBinary(bm)
+			binReq = err == nil
+		}
+	}
+	if !binReq {
+		body, err = MarshalBody(req)
+		if err != nil {
+			return fmt.Errorf("sbi: marshal request to %s%s: %w", service, path, err)
+		}
+	}
 
-	out, err := srv.serve(ctx, path, body)
-	// The handler has returned: the request body is spent either way.
-	ReleaseBody(body)
+	out, err := c.exchange(ctx, srv, path, body)
+	if err != nil && binReq && HasCause(err, CauseUnsupportedMedia) {
+		// Stale negotiation: the peer no longer accepts frames on this
+		// path (e.g. it restarted binary-incapable mid-fleet). Downgrade
+		// the path to JSON and retry this request once.
+		c.mu.Lock()
+		if caps := c.negotiated[service]; caps != nil {
+			delete(caps, path)
+		}
+		c.mu.Unlock()
+		body, err = MarshalBody(req)
+		if err != nil {
+			return fmt.Errorf("sbi: marshal request to %s%s: %w", service, path, err)
+		}
+		out, err = c.exchange(ctx, srv, path, body)
+	}
 	if err != nil {
 		var pd *ProblemDetails
 		if errors.As(err, &pd) {
@@ -267,12 +332,24 @@ func (c *Client) Post(ctx context.Context, service, path string, req, resp any) 
 		ReleaseBody(out)
 		return nil
 	}
-	uerr := UnmarshalBody(out, resp)
+	uerr := decodeResponse(out, resp)
 	ReleaseBody(out)
 	if uerr != nil {
 		return fmt.Errorf("sbi: unmarshal response from %s%s: %w", service, path, uerr)
 	}
 	return nil
+}
+
+// exchange sends one already-encoded body: client-side request processing,
+// the bridge round trip, server dispatch, and the request body release.
+func (c *Client) exchange(ctx context.Context, srv *Server, path string, body []byte) ([]byte, error) {
+	m := c.env.Model
+	c.env.Charge(ctx, m.HTTPCost(len(body))+m.TLSRecordCost(len(body)))
+	c.env.Charge(ctx, c.env.JitterFor(ctx).Scale(m.LoopbackRTT, 0.15))
+	out, err := srv.serve(ctx, path, body)
+	// The handler has returned: the request body is spent either way.
+	ReleaseBody(body)
+	return out, err
 }
 
 // JSONHandler adapts a typed request/response function into a HandlerFunc.

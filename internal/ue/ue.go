@@ -100,11 +100,12 @@ type UE struct {
 
 	sqnMS [6]byte
 
-	// Per-registration state.
+	// Per-registration state. The key material lives in in-struct arrays
+	// so a registration retains it without per-run heap allocations.
 	snn      string
-	rand     []byte
-	resStar  []byte
-	kamf     []byte
+	rand     [16]byte
+	resStar  [kdf.KeyLen128]byte
+	kamf     [kdf.KeyLen256]byte
 	sec      *nas.SecurityContext
 	guti     *nas.GUTI
 	lastAddr string
@@ -242,15 +243,23 @@ func (u *UE) BuildReRegistrationRequest(ctx context.Context, snn string) ([]byte
 // PDU. It returns the uplink response (nil when none) and done=true once
 // registration has completed.
 func (u *UE) HandleDownlinkNAS(ctx context.Context, pdu []byte) (uplink []byte, done bool, err error) {
-	// Try plain decode first; post-AKA messages are security protected.
-	msg, derr := nas.Decode(pdu)
-	if derr != nil {
+	// Post-AKA messages are security protected; branch on the header
+	// instead of decoding speculatively so the protected path does not
+	// pay Decode's error construction.
+	var msg nas.Message
+	var derr error
+	if nas.IsProtected(pdu) {
 		if u.sec == nil {
-			return nil, false, fmt.Errorf("ue: undecodable downlink NAS: %w", derr)
+			return nil, false, fmt.Errorf("ue: protected downlink NAS before security activation")
 		}
 		msg, derr = u.sec.Unprotect(pdu, false)
 		if derr != nil {
 			return nil, false, fmt.Errorf("ue: unprotect downlink NAS: %w", derr)
+		}
+	} else {
+		msg, derr = nas.Decode(pdu)
+		if derr != nil {
+			return nil, false, fmt.Errorf("ue: undecodable downlink NAS: %w", derr)
 		}
 	}
 
@@ -339,8 +348,7 @@ func (u *UE) handleAuthRequest(ctx context.Context, m *nas.AuthenticationRequest
 	// Derive the full hierarchy on the UE side. K_AUSF and K_SEAF are
 	// transient links in the chain here — they live on the stack; only
 	// RES* and K_AMF are retained.
-	resStar, err := kdf.ResStar(ck, ik, u.snn, m.RAND[:], res)
-	if err != nil {
+	if err := kdf.ResStarInto(u.resStar[:], ck, ik, u.snn, m.RAND[:], res); err != nil {
 		return nil, false, fmt.Errorf("ue: RES*: %w", err)
 	}
 	var kausf, kseaf [kdf.KeyLen256]byte
@@ -350,21 +358,18 @@ func (u *UE) handleAuthRequest(ctx context.Context, m *nas.AuthenticationRequest
 	if err := kdf.KSEAFInto(kseaf[:], kausf[:], u.snn); err != nil {
 		return nil, false, fmt.Errorf("ue: K_SEAF: %w", err)
 	}
-	kamf, err := kdf.KAMF(kseaf[:], u.supiStr, m.ABBA)
-	if err != nil {
+	if err := kdf.KAMFInto(u.kamf[:], kseaf[:], u.supiStr, m.ABBA); err != nil {
 		return nil, false, fmt.Errorf("ue: K_AMF: %w", err)
 	}
-	sec, err := nas.NewSecurityContext(kamf)
+	sec, err := nas.NewSecurityContext(u.kamf[:])
 	if err != nil {
 		return nil, false, fmt.Errorf("ue: NAS security: %w", err)
 	}
-	u.rand = m.RAND[:]
-	u.resStar = resStar
-	u.kamf = kamf
+	u.rand = m.RAND
 	u.sec = sec
 
 	resp := &nas.AuthenticationResponse{}
-	copy(resp.ResStar[:], resStar)
+	resp.ResStar = u.resStar
 	up, err := nas.Encode(resp)
 	return up, false, err
 }
