@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-compare ci experiments examples clean
+.PHONY: all build test race lint vet bench bench-compare storm-bench ci experiments examples clean
 
 all: build test
 
@@ -29,10 +29,11 @@ race:
 
 # Static checks plus a focused race pass over the fault-injection,
 # mass-registration, and enclave-runtime paths (parallel drivers,
-# injector, resilience layer, keep-alive sessions, TCS pool).
+# injector, resilience layer, overload limiter + admission buckets,
+# keep-alive sessions, TCS pool).
 vet:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/ ./internal/paka/
+	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/ ./internal/paka/ ./internal/admission/
 
 bench:
 	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json \
@@ -54,19 +55,29 @@ bench-compare:
 	    $(CURDIR)/BENCH_hotpath_allocs.candidate.json
 	rm -f $(CURDIR)/BENCH_hotpath_allocs.candidate.json
 
+# Regenerate the committed storm-survival artifact: the signaling-storm
+# sweep's per-class goodput/p99 comparison with the limiter on vs off at
+# 10x overload (acceptance: >=2x emergency goodput, <5% overhead at 1x).
+storm-bench:
+	BENCH_STORM_JSON=$(CURDIR)/BENCH_storm_goodput.json \
+	$(GO) run ./cmd/experiments -seed 7 -iterations 240 storm
+
 # What CI runs: lint first (cheapest signal, fails fastest), then build,
 # the race-enabled test suite, static checks, a single-iteration smoke of
 # the boundary-amortization benchmark (its >=40% transition-reduction
 # assertion runs on deterministic virtual counts, so one iteration is a
-# stable gate), a short fuzz pass over the binary SBI frame parser, and
-# the batched allocation-regression gate — blocking, so a repeat of the
-# PR-5-era batched inversion fails the pipeline instead of landing
-# silently.
+# stable gate), a short-horizon signaling-storm smoke through the gnbsim
+# CLI (open-loop replay, limiter armed — exercises the overload stack end
+# to end in under a second), a short fuzz pass over the binary SBI frame
+# parser, and the batched allocation-regression gate — blocking, so a
+# repeat of the PR-5-era batched inversion fails the pipeline instead of
+# landing silently.
 ci: build
 	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) vet
 	$(GO) test -run '^$$' -bench RegisterManyBatched -benchtime=1x .
+	$(GO) run ./cmd/gnbsim -n 40 -storm 10 -limiter -seed 7
 	$(GO) test -run '^$$' -fuzz '^FuzzFramePayload$$' -fuzztime 5s ./internal/sbi/codec
 	$(MAKE) bench-compare
 

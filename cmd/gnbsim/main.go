@@ -6,6 +6,7 @@
 //
 //	gnbsim [-n 100] [-parallel 1] [-isolation sgx|container|monolithic] [-seed N]
 //	       [-chaos RATE] [-retries N] [-batch N] [-avpool N]
+//	       [-storm FACTOR] [-limiter]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -chaos enables the deterministic fault injector at the given total
@@ -18,6 +19,13 @@
 // -cpuprofile and -memprofile write pprof profiles of the run for
 // `go tool pprof`; the memory profile is an allocs profile taken after a
 // final GC, covering every allocation of the run.
+//
+// -storm switches from the closed-loop mass driver to the open-loop
+// signaling-storm replay: -n arrivals are offered at FACTOR times the
+// core's modelled service rate (mix 5% emergency / 60% re-attach / 35%
+// fresh attach), and -limiter arms the TS 29.500-style overload-control
+// machinery (bounded-queue shedding, priority admission at the AMF,
+// client-side throttling) for the comparison's "on" arm.
 package main
 
 import (
@@ -47,6 +55,8 @@ func run() int {
 	retries := flag.Int("retries", 0, "max registration attempts per UE (0 = 1, or 5 when -chaos is set)")
 	batch := flag.Int("batch", 0, "keep-alive session depth: module requests per connection (0 = one connection per request)")
 	avpool := flag.Int("avpool", 0, "UDM AV precomputation pool depth per SUPI (0 disables)")
+	stormFactor := flag.Float64("storm", 0, "signaling-storm overload factor: offer arrivals at this multiple of the core's service rate (0 disables)")
+	limiter := flag.Bool("limiter", false, "arm the overload-control limiter (bounded-queue shedding, priority admission, client throttling) during a -storm run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocs profile of the run to this file")
 	flag.Parse()
@@ -102,12 +112,31 @@ func run() int {
 		return 2
 	}
 
+	if *stormFactor < 0 {
+		fmt.Fprintf(os.Stderr, "gnbsim: -storm factor must be >= 0\n")
+		return 2
+	}
+	if *limiter && *stormFactor == 0 {
+		fmt.Fprintf(os.Stderr, "gnbsim: -limiter needs a -storm run\n")
+		return 2
+	}
+
 	sliceCfg := shield5g.SliceConfig{Isolation: iso, Seed: *seed, AVPoolDepth: *avpool}
 	if *chaosRate > 0 {
 		// The decision seed is derived from -seed so one flag reproduces
 		// both the cost draws and the fault schedule.
 		mix := shield5g.DefaultChaosMix(*seed+101, *chaosRate)
 		sliceCfg.Chaos = &mix
+	}
+	if *stormFactor > 0 {
+		// The zero profile is the "limiter off" baseline: servers sense
+		// load and queue but never reject.
+		profile := &shield5g.OverloadProfile{}
+		if *limiter {
+			acfg := shield5g.DefaultAdmissionConfig()
+			profile = &shield5g.OverloadProfile{Shed: true, Admission: &acfg, Throttle: true}
+		}
+		sliceCfg.Overload = profile
 	}
 
 	ctx := context.Background()
@@ -126,6 +155,10 @@ func run() int {
 			m := tb.Slice.Modules[kind]
 			fmt.Printf("  %s enclave load: %v (virtual)\n", kind, m.LoadDuration().Round(time.Millisecond))
 		}
+	}
+
+	if *stormFactor > 0 {
+		return runStorm(ctx, tb, *n, *stormFactor, *limiter, *seed)
 	}
 
 	result, err := tb.Slice.GNB.RegisterManyWith(ctx, shield5g.MassOptions{
@@ -200,6 +233,98 @@ func run() int {
 		}
 		return 1
 	}
+	return 0
+}
+
+// stormBottleneckCycles mirrors the UDM's modelled per-request service
+// cost — the drain rate of the chain's slowest virtual queue. The -storm
+// factor is expressed against it: arrival spacing = bottleneck / factor.
+const stormBottleneckCycles = 3_600_000
+
+// runStorm replays a seeded signaling storm (open-loop arrivals) against
+// the deployed slice: the re-attach population registers once before the
+// storm so it holds GUTIs, emergency devices are flagged, and the
+// overload machinery is armed only for the replay itself.
+func runStorm(ctx context.Context, tb *shield5g.Testbed, n int, factor float64, limiter bool, seed uint64) int {
+	// The plan seed is derived from -seed so one flag reproduces both the
+	// cost draws and the arrival schedule.
+	plan, err := shield5g.NewStormPlan(seed+43, shield5g.StormSpec{
+		N:             n,
+		EmergencyFrac: 0.05,
+		ReattachFrac:  0.60,
+		Spacing:       shield5g.Cycles(float64(stormBottleneckCycles) / factor),
+		JitterFrac:    0.2,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnbsim: storm plan: %v\n", err)
+		return 1
+	}
+
+	devices := make(map[shield5g.Priority][]*shield5g.UE)
+	for _, ev := range plan.Events {
+		k := make([]byte, 16)
+		if _, err := rand.Read(k); err != nil {
+			fmt.Fprintf(os.Stderr, "gnbsim: entropy: %v\n", err)
+			return 1
+		}
+		sub, err := tb.AddSubscriber(ctx, k, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gnbsim: provision: %v\n", err)
+			return 1
+		}
+		device := sub.UE
+		switch ev.Class {
+		case shield5g.PriorityEmergency:
+			device.SetEmergency(true)
+		case shield5g.PriorityReattach:
+			if _, err := tb.Slice.GNB.RegisterUE(ctx, device); err != nil {
+				fmt.Fprintf(os.Stderr, "gnbsim: pre-register re-attach device: %v\n", err)
+				return 1
+			}
+		}
+		devices[ev.Class] = append(devices[ev.Class], device)
+	}
+
+	next := make(map[shield5g.Priority]int)
+	tb.Slice.SetOverloadArmed(true)
+	res, err := tb.Slice.GNB.RunStorm(ctx, shield5g.StormOptions{
+		Plan: plan,
+		Device: func(ev shield5g.StormEvent) (*shield5g.UE, error) {
+			i := next[ev.Class]
+			next[ev.Class]++
+			return devices[ev.Class][i], nil
+		},
+		Source: "gnb-1",
+	})
+	tb.Slice.SetOverloadArmed(false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnbsim: storm: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("storm: %d arrivals at %.0fx overload, limiter %v (window %v, makespan %v virtual)\n",
+		n, factor, limiter, res.Window.Round(100*time.Microsecond), res.Makespan.Round(100*time.Microsecond))
+	fmt.Printf("%-10s %6s %6s %6s %6s %10s %10s %10s\n",
+		"class", "offer", "ok", "shed", "fail", "goodput/s", "p99", "makespan")
+	for c := len(res.Class) - 1; c >= 0; c-- {
+		cr := res.Class[c]
+		sum := cr.SetupTimes.Summarize()
+		fmt.Printf("%-10s %6d %6d %6d %6d %10.1f %10s %10s\n",
+			shield5g.Priority(c).String(), cr.Offered, cr.Registered, cr.Shed, cr.Failed,
+			cr.GoodputPerSec, sum.P99.Round(10*time.Microsecond),
+			cr.Makespan.Round(100*time.Microsecond))
+	}
+	if tb.Slice.Admission != nil {
+		fmt.Printf("admission: %d dropped at the AMF's priority buckets\n",
+			tb.Slice.Admission.Stats().TotalDropped())
+	}
+	var sheds uint64
+	for _, st := range tb.Slice.OverloadStats() {
+		sheds += st.TotalShed()
+	}
+	rs := tb.Slice.ResilienceStats()
+	fmt.Printf("overload: %d server sheds, %d client throttles, %d retries, %d breaker opens\n",
+		sheds, rs.Throttled, rs.Retries, rs.Breaker.Opens)
 	return 0
 }
 

@@ -1,0 +1,165 @@
+package admission
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"shield5g/internal/sbi"
+	"shield5g/internal/simclock"
+)
+
+func testConfig(clock *simclock.Clock) Config {
+	cfg := Config{Clock: clock}
+	cfg.Rates[sbi.PriorityFresh] = 100
+	cfg.Bursts[sbi.PriorityFresh] = 2
+	cfg.Rates[sbi.PriorityReattach] = 200
+	cfg.Bursts[sbi.PriorityReattach] = 4
+	// Emergency: rate 0 = unlimited.
+	return cfg
+}
+
+func TestDisarmedIsPassThrough(t *testing.T) {
+	ctrl := NewController(testConfig(simclock.New(0)))
+	for i := 0; i < 1000; i++ {
+		if err := ctrl.Admit(context.Background(), "gnb-1", sbi.PriorityFresh); err != nil {
+			t.Fatalf("disarmed Admit rejected: %v", err)
+		}
+	}
+	if st := ctrl.Stats(); st.Admitted[sbi.PriorityFresh] != 0 || st.TotalDropped() != 0 {
+		t.Fatalf("disarmed controller counted traffic: %+v", st)
+	}
+}
+
+func TestBurstThenDrop(t *testing.T) {
+	clock := simclock.New(0)
+	ctrl := NewController(testConfig(clock))
+	ctrl.SetArmed(true)
+	ctx := context.Background()
+
+	// Burst depth is 2 for fresh: two admits, then drops at t=0.
+	for i := 0; i < 2; i++ {
+		if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+	}
+	err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh)
+	pd, ok := sbi.AsProblem(err)
+	if !ok || pd.Status != 503 || pd.Cause != sbi.CauseOverload {
+		t.Fatalf("over-burst admit: want 503 OVERLOAD, got %v", err)
+	}
+	if pd.RetryAfter <= 0 {
+		t.Fatalf("drop carries no Retry-After: %+v", pd)
+	}
+	if !sbi.Retryable(err) {
+		t.Fatal("admission drop must classify as retryable")
+	}
+
+	st := ctrl.Stats()
+	if st.Admitted[sbi.PriorityFresh] != 2 || st.Dropped[sbi.PriorityFresh] != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestRefillOnVirtualTime(t *testing.T) {
+	clock := simclock.New(0)
+	ctrl := NewController(testConfig(clock))
+	ctrl.SetArmed(true)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err != nil {
+			t.Fatalf("burst admit: %v", err)
+		}
+	}
+	if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err == nil {
+		t.Fatal("expected drop with empty bucket")
+	}
+
+	// 100/s refill: 10ms of virtual time buys one token. Wall time does
+	// nothing — only advancing the virtual clock refills.
+	clock.AdvanceDuration(10 * time.Millisecond)
+	if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err != nil {
+		t.Fatalf("admit after virtual refill: %v", err)
+	}
+	if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err == nil {
+		t.Fatal("bucket should hold exactly the one refilled token")
+	}
+}
+
+func TestArrivalAxisRefill(t *testing.T) {
+	clock := simclock.New(0)
+	ctrl := NewController(testConfig(clock))
+	ctrl.SetArmed(true)
+
+	at := func(d time.Duration) context.Context {
+		return simclock.WithArrival(context.Background(),
+			simclock.FromDuration(d, clock.FrequencyHz()))
+	}
+	for i := 0; i < 2; i++ {
+		if err := ctrl.Admit(at(0), "gnb-1", sbi.PriorityFresh); err != nil {
+			t.Fatalf("burst admit: %v", err)
+		}
+	}
+	if err := ctrl.Admit(at(0), "gnb-1", sbi.PriorityFresh); err == nil {
+		t.Fatal("expected drop at t=0")
+	}
+	// An arrival stamped 10ms later refills one token even though the
+	// shared clock never moved: the plan owns time.
+	if err := ctrl.Admit(at(10*time.Millisecond), "gnb-1", sbi.PriorityFresh); err != nil {
+		t.Fatalf("admit on stamped arrival: %v", err)
+	}
+}
+
+func TestEmergencyNeverLimited(t *testing.T) {
+	ctrl := NewController(testConfig(simclock.New(0)))
+	ctrl.SetArmed(true)
+	ctx := context.Background()
+	for i := 0; i < 500; i++ {
+		if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityEmergency); err != nil {
+			t.Fatalf("emergency admit %d rejected: %v", i, err)
+		}
+	}
+	if st := ctrl.Stats(); st.Admitted[sbi.PriorityEmergency] != 500 {
+		t.Fatalf("emergency admits: %+v", st)
+	}
+}
+
+func TestPerSourceIsolation(t *testing.T) {
+	ctrl := NewController(testConfig(simclock.New(0)))
+	ctrl.SetArmed(true)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err != nil {
+			t.Fatalf("gnb-1 burst: %v", err)
+		}
+	}
+	if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err == nil {
+		t.Fatal("gnb-1 should be exhausted")
+	}
+	// A different source key has its own buckets.
+	if err := ctrl.Admit(ctx, "gnb-2", sbi.PriorityFresh); err != nil {
+		t.Fatalf("gnb-2 must not share gnb-1's bucket: %v", err)
+	}
+	if st := ctrl.Stats(); st.Sources != 2 {
+		t.Fatalf("want 2 sources, got %+v", st)
+	}
+}
+
+func TestDisarmResetsBuckets(t *testing.T) {
+	ctrl := NewController(testConfig(simclock.New(0)))
+	ctrl.SetArmed(true)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_ = ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh)
+	}
+	ctrl.SetArmed(false)
+	ctrl.SetArmed(true)
+	// Fresh window: full burst again.
+	for i := 0; i < 2; i++ {
+		if err := ctrl.Admit(ctx, "gnb-1", sbi.PriorityFresh); err != nil {
+			t.Fatalf("admit after re-arm: %v", err)
+		}
+	}
+}

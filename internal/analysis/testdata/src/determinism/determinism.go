@@ -49,6 +49,29 @@ func annotated() time.Time {
 	return time.Now() // want:suppressed "time.Now reads the wall clock"
 }
 
+// A token bucket refilled off the wall clock replays differently on
+// every run: refill instants must come from the virtual clock (the
+// simclock arrival axis in the admission controller), never time.Now.
+type wallBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func (b *wallBucket) refill(rate float64) {
+	now := time.Now() // want "time.Now reads the wall clock"
+	b.tokens += now.Sub(b.last).Seconds() * rate
+	b.last = now
+}
+
+func (b *wallBucket) admit(rate float64) bool {
+	b.refill(rate)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
 type clockHolder struct {
 	now func() time.Time
 }

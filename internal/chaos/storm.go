@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"fmt"
+
+	"shield5g/internal/sbi"
+	"shield5g/internal/simclock"
+)
+
+// This file models the signaling-storm fault: a mass disconnect (an abrupt
+// RAN outage silently drops every attached UE — no deregistration
+// signaling, so AMF contexts and GUTIs persist) followed by a synchronized
+// re-attach wave mixed with fresh attaches and a trickle of emergency
+// registrations. The plan is generated from a seed on the virtual arrival
+// axis, so the same seed always produces the same storm: same classes,
+// same arrival times, same overload shape.
+
+// StormEvent is one registration attempt in the storm: which device slot,
+// its priority class, and its virtual arrival time.
+type StormEvent struct {
+	// Index identifies the device slot; the driver maps it to a UE (slots
+	// of the re-attach class map onto the pre-registered population).
+	Index int
+	// Class is the admission priority of this arrival.
+	Class sbi.Priority
+	// At is the virtual arrival timestamp, cycles from the storm start.
+	At simclock.Cycles
+}
+
+// StormSpec shapes a storm plan.
+type StormSpec struct {
+	// N is the number of arrivals in the wave.
+	N int
+	// EmergencyFrac and ReattachFrac split the wave into classes; the
+	// remainder is fresh attach load riding the storm.
+	EmergencyFrac float64
+	ReattachFrac  float64
+	// Spacing is the mean virtual inter-arrival gap. Overload is expressed
+	// here: spacing = bottleneck service cost / overload factor.
+	Spacing simclock.Cycles
+	// JitterFrac spreads each gap uniformly in [1-f, 1+f].
+	JitterFrac float64
+}
+
+// StormPlan is a fully materialised storm: the event sequence in arrival
+// order plus the window it spans.
+type StormPlan struct {
+	Events []StormEvent
+	// Window is the last arrival's timestamp.
+	Window simclock.Cycles
+}
+
+// ClassCount reports how many events carry the given class.
+func (p *StormPlan) ClassCount(class sbi.Priority) int {
+	n := 0
+	for _, ev := range p.Events {
+		if ev.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// NewStormPlan materialises a storm from a seed. Class draws and arrival
+// jitter come from one derived jitter stream, so every (seed, spec) pair
+// yields the same plan on every run.
+func NewStormPlan(seed uint64, spec StormSpec) (*StormPlan, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("chaos: storm needs N > 0, got %d", spec.N)
+	}
+	if spec.Spacing == 0 {
+		return nil, fmt.Errorf("chaos: storm needs a non-zero arrival spacing")
+	}
+	if spec.EmergencyFrac < 0 || spec.ReattachFrac < 0 ||
+		spec.EmergencyFrac+spec.ReattachFrac > 1 {
+		return nil, fmt.Errorf("chaos: storm class fractions must be non-negative and sum to at most 1")
+	}
+	// A dedicated stream keeps the plan independent of any other draw the
+	// experiment makes from the same root seed.
+	rng := simclock.NewJitter(seed).Stream(0x5708)
+
+	plan := &StormPlan{Events: make([]StormEvent, spec.N)}
+	var at simclock.Cycles
+	for i := range plan.Events {
+		class := sbi.PriorityFresh
+		switch f := rng.Float64(); {
+		case f < spec.EmergencyFrac:
+			class = sbi.PriorityEmergency
+		case f < spec.EmergencyFrac+spec.ReattachFrac:
+			class = sbi.PriorityReattach
+		}
+		at += rng.Scale(spec.Spacing, spec.JitterFrac)
+		plan.Events[i] = StormEvent{Index: i, Class: class, At: at}
+	}
+	plan.Window = at
+	return plan, nil
+}

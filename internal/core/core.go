@@ -171,6 +171,10 @@ func ExperimentRegistry() map[string]Experiment {
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.Profiles(ctx, cfg)
 			}),
+		"storm": render("storm", "Signaling-storm survival: overload control and priority admission at 10x overload",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.Storm(ctx, cfg)
+			}),
 		"e2e": render("e2e", "End-to-end session setup and the SGX share",
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.E2E(ctx, cfg)
@@ -276,6 +280,13 @@ func csvWriters() map[string]func(ctx context.Context, cfg experiments.Config, w
 		},
 		"profiles": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
 			r, err := experiments.Profiles(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"storm": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.Storm(ctx, cfg)
 			if err != nil {
 				return err
 			}

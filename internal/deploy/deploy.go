@@ -17,6 +17,7 @@ import (
 	"io"
 	"sync"
 
+	"shield5g/internal/admission"
 	"shield5g/internal/chaos"
 	"shield5g/internal/costmodel"
 	"shield5g/internal/crypto/kdf"
@@ -33,6 +34,7 @@ import (
 	"shield5g/internal/nf/upf"
 	"shield5g/internal/paka"
 	"shield5g/internal/sbi"
+	"shield5g/internal/simclock"
 )
 
 // SliceConfig describes one network slice deployment.
@@ -82,7 +84,46 @@ type SliceConfig struct {
 	// seen its peer's capability snapshot. Off keeps the seed-identical
 	// JSON wire format everywhere.
 	BinarySBI bool
+	// Overload enables the TS 29.500-style overload-control layer: load
+	// meters on the authentication-chain servers, optional bounded-queue
+	// shedding, the AMF's priority admission controller, and client-side
+	// proportional throttling. nil leaves the slice seed-identical. The
+	// machinery starts disarmed — SetOverloadArmed opens the storm window.
+	Overload *OverloadProfile
 }
+
+// OverloadProfile selects which overload-control mechanisms a slice runs.
+// The zero-value profile is the "limiter off" comparison point: servers
+// sense and queue (so a storm's FIFO delay is modelled) but never shed,
+// nothing gates admission, and clients never throttle.
+type OverloadProfile struct {
+	// Shed bounds each metered server's virtual queue; arrivals beyond the
+	// bound are rejected 503 OVERLOAD (emergency exempt).
+	Shed bool
+	// Admission configures the AMF's per-(gNB, PLMN) priority token
+	// buckets; nil disables admission control. The Clock field may be left
+	// nil — the slice's clock is filled in.
+	Admission *admission.Config
+	// Throttle makes SBI clients defer work proportionally to
+	// peer-advertised load (emergency traffic exempt).
+	Throttle bool
+}
+
+// Modelled per-request service costs of the metered servers, in cycles —
+// the drain rates of their virtual queues. The UDM is the chain's
+// bottleneck (SUCI de-concealment plus AV generation behind the enclave
+// boundary); the module servers are cheaper per call.
+const (
+	udmServiceCycles   = 3_600_000
+	ausfServiceCycles  = 800_000
+	eudmServiceCycles  = 1_600_000
+	eausfServiceCycles = 400_000
+	eamfServiceCycles  = 400_000
+)
+
+// poolBiasWeight scales the UDM's windowed AV-pool miss fraction before it
+// is added to the advertised load (see SetOverloadArmed).
+const poolBiasWeight = 0.25
 
 // Slice is a running network slice.
 type Slice struct {
@@ -123,8 +164,23 @@ type Slice struct {
 	// through RestartModule.
 	Chaos *chaos.Injector
 
+	// Admission is the AMF's priority admission controller (nil unless
+	// SliceConfig.Overload.Admission was set). Disarmed until
+	// SetOverloadArmed(true).
+	Admission *admission.Controller
+
 	resil   *sbi.ResilienceConfig
 	entropy io.Reader
+
+	// resilMu guards resilients: every resilient invoker the slice built,
+	// for ResilienceStats aggregation.
+	resilMu    sync.Mutex
+	resilients []*sbi.ResilientClient
+
+	// metered tracks the servers carrying load meters, for arming;
+	// udmMetered is the UDM's (it additionally carries the AV-pool bias).
+	metered    []*sbi.Server
+	udmMetered *sbi.Server
 
 	attestMu sync.Mutex
 	attested bool
@@ -181,6 +237,17 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 	case cfg.Chaos != nil:
 		r := sbi.DefaultResilienceConfig()
 		s.resil = &r
+	case cfg.Overload != nil && cfg.Overload.Throttle:
+		// Client-side throttling lives in the resilience layer.
+		r := sbi.DefaultResilienceConfig()
+		s.resil = &r
+	}
+	if cfg.Overload != nil && cfg.Overload.Admission != nil {
+		acfg := *cfg.Overload.Admission
+		if acfg.Clock == nil {
+			acfg.Clock = env.Clock
+		}
+		s.Admission = admission.NewController(acfg)
 	}
 
 	hnKey, err := suci.GenerateHomeNetworkKey(entropy, 1)
@@ -241,6 +308,7 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 	if s.AMF, err = amf.New(ctx, amf.Config{
 		Env: env, Registry: s.Registry, Invoker: amfInvoker,
 		Functions: amfFns, MCC: cfg.MCC, MNC: cfg.MNC, HMEE: hmee,
+		Admission: s.Admission,
 	}); err != nil {
 		return nil, fmt.Errorf("deploy: AMF: %w", err)
 	}
@@ -267,7 +335,101 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 		}
 		s.Chaos.SetArmed(true)
 	}
+	s.wireOverload()
 	return s, nil
+}
+
+// wireOverload attaches load meters to the authentication-chain servers
+// according to the slice's overload profile. Meters start disarmed, so the
+// slice stays seed-identical until SetOverloadArmed opens a storm window.
+func (s *Slice) wireOverload() {
+	p := s.Config.Overload
+	if p == nil {
+		return
+	}
+	maxQueue := func(n int) int {
+		if !p.Shed {
+			return 0 // sense and queue only: the "limiter off" baseline
+		}
+		return n
+	}
+	attach := func(service string, cost simclock.Cycles, queue int) *sbi.Server {
+		srv, ok := s.Registry.Lookup(service)
+		if !ok {
+			return nil
+		}
+		srv.EnableOverload(s.Env, sbi.OverloadConfig{
+			ServiceCycles: cost,
+			MaxQueue:      maxQueue(queue),
+		})
+		s.metered = append(s.metered, srv)
+		return srv
+	}
+	// The UDM's bias (windowed AV-pool miss pressure) is installed when the
+	// window is armed — see SetOverloadArmed.
+	s.udmMetered = attach(udm.ServiceName, udmServiceCycles, 12)
+	attach(ausf.ServiceName, ausfServiceCycles, 16)
+	moduleCost := map[paka.ModuleKind]simclock.Cycles{
+		paka.EUDM:  eudmServiceCycles,
+		paka.EAUSF: eausfServiceCycles,
+		paka.EAMF:  eamfServiceCycles,
+	}
+	for kind, m := range s.Modules {
+		attach(m.ServiceName(), moduleCost[kind], 16)
+	}
+}
+
+// SetOverloadArmed opens (true) or closes (false) the overload-control
+// window: every load meter starts/stops sensing and the admission
+// controller starts/stops gating. Closing resets meter and bucket state so
+// consecutive storm windows start identically.
+func (s *Slice) SetOverloadArmed(v bool) {
+	if v && s.udmMetered != nil {
+		// AV-pool miss pressure rides the UDM's advert so pool thrash shows
+		// up in the OCI before the virtual queue saturates. The fraction is
+		// windowed from the arming instant — cumulative counters are
+		// dominated by cold-start misses (every subscriber's first
+		// authentication is one) and would advertise phantom overload — and
+		// weighted down because a storm's fresh-attach share misses by
+		// construction, which is demand, not thrash.
+		h0, m0 := s.UDM.PoolCounters()
+		s.udmMetered.SetLoadBias(func() float64 {
+			h, m := s.UDM.PoolCounters()
+			dh, dm := h-h0, m-m0
+			if total := dh + dm; total > 0 {
+				return poolBiasWeight * float64(dm) / float64(total)
+			}
+			return 0
+		})
+	}
+	for _, srv := range s.metered {
+		srv.SetOverloadArmed(v)
+	}
+	if s.Admission != nil {
+		s.Admission.SetArmed(v)
+	}
+}
+
+// OverloadStats snapshots the per-service meter counters of every metered
+// server, keyed by service name.
+func (s *Slice) OverloadStats() map[string]sbi.OverloadStats {
+	out := make(map[string]sbi.OverloadStats, len(s.metered))
+	for _, srv := range s.metered {
+		out[srv.Name()] = srv.OverloadStats()
+	}
+	return out
+}
+
+// ResilienceStats merges the retry/breaker counters of every resilient
+// invoker the slice built (zero when resilience is disabled).
+func (s *Slice) ResilienceStats() sbi.ResilienceStats {
+	var stats sbi.ResilienceStats
+	s.resilMu.Lock()
+	for _, r := range s.resilients {
+		stats.Merge(r.Stats())
+	}
+	s.resilMu.Unlock()
+	return stats
 }
 
 // buildInvoker assembles the slice's SBI client stack for one caller
@@ -284,7 +446,18 @@ func (s *Slice) buildInvoker(from string) sbi.Invoker {
 		inv = s.Chaos.Wrap(inv)
 	}
 	if s.resil != nil {
-		inv = sbi.NewResilient(inv, s.Env, *s.resil)
+		cfg := *s.resil
+		if p := s.Config.Overload; p != nil && p.Throttle {
+			// The base client records each peer's freshest OCI advert; the
+			// resilience layer reads it back to throttle proportionally.
+			cfg.Peers = client
+			cfg.Throttle = true
+		}
+		r := sbi.NewResilient(inv, s.Env, cfg)
+		s.resilMu.Lock()
+		s.resilients = append(s.resilients, r)
+		s.resilMu.Unlock()
+		inv = r
 	}
 	return inv
 }

@@ -11,6 +11,7 @@ import (
 	"shield5g/internal/deploy"
 	"shield5g/internal/gnb"
 	"shield5g/internal/paka"
+	"shield5g/internal/sbi"
 	"shield5g/internal/ue"
 )
 
@@ -50,6 +51,12 @@ type ChaosPoint struct {
 	MedianSetup time.Duration
 	// SuccessPct is Registered over the UE population.
 	SuccessPct float64
+	// Resilience snapshots the retry layer's queryable counters across
+	// every resilient invoker the slice built: SBI-level attempts and
+	// retries, Retry-After floors honoured, deadline hits, and the merged
+	// circuit-breaker transition counters (opens, half-open probes,
+	// rejections). These used to be invisible in experiment output.
+	Resilience sbi.ResilienceStats
 }
 
 // ChaosResult is the fault-injection resilience sweep.
@@ -167,6 +174,7 @@ func chaosPoint(ctx context.Context, cfg Config, n int, rate float64) (ChaosPoin
 		Expired:          s.AUSF.ExpiredSessions(),
 		MedianSetup:      res.SetupTimes.Summarize().Median,
 		SuccessPct:       100 * float64(res.Registered) / float64(n),
+		Resilience:       s.ResilienceStats(),
 	}
 	for _, c := range res.Recovered {
 		point.Recovered += c
@@ -197,6 +205,10 @@ func (r *ChaosResult) Render(w io.Writer) {
 		}
 	}
 	fprintf(w, "\n")
+	rs := last.Resilience
+	fprintf(w, "resilience at rate %.2f: sbi_attempts=%d sbi_retries=%d retry_after_honored=%d deadline_hits=%d breaker_opens=%d probes=%d rejected=%d\n",
+		last.Rate, rs.Attempts, rs.Retries, rs.RetryAfterHonored, rs.DeadlineHits,
+		rs.Breaker.Opens, rs.Breaker.Probes, rs.Breaker.Rejected)
 	if r.Deterministic {
 		fprintf(w, "(same-seed replay of the %.0f%% point reproduced identical outcome counts —\n", 100*last.Rate)
 		fprintf(w, " the fault schedule and every recovery are deterministic in virtual time)\n")
@@ -221,10 +233,14 @@ func (r *ChaosResult) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%d", p.Expired),
 			f(float64(p.MedianSetup) / float64(time.Millisecond)),
 			f(p.SuccessPct),
+			fmt.Sprintf("%d", p.Resilience.Retries),
+			fmt.Sprintf("%d", p.Resilience.Breaker.Opens),
+			fmt.Sprintf("%d", p.Resilience.Breaker.Rejected),
 		})
 	}
 	return writeCSV(w, []string{
 		"rate", "registered", "failed", "attempts", "recovered", "restarts",
 		"reauths", "reprovisions", "expired", "median_setup_ms", "success_pct",
+		"sbi_retries", "breaker_opens", "breaker_rejected",
 	}, rows)
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"shield5g/internal/admission"
 	"shield5g/internal/costmodel"
 	"shield5g/internal/crypto/kdf"
 	"shield5g/internal/nas"
@@ -66,6 +67,10 @@ type ueContext struct {
 	pendingAuth *ausf.AuthenticateRequest
 	reauthOK    bool
 	teid        uint32
+	// prio is the admission class assigned at InitialUEMessage; follow-up
+	// NAS rounds re-stamp it so downstream throttles keep exempting
+	// emergency traffic mid-procedure.
+	prio sbi.Priority
 }
 
 func (u *ueContext) setState(s ueState) { u.state.Store(int32(s)) }
@@ -88,15 +93,22 @@ type Config struct {
 	MCC, MNC string
 	// HMEE marks the instance's trust domain for NRF discovery.
 	HMEE bool
+	// Admission, when set, gates InitialUEMessage ahead of any enclave
+	// work: the registration is classified (emergency > re-registration >
+	// fresh attach) and run through per-(gNB, PLMN) token buckets BEFORE
+	// the AUSF/P-AKA call. The decision is local — admission never enters
+	// the enclave.
+	Admission *admission.Controller
 }
 
 // AMF is the access and mobility VNF.
 type AMF struct {
-	env  *costmodel.Env
-	ausf *ausf.Client
-	smf  *smf.Client
-	nrfc *nrf.Client
-	fns  paka.AMFFunctions
+	env   *costmodel.Env
+	ausf  *ausf.Client
+	smf   *smf.Client
+	nrfc  *nrf.Client
+	fns   paka.AMFFunctions
+	admit *admission.Controller
 
 	mcc, mnc string
 	snn      string
@@ -134,16 +146,17 @@ func New(ctx context.Context, cfg Config) (*AMF, error) {
 		return nil, err
 	}
 	a := &AMF{
-		env:  cfg.Env,
-		ausf: ausfClient,
-		smf:  smfClient,
-		nrfc: nrf.NewClient(cfg.Invoker),
-		fns:  cfg.Functions,
-		mcc:  cfg.MCC,
-		mnc:  cfg.MNC,
-		snn:  kdf.ServingNetworkName(cfg.MCC, cfg.MNC),
-		ues:  shard.NewUint64[*ueContext](),
-		guti: shard.NewUint32[string](),
+		env:   cfg.Env,
+		ausf:  ausfClient,
+		smf:   smfClient,
+		nrfc:  nrf.NewClient(cfg.Invoker),
+		fns:   cfg.Functions,
+		admit: cfg.Admission,
+		mcc:   cfg.MCC,
+		mnc:   cfg.MNC,
+		snn:   kdf.ServingNetworkName(cfg.MCC, cfg.MNC),
+		ues:   shard.NewUint64[*ueContext](),
+		guti:  shard.NewUint32[string](),
 	}
 	if err := a.nrfc.Register(ctx, nrf.NFProfile{
 		InstanceID: "amf-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
@@ -179,6 +192,19 @@ func (a *AMF) HandleInitialUE(ctx context.Context, ranUEID uint64, nasPDU []byte
 	if !ok {
 		return nil, fmt.Errorf("amf: initial message is %s, want RegistrationRequest", msg.Type())
 	}
+
+	// Classify and gate BEFORE any enclave-bound work: emergency
+	// registrations outrank GUTI re-attach, which outranks fresh SUCI
+	// attach. The admission decision is a local bucket lookup — it never
+	// reaches the AUSF, UDM or P-AKA module.
+	class := classify(rr)
+	if a.admit != nil {
+		source := admission.SourceFrom(ctx) + "/" + a.mcc + a.mnc
+		if err := a.admit.Admit(ctx, source, class); err != nil {
+			return nil, err
+		}
+	}
+	ctx = sbi.WithPriority(ctx, class)
 
 	authReq := &ausf.AuthenticateRequest{ServingNetworkName: a.snn}
 	switch {
@@ -225,9 +251,22 @@ func (a *AMF) HandleInitialUE(ctx context.Context, ranUEID uint64, nasPDU []byte
 	ue.resyncOK = true
 	ue.pendingAuth = authReq
 	ue.reauthOK = true
+	ue.prio = class
 	a.ues.Store(ranUEID, ue)
 
 	return a.challenge(auth)
+}
+
+// classify maps a RegistrationRequest onto its admission priority class.
+func classify(rr *nas.RegistrationRequest) sbi.Priority {
+	switch {
+	case rr.RegistrationType == nas.RegistrationEmergency:
+		return sbi.PriorityEmergency
+	case rr.Identity.GUTI != nil:
+		return sbi.PriorityReattach
+	default:
+		return sbi.PriorityFresh
+	}
 }
 
 func (a *AMF) challenge(auth *ausf.AuthenticateResponse) ([]byte, error) {
@@ -245,6 +284,7 @@ func (a *AMF) HandleUplinkNAS(ctx context.Context, ranUEID uint64, nasPDU []byte
 	if !ok {
 		return nil, fmt.Errorf("amf: no UE context for RAN UE %d", ranUEID)
 	}
+	ctx = sbi.WithPriority(ctx, ue.prio)
 
 	switch ue.getState() {
 	case stateIdentifying:

@@ -379,6 +379,36 @@ func (u *UDM) handleResync(ctx context.Context, req *ResyncRequest) (*Empty, err
 // execution environment after it lost them.
 func (u *UDM) Reprovisions() uint64 { return u.reprovisions.Load() }
 
+// Server exposes the UDM's SBI server so deploy can attach overload
+// control (load meter, AV-pool backpressure bias).
+func (u *UDM) Server() *sbi.Server { return u.server }
+
+// PoolPressure reports the AV pool's miss fraction (0..1) — the fraction
+// of authentications that crossed the enclave boundary synchronously
+// because no banked vector was available. The overload meter adds it to
+// the UDM's advertised load so pool thrash shows up in the OCI before the
+// virtual queue saturates. Zero when the pool is disabled or idle.
+func (u *UDM) PoolPressure() float64 {
+	if u.pool == nil {
+		return 0
+	}
+	hits, misses := u.pool.hits.Load(), u.pool.misses.Load()
+	if total := hits + misses; total > 0 {
+		return float64(misses) / float64(total)
+	}
+	return 0
+}
+
+// PoolCounters exposes the raw AV-pool hit/miss counters so callers can
+// window the miss fraction (cumulative pressure is dominated by cold-start
+// misses: every subscriber's first authentication is one).
+func (u *UDM) PoolCounters() (hits, misses uint64) {
+	if u.pool == nil {
+		return 0, 0
+	}
+	return u.pool.hits.Load(), u.pool.misses.Load()
+}
+
 // Client is the AUSF-side helper for UDM calls.
 type Client struct {
 	invoker sbi.Invoker

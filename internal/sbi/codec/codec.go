@@ -156,6 +156,15 @@ func AppendCount(dst []byte, n int) []byte {
 	return binary.AppendUvarint(dst, uint64(n))
 }
 
+// AppendUint appends a bare uvarint scalar, read back with Reader.Uint.
+// Use it for numeric values (statuses, durations, sequence numbers) —
+// unlike counts they are not bounded by the payload size on decode.
+//
+//shieldlint:hotpath
+func AppendUint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
 // Reader decodes a frame payload field by field. Errors are sticky: the
 // first malformed field poisons the reader and every later accessor
 // returns zero values, so decoders can read all fields and check Done

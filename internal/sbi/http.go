@@ -43,14 +43,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if !errors.As(err, &pd) {
 			pd = Problem(500, "Internal Server Error", "SYSTEM_FAILURE", "%v", err)
 		}
+		s.setOCIHeader(w.Header())
 		writeProblem(w, pd)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	s.setOCIHeader(w.Header())
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)
 	// Handler-returned bodies are transport-owned (HandlerFunc contract).
 	ReleaseBody(out)
+}
+
+// OCIHeader is the TS 29.500 §6.4 overload-control header name carrying the
+// server's current OverloadControlInformation on every HTTP response.
+const OCIHeader = "3gpp-Sbi-Oci"
+
+// setOCIHeader attaches the server's current overload advert, when the load
+// meter is armed, as a JSON-encoded 3gpp-Sbi-Oci header.
+func (s *Server) setOCIHeader(h http.Header) {
+	oci, ok := s.CurrentOCI()
+	if !ok {
+		return
+	}
+	if b, err := json.Marshal(oci); err == nil {
+		h.Set(OCIHeader, string(b))
+	}
 }
 
 func writeProblem(w http.ResponseWriter, pd *ProblemDetails) {
@@ -66,6 +84,28 @@ type HTTPClient struct {
 
 	mu    sync.RWMutex
 	bases map[string]string
+
+	oci ociTable
+}
+
+// PeerOCI reports the freshest overload advert received from service, parsed
+// from 3gpp-Sbi-Oci response headers. It implements OCISource so HTTP-backed
+// deployments feed the same client-side throttle as the in-process transport.
+func (c *HTTPClient) PeerOCI(service string) (OCI, bool) {
+	return c.oci.PeerOCI(service)
+}
+
+// recordOCIHeader parses a 3gpp-Sbi-Oci response header, if present, into the
+// client's per-peer table.
+func (c *HTTPClient) recordOCIHeader(service string, h http.Header) {
+	raw := h.Get(OCIHeader)
+	if raw == "" {
+		return
+	}
+	var oci OCI
+	if json.Unmarshal([]byte(raw), &oci) == nil {
+		c.oci.record(service, oci)
+	}
 }
 
 // NewHTTPClient creates an HTTP transport. A nil client selects
@@ -112,6 +152,7 @@ func (c *HTTPClient) Post(ctx context.Context, service, path string, req, resp a
 	// reader (a server may answer before reading the full body), so the
 	// bytes stay transport-owned until the GC reclaims them.
 	defer func() { _ = httpResp.Body.Close() }()
+	c.recordOCIHeader(service, httpResp.Header)
 
 	out, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
 	if err != nil {

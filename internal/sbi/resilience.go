@@ -3,6 +3,7 @@ package sbi
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shield5g/internal/costmodel"
@@ -125,6 +126,52 @@ type Breaker struct {
 	openedAt    time.Duration
 	inFlight    int
 	successes   int
+
+	// Transition and probe counters (queryable via Stats): how often the
+	// circuit opened, moved to half-open, closed again, how many half-open
+	// probes were admitted, and how many requests the breaker rejected.
+	opens     uint64
+	halfOpens uint64
+	closes    uint64
+	probes    uint64
+	rejected  uint64
+}
+
+// BreakerStats is a queryable snapshot of one breaker's state machine.
+type BreakerStats struct {
+	State     BreakerState
+	Opens     uint64
+	HalfOpens uint64
+	Closes    uint64
+	Probes    uint64
+	Rejected  uint64
+}
+
+// Stats snapshots the breaker's transition counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:     b.state,
+		Opens:     b.opens,
+		HalfOpens: b.halfOpens,
+		Closes:    b.closes,
+		Probes:    b.probes,
+		Rejected:  b.rejected,
+	}
+}
+
+// merge accumulates another breaker's counters into s (state keeps the
+// most-degraded of the two, open > half-open > closed).
+func (s *BreakerStats) merge(o BreakerStats) {
+	if o.State > s.State {
+		s.State = o.State
+	}
+	s.Opens += o.Opens
+	s.HalfOpens += o.HalfOpens
+	s.Closes += o.Closes
+	s.Probes += o.Probes
+	s.Rejected += o.Rejected
 }
 
 // NewBreaker builds a closed breaker; zero config fields take defaults.
@@ -159,17 +206,21 @@ func (b *Breaker) Allow(now time.Duration) (ok bool, retryAfter time.Duration) {
 	defer b.mu.Unlock()
 	if b.state == BreakerOpen {
 		if now-b.openedAt < b.cfg.OpenTimeout {
+			b.rejected++
 			return false, b.cfg.OpenTimeout - (now - b.openedAt)
 		}
 		b.state = BreakerHalfOpen
+		b.halfOpens++
 		b.inFlight = 0
 		b.successes = 0
 	}
 	if b.state == BreakerHalfOpen {
 		if b.inFlight >= b.cfg.HalfOpenProbes {
+			b.rejected++
 			return false, 0
 		}
 		b.inFlight++
+		b.probes++
 	}
 	return true, 0
 }
@@ -186,6 +237,7 @@ func (b *Breaker) OnSuccess() {
 		b.successes++
 		if b.successes >= b.cfg.HalfOpenProbes {
 			b.state = BreakerClosed
+			b.closes++
 			b.consecFails = 0
 		}
 	}
@@ -201,10 +253,12 @@ func (b *Breaker) OnFailure(now time.Duration) {
 		b.consecFails++
 		if b.consecFails >= b.cfg.FailureThreshold {
 			b.state = BreakerOpen
+			b.opens++
 			b.openedAt = now
 		}
 	case BreakerHalfOpen:
 		b.state = BreakerOpen
+		b.opens++
 		b.openedAt = now
 	}
 }
@@ -218,6 +272,15 @@ type ResilienceConfig struct {
 	Deadline time.Duration
 	// DisableBreaker bypasses the circuit breaker (retries still apply).
 	DisableBreaker bool
+	// Peers supplies the freshest per-peer overload adverts (normally the
+	// base *Client); with Throttle set, non-emergency attempts are
+	// deferred with probability Reduction/100 — the deterministic draw
+	// comes from the request's jitter stream, the deferral is charged to
+	// virtual time through the normal backoff path, and the peer's
+	// Retry-After floor applies. Emergency-class requests bypass
+	// throttling entirely.
+	Peers    OCISource
+	Throttle bool
 }
 
 // DefaultResilienceConfig is the slice-wide default used by deploy when
@@ -240,6 +303,61 @@ type ResilientClient struct {
 
 	mu       sync.Mutex
 	breakers map[string]*Breaker
+
+	// Queryable retry-layer counters (see ResilienceStats).
+	attempts          atomic.Uint64
+	retries           atomic.Uint64
+	throttled         atomic.Uint64
+	retryAfterHonored atomic.Uint64
+	deadlineHits      atomic.Uint64
+}
+
+// ResilienceStats aggregates the retry-layer and breaker counters of one
+// or more resilient clients — the queryable view of behaviour that used
+// to be invisible in experiment output.
+type ResilienceStats struct {
+	// Attempts counts dispatched attempts (including breaker-rejected
+	// ones); Retries counts attempts beyond each request's first.
+	Attempts uint64
+	Retries  uint64
+	// Throttled counts attempts deferred client-side in response to a
+	// peer's advertised overload reduction.
+	Throttled uint64
+	// RetryAfterHonored counts backoff waits floored by a server's
+	// Retry-After; DeadlineHits counts requests that exhausted their
+	// virtual deadline budget.
+	RetryAfterHonored uint64
+	DeadlineHits      uint64
+	// Breaker merges every per-service breaker's transition counters.
+	Breaker BreakerStats
+}
+
+// merge accumulates another client's stats into s.
+func (s *ResilienceStats) Merge(o ResilienceStats) {
+	s.Attempts += o.Attempts
+	s.Retries += o.Retries
+	s.Throttled += o.Throttled
+	s.RetryAfterHonored += o.RetryAfterHonored
+	s.DeadlineHits += o.DeadlineHits
+	s.Breaker.merge(o.Breaker)
+}
+
+// Stats snapshots the client's retry counters plus the merged counters of
+// all its per-service breakers.
+func (r *ResilientClient) Stats() ResilienceStats {
+	stats := ResilienceStats{
+		Attempts:          r.attempts.Load(),
+		Retries:           r.retries.Load(),
+		Throttled:         r.throttled.Load(),
+		RetryAfterHonored: r.retryAfterHonored.Load(),
+		DeadlineHits:      r.deadlineHits.Load(),
+	}
+	r.mu.Lock()
+	for _, b := range r.breakers {
+		stats.Breaker.merge(b.Stats())
+	}
+	r.mu.Unlock()
+	return stats
 }
 
 // NewResilient wraps inner; zero retry fields take defaults.
@@ -287,8 +405,11 @@ func (r *ResilientClient) Post(ctx context.Context, service, path string, req, r
 	start := acct.Total()
 	budget := simclock.FromDuration(r.cfg.Deadline, freq)
 
+	// Emergency-class requests never gate on the shared breaker: under a
+	// storm, non-emergency failures would otherwise open the circuit and
+	// take emergency traffic down with them.
 	var br *Breaker
-	if !r.cfg.DisableBreaker {
+	if !r.cfg.DisableBreaker && PriorityFrom(ctx) != PriorityEmergency {
 		br = r.BreakerFor(service)
 	}
 
@@ -299,13 +420,31 @@ func (r *ResilientClient) Post(ctx context.Context, service, path string, req, r
 			return Problem(504, "Gateway Timeout", CauseTimeout, "%s%s: %v", service, path, cerr)
 		}
 		if r.cfg.Deadline > 0 && acct.Total()-start >= budget {
+			r.deadlineHits.Add(1)
 			return Problem(504, "Gateway Timeout", CauseTimeout,
 				"%s%s: virtual deadline %v exceeded after %d attempt(s)", service, path, r.cfg.Deadline, attempt-1)
+		}
+		r.attempts.Add(1)
+		if attempt > 1 {
+			r.retries.Add(1)
 		}
 
 		var retryAfter time.Duration
 		admitted := true
-		if br != nil {
+		if r.cfg.Throttle && r.cfg.Peers != nil && PriorityFrom(ctx) != PriorityEmergency {
+			if oci, ok := r.cfg.Peers.PeerOCI(service); ok && oci.Reduction > 0 &&
+				r.env.JitterFor(ctx).Float64()*100 < float64(oci.Reduction) {
+				// The peer asked for proportional shedding: defer this
+				// attempt locally instead of dispatching it, and wait at
+				// least the advertised Retry-After before trying again.
+				admitted = false
+				r.throttled.Add(1)
+				lastErr = Problem(503, "Service Unavailable", CauseOverload,
+					"%s%s: deferred locally, peer advertised %d%% reduction", service, path, oci.Reduction)
+				retryAfter = oci.RetryAfter
+			}
+		}
+		if admitted && br != nil {
 			var cooldown time.Duration
 			admitted, cooldown = br.Allow(r.env.Clock.Now())
 			if !admitted {
@@ -345,9 +484,11 @@ func (r *ResilientClient) Post(ctx context.Context, service, path string, req, r
 		wait = r.env.JitterFor(ctx).Scale(wait, r.cfg.Retry.JitterFrac)
 		if floor := simclock.FromDuration(retryAfter, freq); wait < floor {
 			wait = floor
+			r.retryAfterHonored.Add(1)
 		}
 		if r.cfg.Deadline > 0 {
 			if spent := acct.Total() - start; spent+wait > budget {
+				r.deadlineHits.Add(1)
 				// Waiting would blow the budget: charge the remainder and
 				// report the deadline instead of sleeping past it. The
 				// attempt itself may already have overshot the budget

@@ -31,6 +31,9 @@ type ProblemDetails struct {
 	// attaches to 429/503 responses (TS 29.500 §6.4): the minimum
 	// virtual time the client should wait before retrying.
 	RetryAfter time.Duration `json:"retryAfter,omitempty"`
+	// OCI carries the server's overload-control information on shed
+	// responses (the `3gpp-Sbi-Oci` header of TS 29.500 §6.4).
+	OCI *OCI `json:"oci,omitempty"`
 }
 
 // Error implements error.
@@ -98,6 +101,9 @@ type Server struct {
 	// binPaths marks endpoints registered via HandleDual as accepting the
 	// negotiated binary frame format alongside JSON (see binary.go).
 	binPaths map[string]bool
+	// meter is the overload-control load meter (see overload.go); nil
+	// until EnableOverload and inert until armed.
+	meter *loadMeter
 }
 
 // NewServer creates a named SBI server charging costs through env.
@@ -156,6 +162,13 @@ func (s *Server) serve(ctx context.Context, path string, body []byte) ([]byte, e
 		// 415 tells it to downgrade the path to JSON and retry.
 		return nil, Problem(415, "Unsupported Media Type", CauseUnsupportedMedia,
 			"%s%s does not accept binary SBI frames", s.name, path)
+	}
+	if m := s.loadMeter(); m != nil {
+		// Overload control: run the request through the virtual queue —
+		// it may pay a FIFO wait or be shed with 503 OVERLOAD + OCI.
+		if pd := m.admit(ctx, s.name, path); pd != nil {
+			return nil, pd
+		}
 	}
 	resp, err := h(ctx, body)
 	if s.env != nil && err == nil {
@@ -233,6 +246,10 @@ type Client struct {
 	// at first contact — the modelled keep-alive session open.
 	binary     bool
 	negotiated map[string]map[string]bool
+
+	// oci records the freshest overload advert seen per peer; the
+	// resilience layer reads it through the OCISource interface.
+	oci ociTable
 }
 
 // NewClient creates a client identified as from.
@@ -349,8 +366,18 @@ func (c *Client) exchange(ctx context.Context, srv *Server, path string, body []
 	out, err := srv.serve(ctx, path, body)
 	// The handler has returned: the request body is spent either way.
 	ReleaseBody(body)
+	// Every response from a metered peer carries its OCI (the modelled
+	// `3gpp-Sbi-Oci` header); record the freshest snapshot for the
+	// resilience layer's proportional throttling.
+	if oci, ok := srv.CurrentOCI(); ok {
+		c.oci.record(srv.Name(), oci)
+	}
 	return out, err
 }
+
+// PeerOCI implements OCISource: the freshest overload advert observed
+// from the named peer service.
+func (c *Client) PeerOCI(service string) (OCI, bool) { return c.oci.PeerOCI(service) }
 
 // JSONHandler adapts a typed request/response function into a HandlerFunc.
 // Both directions run through the pooled codecs; the returned body follows

@@ -163,6 +163,28 @@ func splitmix64(x uint64) uint64 {
 	return x
 }
 
+type arrivalKey struct{}
+
+// WithArrival stamps ctx with the request's virtual arrival time (cycles on
+// the shared clock's axis). Open-loop drivers — the signaling-storm driver
+// in particular — assign arrival timestamps from a seeded plan instead of
+// the closed-loop clock, which is what lets a 10x-overload arrival process
+// outrun the simulated service rate deterministically: server-side load
+// meters and admission-control token buckets read this timestamp, so
+// backlog growth and bucket refill depend only on the plan, never on
+// scheduling or wall time.
+func WithArrival(ctx context.Context, at Cycles) context.Context {
+	return context.WithValue(ctx, arrivalKey{}, at)
+}
+
+// ArrivalFrom extracts the virtual arrival timestamp from ctx. ok is false
+// when the request carries none (closed-loop callers), in which case load
+// meters fall back to the shared clock.
+func ArrivalFrom(ctx context.Context) (Cycles, bool) {
+	at, ok := ctx.Value(arrivalKey{}).(Cycles)
+	return at, ok
+}
+
 type jitterKey struct{}
 
 // WithJitter returns a context carrying a request-scoped jitter source.

@@ -109,7 +109,15 @@ type UE struct {
 	sec      *nas.SecurityContext
 	guti     *nas.GUTI
 	lastAddr string
+
+	// emergency marks the device as performing emergency registrations
+	// (TS 24.501 registration type 0x04); the AMF's admission controller
+	// never sheds this class.
+	emergency bool
 }
+
+// SetEmergency marks or clears the device's emergency-registration mode.
+func (u *UE) SetEmergency(v bool) { u.emergency = v }
 
 // New provisions a UE.
 func New(cfg Config) (*UE, error) {
@@ -195,8 +203,12 @@ func (u *UE) BuildRegistrationRequest(ctx context.Context, snn string) ([]byte, 
 	u.snn = snn
 	u.sec = nil
 	u.guti = nil
+	regType := nas.RegistrationInitial
+	if u.emergency {
+		regType = nas.RegistrationEmergency
+	}
 	return nas.Encode(&nas.RegistrationRequest{
-		RegistrationType: nas.RegistrationInitial,
+		RegistrationType: regType,
 		NgKSI:            0,
 		Identity:         nas.MobileIdentity{SUCI: sc},
 		Capabilities:     []byte{nas.AlgNEA2, nas.AlgNIA2},

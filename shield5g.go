@@ -20,6 +20,7 @@ import (
 	"crypto/ed25519"
 	"io"
 
+	"shield5g/internal/admission"
 	"shield5g/internal/chaos"
 	"shield5g/internal/core"
 	"shield5g/internal/crypto/suci"
@@ -30,6 +31,7 @@ import (
 	"shield5g/internal/keyissues"
 	"shield5g/internal/paka"
 	"shield5g/internal/sbi"
+	"shield5g/internal/simclock"
 	"shield5g/internal/ue"
 )
 
@@ -112,6 +114,56 @@ type BreakerConfig = sbi.BreakerConfig
 // DefaultResilienceConfig returns the policy a chaos-enabled slice uses
 // when none is given.
 func DefaultResilienceConfig() ResilienceConfig { return sbi.DefaultResilienceConfig() }
+
+// OverloadProfile selects the TS 29.500-style overload-control mechanisms
+// of a slice (SliceConfig.Overload): bounded-queue shedding at the metered
+// servers, the AMF's priority admission buckets, and client-side
+// proportional throttling. The zero value is the "limiter off" baseline —
+// servers sense and queue but never reject.
+type OverloadProfile = deploy.OverloadProfile
+
+// AdmissionConfig tunes the AMF's per-(gNB, PLMN) priority token buckets.
+type AdmissionConfig = admission.Config
+
+// DefaultAdmissionConfig returns the storm-survival admission profile:
+// emergency unlimited, re-attach generous, fresh attach tight. The slice
+// fills in the virtual clock.
+func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig(nil) }
+
+// Priority is a registration's admission priority class.
+type Priority = sbi.Priority
+
+// The three storm priority classes, least- to most-privileged.
+const (
+	PriorityFresh     = sbi.PriorityFresh
+	PriorityReattach  = sbi.PriorityReattach
+	PriorityEmergency = sbi.PriorityEmergency
+)
+
+// Cycles is a span of virtual CPU cycles on the deterministic clock
+// (e.g. StormSpec.Spacing).
+type Cycles = simclock.Cycles
+
+// StormSpec shapes a seeded signaling-storm arrival plan.
+type StormSpec = chaos.StormSpec
+
+// StormEvent is one planned storm arrival (class + virtual arrival time).
+type StormEvent = chaos.StormEvent
+
+// StormPlan is a seeded storm arrival sequence for GNB.RunStorm.
+type StormPlan = chaos.StormPlan
+
+// NewStormPlan draws the deterministic arrival plan for a signaling storm.
+func NewStormPlan(seed uint64, spec StormSpec) (*StormPlan, error) {
+	return chaos.NewStormPlan(seed, spec)
+}
+
+// StormOptions configures a storm replay; StormResult reports the
+// per-class outcome.
+type (
+	StormOptions = gnb.StormOptions
+	StormResult  = gnb.StormResult
+)
 
 // KeyIssue is one TR 33.848 key-issue row of the paper's Table V.
 type KeyIssue = keyissues.KeyIssue
