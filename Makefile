@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench bench-compare storm-bench ci experiments examples clean
+.PHONY: all build test race lint vet bench bench-compare storm-bench shard-bench ci experiments examples clean
 
 all: build test
 
@@ -11,7 +11,8 @@ test:
 	$(GO) test ./...
 
 # The repository's own static-analysis suite (see internal/analysis):
-# determinism, secretflow, atomiccounter, ctxcarry, stripemap, hotalloc.
+# determinism, secretflow, atomiccounter, ctxcarry, stripemap, hotalloc,
+# planeboundary.
 # Exits
 # non-zero on any unsuppressed finding. govulncheck runs when the host
 # has it installed (CI does); locally it is skipped rather than fetched,
@@ -33,7 +34,7 @@ race:
 # keep-alive sessions, TCS pool).
 vet:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/ ./internal/paka/ ./internal/admission/
+	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/ ./internal/paka/ ./internal/admission/ ./internal/topology/ ./internal/nf/nrf/topo/
 
 bench:
 	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json \
@@ -62,6 +63,14 @@ storm-bench:
 	BENCH_STORM_JSON=$(CURDIR)/BENCH_storm_goodput.json \
 	$(GO) run ./cmd/experiments -seed 7 -iterations 240 storm
 
+# Regenerate the committed shard-scaling artifact: the replica sweep's
+# fleet throughput, speedup, and allocs/reg at 1/2/4/8 replicas on the
+# full fast path (acceptance: >=3x fleet speedup at 8 replicas, <100
+# allocs/reg at every point, deterministic same-seed replay).
+shard-bench:
+	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard_scaling.json \
+	$(GO) run ./cmd/experiments -seed 7 -iterations 160 shardscale
+
 # What CI runs: lint first (cheapest signal, fails fastest), then build,
 # the race-enabled test suite, static checks, a single-iteration smoke of
 # the boundary-amortization benchmark (its >=40% transition-reduction
@@ -69,7 +78,9 @@ storm-bench:
 # stable gate), a short-horizon signaling-storm smoke through the gnbsim
 # CLI (open-loop replay, limiter armed — exercises the overload stack end
 # to end in under a second), a short fuzz pass over the binary SBI frame
-# parser, and the batched allocation-regression gate — blocking, so a
+# parser, a sharded-core smoke through the gnbsim CLI (4 replicas behind
+# SUPI-affinity routing with the full fast path on), and the batched and
+# shard-scaling allocation/throughput-regression gates — blocking, so a
 # repeat of the PR-5-era batched inversion fails the pipeline instead of
 # landing silently.
 ci: build
@@ -78,8 +89,14 @@ ci: build
 	$(MAKE) vet
 	$(GO) test -run '^$$' -bench RegisterManyBatched -benchtime=1x .
 	$(GO) run ./cmd/gnbsim -n 40 -storm 10 -limiter -seed 7
+	$(GO) run ./cmd/gnbsim -n 32 -shards 4 -batch 8 -avpool 8 -seed 9
 	$(GO) test -run '^$$' -fuzz '^FuzzFramePayload$$' -fuzztime 5s ./internal/sbi/codec
 	$(MAKE) bench-compare
+	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard_scaling.candidate.json \
+	$(GO) run ./cmd/experiments -seed 7 -iterations 160 shardscale
+	$(GO) run ./tools/benchdiff testdata/bench/BENCH_shard_scaling.baseline.json \
+	    $(CURDIR)/BENCH_shard_scaling.candidate.json
+	rm -f $(CURDIR)/BENCH_shard_scaling.candidate.json
 
 # Regenerate every table and figure of the paper (500 samples each).
 experiments:

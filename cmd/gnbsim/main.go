@@ -6,6 +6,7 @@
 //
 //	gnbsim [-n 100] [-parallel 1] [-isolation sgx|container|monolithic] [-seed N]
 //	       [-chaos RATE] [-retries N] [-batch N] [-avpool N]
+//	       [-shards N] [-shardsize K]
 //	       [-storm FACTOR] [-limiter]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -16,6 +17,11 @@
 // requests over keep-alive sessions of the given depth, and -avpool
 // enables the UDM's authentication-vector precomputation pool with the
 // given per-SUPI ring depth — the two boundary-amortization mechanisms.
+// -shards deploys the core as that many vertical replica slices
+// (AMF+AUSF+UDM+P-AKA per shard) behind SUPI-affinity consistent-hash
+// routing, and -shardsize caps how many of them this gNB's shuffle shard
+// may use (0 = all). The run then reports per-shard lane statistics and
+// the fleet makespan throughput next to the shared-clock figure.
 // -cpuprofile and -memprofile write pprof profiles of the run for
 // `go tool pprof`; the memory profile is an allocs profile taken after a
 // final GC, covering every allocation of the run.
@@ -55,6 +61,8 @@ func run() int {
 	retries := flag.Int("retries", 0, "max registration attempts per UE (0 = 1, or 5 when -chaos is set)")
 	batch := flag.Int("batch", 0, "keep-alive session depth: module requests per connection (0 = one connection per request)")
 	avpool := flag.Int("avpool", 0, "UDM AV precomputation pool depth per SUPI (0 disables)")
+	shards := flag.Int("shards", 1, "core replica count: vertical AMF+AUSF+UDM+P-AKA slices behind SUPI-affinity routing (1 = singleton core)")
+	shardSize := flag.Int("shardsize", 0, "shuffle-shard width: replicas this gNB's tenant may route to (0 = all)")
 	stormFactor := flag.Float64("storm", 0, "signaling-storm overload factor: offer arrivals at this multiple of the core's service rate (0 disables)")
 	limiter := flag.Bool("limiter", false, "arm the overload-control limiter (bounded-queue shedding, priority admission, client throttling) during a -storm run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -112,6 +120,15 @@ func run() int {
 		return 2
 	}
 
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "gnbsim: -shards must be >= 1\n")
+		return 2
+	}
+	if *shardSize < 0 || (*shardSize > *shards) {
+		fmt.Fprintf(os.Stderr, "gnbsim: -shardsize must be in [0, shards]\n")
+		return 2
+	}
+
 	if *stormFactor < 0 {
 		fmt.Fprintf(os.Stderr, "gnbsim: -storm factor must be >= 0\n")
 		return 2
@@ -121,7 +138,10 @@ func run() int {
 		return 2
 	}
 
-	sliceCfg := shield5g.SliceConfig{Isolation: iso, Seed: *seed, AVPoolDepth: *avpool}
+	sliceCfg := shield5g.SliceConfig{
+		Isolation: iso, Seed: *seed, AVPoolDepth: *avpool,
+		Replicas: *shards, ShardSize: *shardSize,
+	}
 	if *chaosRate > 0 {
 		// The decision seed is derived from -seed so one flag reproduces
 		// both the cost draws and the fault schedule.
@@ -209,7 +229,8 @@ func run() int {
 		}
 	}
 	if *avpool > 0 {
-		pool := tb.Slice.UDM.AVPoolStats()
+		// The fleet view sums every replica's pool without double counting.
+		pool := tb.Slice.AVPoolStats()
 		fmt.Printf("av pool: %d hits, %d misses, %d refills, %d banked vectors\n",
 			pool.Hits, pool.Misses, pool.Refills, pool.Pooled)
 	}
@@ -220,6 +241,16 @@ func run() int {
 		fmt.Printf("throughput: %.0f regs/s wall, %.1f regs/s virtual (wall %v, virtual %v)\n",
 			result.WallRegsPerSec, result.VirtualRegsPerSec,
 			result.Wall.Round(time.Millisecond), result.Virtual.Round(time.Millisecond))
+	}
+	if len(result.ShardStats) > 1 {
+		fmt.Printf("fleet: %.1f regs/s over makespan %v (busiest lane; epoch %d)\n",
+			result.FleetVirtualRegsPerSec, result.FleetVirtual.Round(time.Millisecond),
+			tb.Slice.Router.Epoch())
+		for i, st := range result.ShardStats {
+			fmt.Printf("  shard %d (%s): %d ok, %d failed, busy %v\n",
+				i, tb.Slice.Shards[i].Name, st.Registered, st.Failed,
+				st.Busy.Round(time.Millisecond))
+		}
 	}
 	if result.Failed > 0 {
 		classes := make([]string, 0, len(result.FailureCounts))

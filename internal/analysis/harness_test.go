@@ -63,6 +63,7 @@ func TestCtxCarryFixture(t *testing.T)      { runFixture(t, CtxCarry, "ctxcarry"
 func TestCtxCarryMainFixture(t *testing.T)  { runFixture(t, CtxCarry, "ctxcarrymain") }
 func TestStripeMapFixture(t *testing.T)     { runFixture(t, StripeMap, "stripemap") }
 func TestHotAllocFixture(t *testing.T)      { runFixture(t, HotAlloc, "hotalloc") }
+func TestPlaneBoundaryFixture(t *testing.T) { runFixture(t, PlaneBoundary, "planeboundary") }
 
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// PlaneBoundary enforces the import direction of the sharded-core control
+// protocol: the NRF's snapshot builder (shield5g/internal/nf/nrf/topo) is
+// control-plane machinery, and only the NRF subtree itself and the deploy
+// layer that wires subscriptions at slice construction may import it.
+// Data-plane packages consult internal/topology Routers, which hold the
+// last-known-good snapshot locally — the moment a data-plane package
+// imports the builder it has a compile-time path back into the NRF, and
+// the "registration survives NRF unavailability" claim stops being
+// structural. The analyzer closes that door: everything outside the
+// allowlist gets a finding on the import line.
+var PlaneBoundary = &Analyzer{
+	Name: "planeboundary",
+	Doc:  "data-plane packages must not import the NRF snapshot builder",
+	Run:  runPlaneBoundary,
+}
+
+// builderPath is the control-plane package being fenced off.
+const builderPath = "shield5g/internal/nf/nrf/topo"
+
+// builderImporters are the import-path prefixes allowed to depend on the
+// builder: the NRF subtree (it is the builder's home) and the deploy
+// layer (it constructs the builder and subscribes the routers).
+var builderImporters = []string{
+	"shield5g/internal/nf/nrf",
+	"shield5g/internal/deploy",
+}
+
+func runPlaneBoundary(pass *Pass) error {
+	for _, prefix := range builderImporters {
+		p := pass.Pkg.ImportPath
+		if p == prefix || strings.HasPrefix(p, prefix+"/") {
+			return nil
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == builderPath || strings.HasPrefix(path, builderPath+"/") {
+				pass.Reportf(imp.Pos(),
+					"package %s imports the NRF snapshot builder %s; data planes must route via internal/topology's last-known-good snapshots (only %s may import the builder)",
+					pass.Pkg.ImportPath, path, strings.Join(builderImporters, ", "))
+			}
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ func Analyzers() []*Analyzer {
 		CtxCarry,
 		StripeMap,
 		HotAlloc,
+		PlaneBoundary,
 	}
 }
 

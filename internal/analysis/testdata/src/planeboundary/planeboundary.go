@@ -1,0 +1,10 @@
+// Package planeboundary exercises the planeboundary analyzer. The
+// fixture's import path is outside the builder allowlist, so it stands in
+// for a data-plane package: importing the NRF snapshot builder must be
+// reported, importing the data-plane topology package must not.
+package planeboundary
+
+import (
+	_ "shield5g/internal/nf/nrf/topo" // want "imports the NRF snapshot builder"
+	_ "shield5g/internal/topology"
+)

@@ -1,0 +1,8 @@
+package planeboundary
+
+import (
+	// A load-bearing annotation keeps the escape hatch honest: the
+	// suppressed finding is still produced, and the harness checks it.
+	//shieldlint:ignore planeboundary fixture demonstrates the annotation
+	_ "shield5g/internal/nf/nrf/topo" // want:suppressed "imports the NRF snapshot builder"
+)

@@ -175,6 +175,10 @@ func ExperimentRegistry() map[string]Experiment {
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.Storm(ctx, cfg)
 			}),
+		"shardscale": render("shardscale", "Horizontally sharded core: fleet throughput across replica counts 1-8",
+			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
+				return experiments.ShardScale(ctx, cfg)
+			}),
 		"e2e": render("e2e", "End-to-end session setup and the SGX share",
 			func(ctx context.Context, cfg experiments.Config) (interface{ Render(io.Writer) }, error) {
 				return experiments.E2E(ctx, cfg)
@@ -280,6 +284,13 @@ func csvWriters() map[string]func(ctx context.Context, cfg experiments.Config, w
 		},
 		"profiles": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
 			r, err := experiments.Profiles(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"shardscale": func(ctx context.Context, cfg experiments.Config, w io.Writer) error {
+			r, err := experiments.ShardScale(ctx, cfg)
 			if err != nil {
 				return err
 			}

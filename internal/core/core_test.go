@@ -77,7 +77,7 @@ func TestAddSubscriberWithProfile(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	names := ExperimentNames()
-	want := []string{"ablation", "batching", "chaos", "e2e", "fig10", "fig7", "fig8", "fig9", "massreg", "ota", "profiles", "scale", "storm", "table1", "table2", "table3", "table4", "table5", "teecompare"}
+	want := []string{"ablation", "batching", "chaos", "e2e", "fig10", "fig7", "fig8", "fig9", "massreg", "ota", "profiles", "scale", "shardscale", "storm", "table1", "table2", "table3", "table4", "table5", "teecompare"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -137,7 +137,7 @@ func TestWriteExperimentCSV(t *testing.T) {
 	if err := WriteExperimentCSV(context.Background(), "table5", cfg, &buf); err == nil {
 		t.Fatal("CSV export for non-figure experiment accepted")
 	}
-	if len(CSVExperiments()) != 10 {
+	if len(CSVExperiments()) != 11 {
 		t.Fatalf("CSVExperiments = %v", CSVExperiments())
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"shield5g/internal/nf/amf"
 	"shield5g/internal/nf/ausf"
 	"shield5g/internal/nf/nrf"
+	"shield5g/internal/nf/nrf/topo"
 	"shield5g/internal/nf/smf"
 	"shield5g/internal/nf/udm"
 	"shield5g/internal/nf/udr"
@@ -35,6 +36,7 @@ import (
 	"shield5g/internal/paka"
 	"shield5g/internal/sbi"
 	"shield5g/internal/simclock"
+	"shield5g/internal/topology"
 )
 
 // SliceConfig describes one network slice deployment.
@@ -90,6 +92,18 @@ type SliceConfig struct {
 	// proportional throttling. nil leaves the slice seed-identical. The
 	// machinery starts disarmed — SetOverloadArmed opens the storm window.
 	Overload *OverloadProfile
+	// Replicas shards the core horizontally: N vertical replica slices
+	// (AMF -> AUSF -> UDM -> P-AKA modules each) behind SUPI-affinity
+	// consistent-hash routing at the gNB, with the NRF pushing versioned
+	// topology snapshots to the data plane. Values <= 1 build the
+	// singleton core, bit-identical to the seed. NRF, UDR, SMF and UPF
+	// stay shared across replicas.
+	Replicas int
+	// ShardSize caps each tenant's (gNB, PLMN) shuffle shard to this many
+	// replicas, so a noisy tenant only degrades its own subset; 0 lets
+	// every tenant route across all replicas. Only meaningful with
+	// Replicas > 1.
+	ShardSize int
 }
 
 // OverloadProfile selects which overload-control mechanisms a slice runs.
@@ -165,9 +179,22 @@ type Slice struct {
 	Chaos *chaos.Injector
 
 	// Admission is the AMF's priority admission controller (nil unless
-	// SliceConfig.Overload.Admission was set). Disarmed until
+	// SliceConfig.Overload.Admission was set). In a sharded slice it is
+	// shard 0's controller; see Shards for the rest. Disarmed until
 	// SetOverloadArmed(true).
 	Admission *admission.Controller
+
+	// Shards lists the vertical core replicas in shard-index order.
+	// Always populated: a singleton slice is one shard whose members
+	// alias the top-level UDM/AUSF/AMF/Modules fields.
+	Shards []*CoreShard
+
+	// Topology is the NRF's snapshot builder — the control plane that
+	// pushes routing snapshots into Router. nil for singleton slices.
+	Topology *topo.Builder
+	// Router is the gNB's data-plane routing view (last-known-good
+	// snapshot). nil for singleton slices.
+	Router *topology.Router
 
 	resil   *sbi.ResilienceConfig
 	entropy io.Reader
@@ -178,17 +205,67 @@ type Slice struct {
 	resilients []*sbi.ResilientClient
 
 	// metered tracks the servers carrying load meters, for arming;
-	// udmMetered is the UDM's (it additionally carries the AV-pool bias).
-	metered    []*sbi.Server
-	udmMetered *sbi.Server
+	// udmBias pairs each UDM replica's meter with its UDM (the meter
+	// additionally carries the windowed AV-pool bias).
+	metered []*sbi.Server
+	udmBias []udmBiasTarget
 
 	attestMu sync.Mutex
-	attested bool
+	attested map[*paka.Module]bool
+}
+
+// udmBiasTarget pairs a UDM front server's load meter with the UDM whose
+// pool counters feed its advertised-load bias.
+type udmBiasTarget struct {
+	srv *sbi.Server
+	udm *udm.UDM
+}
+
+// CoreShard is one vertical replica of the sharded core: the UDM, AUSF
+// and AMF replica plus their private P-AKA module set, statically bound
+// to each other at construction (no NRF lookup in any request path).
+type CoreShard struct {
+	Index int
+	// Name is the replica's stable ring identity ("shard-<i>").
+	Name string
+
+	UDM  *udm.UDM
+	AUSF *ausf.AUSF
+	AMF  *amf.AMF
+
+	// Modules holds the shard's P-AKA modules (empty for Monolithic).
+	//shieldlint:ignore stripemap immutable after construction
+	Modules map[paka.ModuleKind]*paka.Module
+	// MonoUDM is the shard's in-process key store under Monolithic
+	// isolation.
+	MonoUDM *paka.MonolithicUDM
+
+	// Remote clients expose the VNF-side response-time recorders (nil
+	// for Monolithic).
+	RemoteUDM  *paka.RemoteUDM
+	RemoteAUSF *paka.RemoteAUSF
+	RemoteAMF  *paka.RemoteAMF
+
+	// Admission is the shard AMF's priority admission controller (nil
+	// unless overload admission is configured). Per-shard buckets keep
+	// tenant isolation composable with shuffle-sharding: a tenant's
+	// storm drains only its own shard's buckets.
+	Admission *admission.Controller
+
+	// UDMService/AUSFService are the shard's SBI service names, for
+	// overload metering and diagnostics.
+	UDMService  string
+	AUSFService string
 }
 
 // NewSlice builds and starts a slice. For SGX isolation the enclave build
-// cost (Fig. 7) is charged to ctx's account.
+// cost (Fig. 7) is charged to ctx's account. Replicas > 1 selects the
+// sharded construction path (see replicas.go); the singleton path below
+// stays bit-identical to the seed.
 func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
+	if cfg.Replicas > 1 {
+		return newShardedSlice(ctx, cfg)
+	}
 	if cfg.MCC == "" {
 		cfg.MCC = "001"
 	}
@@ -223,6 +300,7 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 		Registry: sbi.NewRegistry(),
 		Modules:  make(map[paka.ModuleKind]*paka.Module),
 		entropy:  entropy,
+		attested: make(map[*paka.Module]bool),
 	}
 	if cfg.Chaos != nil {
 		s.Chaos = chaos.NewInjector(env, *cfg.Chaos)
@@ -335,6 +413,24 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 		}
 		s.Chaos.SetArmed(true)
 	}
+	// The singleton core is one shard whose members alias the top-level
+	// fields, so shard-generic consumers (overload wiring, provisioning,
+	// counter aggregation) have a single code path.
+	s.Shards = []*CoreShard{{
+		Index:       0,
+		Name:        "shard-0",
+		UDM:         s.UDM,
+		AUSF:        s.AUSF,
+		AMF:         s.AMF,
+		Modules:     s.Modules,
+		MonoUDM:     s.MonoUDM,
+		RemoteUDM:   s.RemoteUDM,
+		RemoteAUSF:  s.RemoteAUSF,
+		RemoteAMF:   s.RemoteAMF,
+		Admission:   s.Admission,
+		UDMService:  udm.ServiceName,
+		AUSFService: ausf.ServiceName,
+	}}
 	s.wireOverload()
 	return s, nil
 }
@@ -365,17 +461,23 @@ func (s *Slice) wireOverload() {
 		s.metered = append(s.metered, srv)
 		return srv
 	}
-	// The UDM's bias (windowed AV-pool miss pressure) is installed when the
-	// window is armed — see SetOverloadArmed.
-	s.udmMetered = attach(udm.ServiceName, udmServiceCycles, 12)
-	attach(ausf.ServiceName, ausfServiceCycles, 16)
 	moduleCost := map[paka.ModuleKind]simclock.Cycles{
 		paka.EUDM:  eudmServiceCycles,
 		paka.EAUSF: eausfServiceCycles,
 		paka.EAMF:  eamfServiceCycles,
 	}
-	for kind, m := range s.Modules {
-		attach(m.ServiceName(), moduleCost[kind], 16)
+	// Every replica's servers meter independently — per-replica OCI state
+	// is what lets one hot shard advertise overload while its siblings
+	// keep accepting. The UDM bias (windowed AV-pool miss pressure) is
+	// installed when the window is armed — see SetOverloadArmed.
+	for _, shard := range s.Shards {
+		if srv := attach(shard.UDMService, udmServiceCycles, 12); srv != nil {
+			s.udmBias = append(s.udmBias, udmBiasTarget{srv: srv, udm: shard.UDM})
+		}
+		attach(shard.AUSFService, ausfServiceCycles, 16)
+		for kind, m := range shard.Modules {
+			attach(m.ServiceName(), moduleCost[kind], 16)
+		}
 	}
 }
 
@@ -384,29 +486,34 @@ func (s *Slice) wireOverload() {
 // controller starts/stops gating. Closing resets meter and bucket state so
 // consecutive storm windows start identically.
 func (s *Slice) SetOverloadArmed(v bool) {
-	if v && s.udmMetered != nil {
-		// AV-pool miss pressure rides the UDM's advert so pool thrash shows
-		// up in the OCI before the virtual queue saturates. The fraction is
-		// windowed from the arming instant — cumulative counters are
-		// dominated by cold-start misses (every subscriber's first
-		// authentication is one) and would advertise phantom overload — and
-		// weighted down because a storm's fresh-attach share misses by
-		// construction, which is demand, not thrash.
-		h0, m0 := s.UDM.PoolCounters()
-		s.udmMetered.SetLoadBias(func() float64 {
-			h, m := s.UDM.PoolCounters()
-			dh, dm := h-h0, m-m0
-			if total := dh + dm; total > 0 {
-				return poolBiasWeight * float64(dm) / float64(total)
-			}
-			return 0
-		})
+	if v {
+		// AV-pool miss pressure rides each UDM replica's advert so pool
+		// thrash shows up in the OCI before the virtual queue saturates.
+		// The fraction is windowed from the arming instant — cumulative
+		// counters are dominated by cold-start misses (every subscriber's
+		// first authentication is one) and would advertise phantom
+		// overload — and weighted down because a storm's fresh-attach
+		// share misses by construction, which is demand, not thrash.
+		for _, t := range s.udmBias {
+			t := t
+			h0, m0 := t.udm.PoolCounters()
+			t.srv.SetLoadBias(func() float64 {
+				h, m := t.udm.PoolCounters()
+				dh, dm := h-h0, m-m0
+				if total := dh + dm; total > 0 {
+					return poolBiasWeight * float64(dm) / float64(total)
+				}
+				return 0
+			})
+		}
 	}
 	for _, srv := range s.metered {
 		srv.SetOverloadArmed(v)
 	}
-	if s.Admission != nil {
-		s.Admission.SetArmed(v)
+	for _, shard := range s.Shards {
+		if shard.Admission != nil {
+			shard.Admission.SetArmed(v)
+		}
 	}
 }
 
@@ -505,17 +612,17 @@ func (s *Slice) buildFunctions(ctx context.Context, cfg SliceConfig) (paka.UDMFu
 // attestEUDM verifies the eUDM execution environment's hardware-rooted
 // attestation evidence before any subscriber key is released to it — the
 // Key Issue 12/13 deployment-validation step of the paper's discussion.
-// It runs once per slice and is a no-op for non-TEE isolation.
+// It runs once per eUDM replica and is a no-op for non-TEE isolation.
 func (s *Slice) attestEUDM(m *paka.Module) error {
 	s.attestMu.Lock()
 	defer s.attestMu.Unlock()
-	if s.attested {
+	if s.attested[m] {
 		return nil
 	}
 	if err := s.verifyAttestation(m); err != nil {
 		return err
 	}
-	s.attested = true
+	s.attested[m] = true
 	return nil
 }
 
@@ -569,12 +676,43 @@ func (s *Slice) RestartModule(ctx context.Context, kind paka.ModuleKind) error {
 	}
 	if kind == paka.EUDM {
 		s.attestMu.Lock()
-		s.attested = true
+		s.attested[m] = true
 		s.attestMu.Unlock()
 		if s.UDM != nil {
 			// Vectors minted before the crash must never be served after
 			// it: the fresh key store may have rebased sequence numbers.
 			s.UDM.InvalidateAVPool()
+		}
+	}
+	return nil
+}
+
+// RestartShardModule is RestartModule addressed at one replica of a
+// sharded slice.
+func (s *Slice) RestartShardModule(ctx context.Context, shard int, kind paka.ModuleKind) error {
+	if shard < 0 || shard >= len(s.Shards) {
+		return fmt.Errorf("deploy: no shard %d", shard)
+	}
+	c := s.Shards[shard]
+	m, ok := c.Modules[kind]
+	if !ok {
+		return fmt.Errorf("deploy: no %s module in shard %d", kind, shard)
+	}
+	if err := m.Restart(ctx); err != nil {
+		return fmt.Errorf("deploy: restart %s shard %d: %w", kind, shard, err)
+	}
+	if s.Chaos != nil {
+		s.Chaos.RegisterEnclave(m.ServiceName(), m.Enclave())
+	}
+	if err := s.verifyAttestation(m); err != nil {
+		return err
+	}
+	if kind == paka.EUDM {
+		s.attestMu.Lock()
+		s.attested[m] = true
+		s.attestMu.Unlock()
+		if c.UDM != nil {
+			c.UDM.InvalidateAVPool()
 		}
 	}
 	return nil
@@ -600,16 +738,23 @@ func (s *Slice) ProvisionSubscriber(ctx context.Context, supi suci.SUPI, k, opc 
 	}); err != nil {
 		return fmt.Errorf("deploy: UDR provisioning: %w", err)
 	}
-	if s.MonoUDM != nil {
-		s.MonoUDM.ProvisionSubscriber(imsi, k)
-		return nil
-	}
-	if m, ok := s.Modules[paka.EUDM]; ok {
-		if err := s.attestEUDM(m); err != nil {
-			return err
+	// The long-term key is fanned out to EVERY replica's execution
+	// environment (each attested once). Full key replication is what
+	// makes topology rebalances loss-free: when a snapshot moves a SUPI
+	// to a different shard, the new owner's eUDM already holds the key,
+	// so no registration fails during ring movement.
+	for _, shard := range s.Shards {
+		if shard.MonoUDM != nil {
+			shard.MonoUDM.ProvisionSubscriber(imsi, k)
+			continue
 		}
-		if err := m.ProvisionSubscriber(ctx, imsi, k); err != nil {
-			return fmt.Errorf("deploy: eUDM provisioning: %w", err)
+		if m, ok := shard.Modules[paka.EUDM]; ok {
+			if err := s.attestEUDM(m); err != nil {
+				return err
+			}
+			if err := m.ProvisionSubscriber(ctx, imsi, k); err != nil {
+				return fmt.Errorf("deploy: eUDM provisioning (shard %d): %w", shard.Index, err)
+			}
 		}
 	}
 	return nil
@@ -624,12 +769,120 @@ func (s *Slice) PrewarmAVPool(ctx context.Context, supis []string) error {
 	if s.UDM == nil {
 		return fmt.Errorf("deploy: slice has no UDM")
 	}
-	return s.UDM.PrewarmAVPool(ctx, supis, kdf.ServingNetworkName(s.Config.MCC, s.Config.MNC))
+	snn := kdf.ServingNetworkName(s.Config.MCC, s.Config.MNC)
+	if len(s.Shards) <= 1 {
+		return s.UDM.PrewarmAVPool(ctx, supis, snn)
+	}
+	// Sharded slices prewarm each SUPI only on its owning replica: the
+	// other replicas would bank vectors nothing ever drains.
+	perShard := make([][]string, len(s.Shards))
+	for _, supi := range supis {
+		idx := s.GNB.ShardOf(supi)
+		perShard[idx] = append(perShard[idx], supi)
+	}
+	for i, shard := range s.Shards {
+		if len(perShard[i]) == 0 {
+			continue
+		}
+		if err := shard.UDM.PrewarmAVPool(ctx, perShard[i], snn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stop tears the slice down, destroying any enclaves.
 func (s *Slice) Stop() {
-	for _, m := range s.Modules {
-		m.Stop()
+	for _, shard := range s.Shards {
+		for _, m := range shard.Modules {
+			m.Stop()
+		}
 	}
+}
+
+// StopNRF takes the NRF off the service bus mid-run. Because the NRF is
+// a pure control-plane function — shard bindings are static and the gNB
+// routes on its last-known-good snapshot — registrations must keep
+// succeeding afterwards. Topology *changes* (SetRoutableReplicas) still
+// work too: the builder pushes in-process, not over SBI. This models the
+// paper's availability claim: shielding and routing survive discovery
+// outages.
+func (s *Slice) StopNRF() {
+	s.Registry.Deregister(nrf.ServiceName)
+}
+
+// SetRoutableReplicas publishes a new topology snapshot that routes over
+// only the first n shards. It is a pure prefix truncation — replica i in
+// the snapshot is always Shards[i] — so the gNB's static AMF bindings
+// stay index-aligned; shards outside the prefix keep running and their
+// keys stay provisioned, so restoring n later is loss-free. Returns the
+// push result (epoch plus ack/nack counts). Only valid on sharded
+// slices.
+func (s *Slice) SetRoutableReplicas(n int) (topo.PushResult, error) {
+	if s.Topology == nil {
+		return topo.PushResult{}, fmt.Errorf("deploy: singleton slice has no topology builder")
+	}
+	if n < 1 || n > len(s.Shards) {
+		return topo.PushResult{}, fmt.Errorf("deploy: routable replicas %d out of range [1,%d]", n, len(s.Shards))
+	}
+	replicas := make([]topology.Replica, n)
+	for i := 0; i < n; i++ {
+		replicas[i] = topology.Replica{Index: i, Name: s.Shards[i].Name}
+	}
+	s.Topology.SetReplicas(replicas)
+	return s.Topology.Publish(), nil
+}
+
+// AVPoolStats sums the AV-pool counters across every shard's UDM —
+// the fleet-wide view. Per-replica counters are additive, so the sum
+// never double counts.
+func (s *Slice) AVPoolStats() udm.AVPoolStats {
+	var out udm.AVPoolStats
+	for _, st := range s.ShardAVPoolStats() {
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Refills += st.Refills
+		out.Invalidated += st.Invalidated
+		out.Prewarmed += st.Prewarmed
+		out.Pooled += st.Pooled
+	}
+	return out
+}
+
+// ShardAVPoolStats snapshots each shard UDM's AV-pool counters in
+// shard-index order.
+func (s *Slice) ShardAVPoolStats() []udm.AVPoolStats {
+	out := make([]udm.AVPoolStats, len(s.Shards))
+	for i, shard := range s.Shards {
+		out[i] = shard.UDM.AVPoolStats()
+	}
+	return out
+}
+
+// AdmissionStats sums the admission counters across every shard's
+// controller — the fleet-wide view. Sources is summed, not deduplicated:
+// shuffle-sharding gives each (gNB, PLMN) tenant buckets on only its own
+// shards, so per-shard source sets are disjoint views of load.
+func (s *Slice) AdmissionStats() admission.Stats {
+	var out admission.Stats
+	for _, st := range s.ShardAdmissionStats() {
+		for i := range st.Admitted {
+			out.Admitted[i] += st.Admitted[i]
+			out.Dropped[i] += st.Dropped[i]
+		}
+		out.Sources += st.Sources
+	}
+	return out
+}
+
+// ShardAdmissionStats snapshots each shard's admission counters in
+// shard-index order (zero value where admission is disabled).
+func (s *Slice) ShardAdmissionStats() []admission.Stats {
+	out := make([]admission.Stats, len(s.Shards))
+	for i, shard := range s.Shards {
+		if shard.Admission != nil {
+			out[i] = shard.Admission.Stats()
+		}
+	}
+	return out
 }

@@ -1,0 +1,286 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"shield5g/internal/gnb"
+	"shield5g/internal/nf/nrf"
+	"shield5g/internal/paka"
+	"shield5g/internal/ue"
+)
+
+func newShardedTestSlice(t *testing.T, cfg SliceConfig) *Slice {
+	t.Helper()
+	s, err := NewSlice(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("NewSlice(replicas=%d): %v", cfg.Replicas, err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func supiString(msin string) string { return "imsi-00101" + msin }
+
+func TestShardedRegistrationSpreadsAcrossShards(t *testing.T) {
+	s := newShardedTestSlice(t, SliceConfig{
+		Isolation: paka.Container, Seed: 11, Replicas: 4,
+	})
+	if len(s.Shards) != 4 {
+		t.Fatalf("Shards = %d, want 4", len(s.Shards))
+	}
+
+	n := 24
+	res, err := s.GNB.RegisterManyWith(context.Background(), gnb.MassOptions{
+		N: n,
+		NewUE: func(i int) (*ue.UE, error) {
+			return provisionUE(t, s, fmt.Sprintf("%010d", 7000+i)), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("RegisterManyWith: %v", err)
+	}
+	if res.Registered != n || res.Failed != 0 {
+		t.Fatalf("Registered=%d Failed=%d %v", res.Registered, res.Failed, res.FirstErrors)
+	}
+	if len(res.ShardStats) != 4 {
+		t.Fatalf("ShardStats = %d lanes, want 4", len(res.ShardStats))
+	}
+	busyLanes, total := 0, 0
+	perAMF := 0
+	for i, st := range res.ShardStats {
+		total += st.Registered
+		if st.Registered > 0 {
+			busyLanes++
+			if st.Busy <= 0 {
+				t.Fatalf("lane %d served %d registrations with zero busy time", i, st.Registered)
+			}
+			if st.SetupTimes.N() != st.Registered {
+				t.Fatalf("lane %d recorder has %d samples, want %d", i, st.SetupTimes.N(), st.Registered)
+			}
+		}
+		perAMF += s.Shards[i].AMF.RegisteredUEs()
+	}
+	if total != n {
+		t.Fatalf("lane registrations sum to %d, want %d (no double counting)", total, n)
+	}
+	if perAMF != n {
+		t.Fatalf("AMF replicas hold %d UEs, want %d", perAMF, n)
+	}
+	if busyLanes < 2 {
+		t.Fatalf("only %d lanes served traffic; SUPI-affinity hashing should spread 24 UEs", busyLanes)
+	}
+	if res.FleetVirtual <= 0 || res.FleetVirtual >= res.Virtual {
+		t.Fatalf("FleetVirtual = %v, want in (0, %v): makespan must beat the summed clock", res.FleetVirtual, res.Virtual)
+	}
+	// Routing is pure SUPI affinity: what the router says is where the
+	// UE's context actually lives.
+	for i := 0; i < n; i++ {
+		supi := supiString(fmt.Sprintf("%010d", 7000+i))
+		idx := s.GNB.ShardOf(supi)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("ShardOf(%s) = %d", supi, idx)
+		}
+	}
+}
+
+func TestShuffleShardConfinesTenant(t *testing.T) {
+	s := newShardedTestSlice(t, SliceConfig{
+		Isolation: paka.Container, Seed: 11, Replicas: 4, ShardSize: 2,
+	})
+	n := 24
+	res, err := s.GNB.RegisterManyWith(context.Background(), gnb.MassOptions{
+		N: n,
+		NewUE: func(i int) (*ue.UE, error) {
+			return provisionUE(t, s, fmt.Sprintf("%010d", 7100+i)), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("RegisterManyWith: %v", err)
+	}
+	if res.Registered != n {
+		t.Fatalf("Registered=%d Failed=%d %v", res.Registered, res.Failed, res.FirstErrors)
+	}
+	busy := 0
+	for _, st := range res.ShardStats {
+		if st.Registered > 0 {
+			busy++
+		}
+	}
+	if busy > 2 {
+		t.Fatalf("tenant's traffic reached %d shards, shuffle shard caps it at 2", busy)
+	}
+}
+
+func TestShardedRegistrationSurvivesNRFStop(t *testing.T) {
+	s := newShardedTestSlice(t, SliceConfig{
+		Isolation: paka.Container, Seed: 5, Replicas: 4,
+	})
+	ctx := context.Background()
+
+	// Provision everything up front, then take the NRF off the bus.
+	devices := make([]*ue.UE, 12)
+	for i := range devices {
+		devices[i] = provisionUE(t, s, fmt.Sprintf("%010d", 7200+i))
+	}
+	s.StopNRF()
+	if _, ok := s.Registry.Lookup(nrf.ServiceName); ok {
+		t.Fatal("NRF still on the service bus after StopNRF")
+	}
+
+	// Registrations must complete on last-known-good routing and static
+	// shard bindings — the NRF is strictly off the request path.
+	for _, device := range devices {
+		if _, err := s.GNB.RegisterUE(ctx, device); err != nil {
+			t.Fatalf("RegisterUE with NRF stopped: %v", err)
+		}
+	}
+	// Topology changes still propagate: the builder pushes in-process.
+	epoch := s.Router.Epoch()
+	res, err := s.SetRoutableReplicas(2)
+	if err != nil {
+		t.Fatalf("SetRoutableReplicas with NRF stopped: %v", err)
+	}
+	if res.Acked != 1 || res.Nacked != 0 || s.Router.Epoch() != epoch+1 {
+		t.Fatalf("push result %+v, router epoch %d (was %d)", res, s.Router.Epoch(), epoch)
+	}
+	if _, err := s.GNB.ReRegisterUE(ctx, devices[0]); err != nil {
+		t.Fatalf("ReRegisterUE after rebalance with NRF stopped: %v", err)
+	}
+}
+
+// TestMidRunRebalance drives a mass registration and, midway through,
+// publishes a topology snapshot that shrinks the routable replica set.
+// Because every shard holds every subscriber key, the rebalance must cost
+// zero failed registrations; and because the ring hashes replica names,
+// SUPIs whose owner survived the shrink must not flap to another shard.
+func TestMidRunRebalance(t *testing.T) {
+	s := newShardedTestSlice(t, SliceConfig{
+		Isolation: paka.Container, Seed: 23, Replicas: 4,
+	})
+	n := 40
+	msin := func(i int) string { return fmt.Sprintf("%010d", 7300+i) }
+
+	before := make([]int, n)
+	for i := 0; i < n; i++ {
+		before[i] = s.GNB.ShardOf(supiString(msin(i)))
+	}
+
+	res, err := s.GNB.RegisterManyWith(context.Background(), gnb.MassOptions{
+		N: n,
+		NewUE: func(i int) (*ue.UE, error) {
+			if i == n/2 {
+				if _, err := s.SetRoutableReplicas(3); err != nil {
+					return nil, err
+				}
+			}
+			return provisionUE(t, s, msin(i)), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("RegisterManyWith: %v", err)
+	}
+	if res.Registered != n || res.Failed != 0 {
+		t.Fatalf("rebalance cost registrations: Registered=%d Failed=%d %v",
+			res.Registered, res.Failed, res.FirstErrors)
+	}
+
+	// Under the shrunk snapshot, only SUPIs owned by the removed shard 3
+	// may have moved; everyone else keeps their shard (no flapping).
+	moved := 0
+	for i := 0; i < n; i++ {
+		after := s.GNB.ShardOf(supiString(msin(i)))
+		if before[i] == 3 {
+			if after == 3 {
+				t.Fatalf("SUPI %d still routes to the removed shard", i)
+			}
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("SUPI %d flapped %d -> %d though its owner survived", i, before[i], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no SUPI was owned by shard 3 — test exercised nothing")
+	}
+
+	// Restoring the replica set restores the exact original affinity:
+	// consistent hashing is memoryless in the replica set.
+	if _, err := s.SetRoutableReplicas(4); err != nil {
+		t.Fatalf("SetRoutableReplicas(4): %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got := s.GNB.ShardOf(supiString(msin(i))); got != before[i] {
+			t.Fatalf("SUPI %d settled on %d, want original %d", i, got, before[i])
+		}
+	}
+}
+
+// TestShardedSameSeedDeterminism replays an identical replicas=4 run and
+// requires bit-identical virtual-time results, lane by lane.
+func TestShardedSameSeedDeterminism(t *testing.T) {
+	run := func() *gnb.MassResult {
+		s := newShardedTestSlice(t, SliceConfig{
+			Isolation: paka.Container, Seed: 31, Replicas: 4,
+		})
+		res, err := s.GNB.RegisterManyWith(context.Background(), gnb.MassOptions{
+			N: 20,
+			NewUE: func(i int) (*ue.UE, error) {
+				return provisionUE(t, s, fmt.Sprintf("%010d", 7400+i)), nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("RegisterManyWith: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Registered != b.Registered || a.Failed != b.Failed {
+		t.Fatalf("outcome diverged: %d/%d vs %d/%d", a.Registered, a.Failed, b.Registered, b.Failed)
+	}
+	if a.Virtual != b.Virtual || a.FleetVirtual != b.FleetVirtual {
+		t.Fatalf("virtual time diverged: %v/%v vs %v/%v", a.Virtual, a.FleetVirtual, b.Virtual, b.FleetVirtual)
+	}
+	for i := range a.ShardStats {
+		sa, sb := a.ShardStats[i], b.ShardStats[i]
+		if sa.Registered != sb.Registered || sa.Busy != sb.Busy {
+			t.Fatalf("lane %d diverged: (%d, %v) vs (%d, %v)", i, sa.Registered, sa.Busy, sb.Registered, sb.Busy)
+		}
+	}
+}
+
+func TestShardedCounterAggregation(t *testing.T) {
+	s := newShardedTestSlice(t, SliceConfig{
+		Isolation: paka.Container, Seed: 17, Replicas: 2,
+		AVPoolDepth: 4,
+	})
+	ctx := context.Background()
+	n := 10
+	supis := make([]string, n)
+	for i := 0; i < n; i++ {
+		provisionUE(t, s, fmt.Sprintf("%010d", 7500+i))
+		supis[i] = supiString(fmt.Sprintf("%010d", 7500+i))
+	}
+	if err := s.PrewarmAVPool(ctx, supis); err != nil {
+		t.Fatalf("PrewarmAVPool: %v", err)
+	}
+	perShard := s.ShardAVPoolStats()
+	fleet := s.AVPoolStats()
+	if fleet.Prewarmed == 0 {
+		t.Fatal("prewarm banked nothing")
+	}
+	var sum uint64
+	var pooled int
+	for i, st := range perShard {
+		sum += st.Prewarmed
+		pooled += st.Pooled
+		if st.Prewarmed == 0 {
+			t.Fatalf("shard %d prewarmed nothing — prewarm must hit the owning replica only", i)
+		}
+	}
+	if sum != fleet.Prewarmed || pooled != fleet.Pooled {
+		t.Fatalf("fleet view (%d, %d) != shard sum (%d, %d)", fleet.Prewarmed, fleet.Pooled, sum, pooled)
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"shield5g/internal/deploy"
+	"shield5g/internal/gnb"
+	"shield5g/internal/paka"
+	"shield5g/internal/ue"
+)
+
+// The shardscale experiment sweeps the horizontally sharded core across
+// replica counts {1, 2, 4, 8} on the full fast path (keep-alive batch-8,
+// AV pool depth 8, binary SBI, prewarmed): each point deploys a fresh
+// same-seed slice, pre-provisions and prewarms the whole UE population,
+// then drives one deterministic sequential mass registration and reports
+// the fleet's virtual throughput (registrations over the busiest lane's
+// makespan) next to the shared-clock figure. The replicas=1 point takes
+// the singleton construction path, so it is bit-identical to the seed's
+// golden transcripts; the fleet speedup at 8 replicas is the tentpole
+// acceptance figure (>= 3x). Set BENCH_SHARD_JSON to a path to dump the
+// sweep (the BENCH_shard_scaling.json artifact).
+
+// shardScaleReplicas is the swept replica axis.
+var shardScaleReplicas = []int{1, 2, 4, 8}
+
+// ShardScalePoint is one replica count of the sweep.
+type ShardScalePoint struct {
+	Replicas   int `json:"replicas"`
+	Registered int `json:"registered"`
+	Failed     int `json:"failed"`
+	// Virtual is the shared-clock advance over the run; FleetVirtual is
+	// the busiest replica lane's busy time (the fleet makespan).
+	Virtual       time.Duration `json:"-"`
+	VirtualMS     float64       `json:"virtual_ms"`
+	FleetVirtual  time.Duration `json:"-"`
+	FleetMS       float64       `json:"fleet_makespan_ms"`
+	VirtualRegsPS float64       `json:"virtual_regs_per_sec"`
+	FleetRegsPS   float64       `json:"fleet_regs_per_sec"`
+	// Speedup is this point's fleet throughput over the replicas=1
+	// point's.
+	Speedup float64 `json:"speedup"`
+	// AllocsPerReg is the steady-state heap cost per registration —
+	// the section-9 budget (< 100 on this path) must hold at every
+	// replica count, or sharding bought throughput by spending the
+	// allocation-discipline work.
+	AllocsPerReg float64 `json:"allocs_per_reg"`
+	BytesPerReg  float64 `json:"bytes_per_reg"`
+	// LaneRegistered is the per-shard registration spread (affinity
+	// balance), in shard-index order.
+	LaneRegistered []int `json:"lane_registered"`
+	// Mode keys the point for benchdiff ("replicas-N").
+	Mode string `json:"mode"`
+}
+
+// ShardScaleResult is the full sweep.
+type ShardScaleResult struct {
+	UEs    int               `json:"ues"`
+	Points []ShardScalePoint `json:"points"`
+	// SpeedupAt8 is the fleet-throughput gain of 8 replicas over 1
+	// (acceptance: >= 3).
+	SpeedupAt8 float64 `json:"speedup_at_8"`
+	// Deterministic reports whether a same-seed replay of the
+	// replicas=8 point reproduced identical virtual-time results lane
+	// by lane (allocation counters are excluded: the Go heap is not
+	// part of the simulation's determinism contract).
+	Deterministic bool `json:"deterministic"`
+}
+
+// ShardScale runs the replica sweep.
+func ShardScale(ctx context.Context, cfg Config) (*ShardScaleResult, error) {
+	n := cfg.iterations()
+	if n < 160 {
+		n = 160
+	}
+	if n > 320 {
+		n = 320
+	}
+	result := &ShardScaleResult{UEs: n}
+	for _, replicas := range shardScaleReplicas {
+		point, err := shardScalePoint(ctx, cfg, n, replicas)
+		if err != nil {
+			return nil, err
+		}
+		result.Points = append(result.Points, point)
+	}
+	base := result.Points[0].FleetRegsPS
+	for i := range result.Points {
+		if base > 0 {
+			result.Points[i].Speedup = result.Points[i].FleetRegsPS / base
+		}
+	}
+	result.SpeedupAt8 = result.Points[len(result.Points)-1].Speedup
+
+	// Same-seed replay of the widest point: every virtual-time figure
+	// must reproduce exactly.
+	replay, err := shardScalePoint(ctx, cfg, n, 8)
+	if err != nil {
+		return nil, err
+	}
+	last := result.Points[len(result.Points)-1]
+	result.Deterministic = last.Registered == replay.Registered &&
+		last.Failed == replay.Failed &&
+		last.Virtual == replay.Virtual &&
+		last.FleetVirtual == replay.FleetVirtual &&
+		sameLanes(last.LaneRegistered, replay.LaneRegistered)
+
+	if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+		data, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("shardscale: marshal report: %w", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("shardscale: write %s: %w", path, err)
+		}
+	}
+	return result, nil
+}
+
+func sameLanes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardScalePoint deploys a fresh slice with the given replica count,
+// provisions and prewarms the population outside the measured window,
+// then drives the deterministic sequential registration run.
+func shardScalePoint(ctx context.Context, cfg Config, n, replicas int) (ShardScalePoint, error) {
+	point := ShardScalePoint{Replicas: replicas, Mode: fmt.Sprintf("replicas-%d", replicas)}
+	s, err := deploy.NewSlice(ctx, deploy.SliceConfig{
+		Isolation:   paka.SGX,
+		Seed:        cfg.Seed + 53,
+		Replicas:    replicas,
+		AVPoolDepth: 8,
+		BinarySBI:   true,
+	})
+	if err != nil {
+		return point, err
+	}
+	defer s.Stop()
+
+	// Warm every shard's chain (TLS handshakes, enclave warm-up, binary
+	// SBI capability negotiation) so the window measures steady state.
+	// One registration per shard: capability snapshots and keep-alive
+	// state are per service pair, and each shard is its own chain. The
+	// warm UE for each shard is found by ring ownership — a fixed MSIN
+	// per shard index would leave the shards it happens not to hash to
+	// cold, charging their first-contact costs to the window. The
+	// warm-up also rides the same keep-alive connection identity the
+	// mass driver uses, so every module's per-connection session state
+	// exists before the window opens instead of being charged to it.
+	warmCtx := paka.WithConnection(ctx, 1, 8)
+	shardWarm := make([]bool, len(s.Shards))
+	for probe, warmed := 0, 0; warmed < len(s.Shards); probe++ {
+		if probe > 10000 {
+			return point, fmt.Errorf("shardscale: no warm SUPI found for %d of %d shards", len(s.Shards)-warmed, len(s.Shards))
+		}
+		warm, err := sliceSubscriber(ctx, s, fmt.Sprintf("%010d", 9000+probe))
+		if err != nil {
+			return point, err
+		}
+		if shard := s.GNB.ShardOf(warm.SUPIString()); !shardWarm[shard] {
+			if _, err := s.GNB.RegisterUE(warmCtx, warm); err != nil {
+				return point, err
+			}
+			shardWarm[shard] = true
+			warmed++
+		}
+	}
+
+	// Provision and prewarm the population outside the window — the
+	// operator's deployment order, same as the binsbi bench mode.
+	devices := make([]*ue.UE, n)
+	supis := make([]string, n)
+	for i := range devices {
+		device, err := sliceSubscriber(ctx, s, fmt.Sprintf("%010d", 8000+i))
+		if err != nil {
+			return point, err
+		}
+		devices[i] = device
+		supis[i] = device.SUPIString()
+	}
+	if err := s.PrewarmAVPool(ctx, supis); err != nil {
+		return point, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := s.GNB.RegisterManyWith(ctx, gnb.MassOptions{
+		N:         n,
+		NewUE:     func(i int) (*ue.UE, error) { return devices[i], nil },
+		BatchSize: 8,
+	})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return point, err
+	}
+
+	point.Registered = res.Registered
+	point.Failed = res.Failed
+	point.Virtual = res.Virtual
+	point.VirtualMS = float64(res.Virtual) / float64(time.Millisecond)
+	point.FleetVirtual = res.FleetVirtual
+	point.FleetMS = float64(res.FleetVirtual) / float64(time.Millisecond)
+	point.VirtualRegsPS = res.VirtualRegsPerSec
+	point.FleetRegsPS = res.FleetVirtualRegsPerSec
+	if res.Registered > 0 {
+		point.AllocsPerReg = float64(after.Mallocs-before.Mallocs) / float64(res.Registered)
+		point.BytesPerReg = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Registered)
+	}
+	point.LaneRegistered = make([]int, len(res.ShardStats))
+	for i, st := range res.ShardStats {
+		point.LaneRegistered[i] = st.Registered
+	}
+	if len(res.ShardStats) == 0 {
+		// Singleton runs carry one implicit lane.
+		point.LaneRegistered = []int{res.Registered}
+	}
+	return point, nil
+}
+
+// Render prints the sweep table.
+func (r *ShardScaleResult) Render(w io.Writer) {
+	fprintf(w, "Horizontally sharded core: replica sweep (%d UEs, batch-8 + AV pool 8 + binary SBI, prewarmed)\n", r.UEs)
+	fprintf(w, "%-9s %6s %6s %12s %12s %12s %12s %8s %9s\n",
+		"replicas", "ok", "fail", "virtual", "makespan", "virt reg/s", "fleet reg/s", "speedup", "allocs/r")
+	for _, p := range r.Points {
+		fprintf(w, "%-9d %6d %6d %12s %12s %12.1f %12.1f %7.2fx %9.1f\n",
+			p.Replicas, p.Registered, p.Failed,
+			p.Virtual.Round(time.Millisecond), p.FleetVirtual.Round(time.Millisecond),
+			p.VirtualRegsPS, p.FleetRegsPS, p.Speedup, p.AllocsPerReg)
+	}
+	fprintf(w, "fleet speedup at 8 replicas: %.2fx (acceptance: >= 3x)\n", r.SpeedupAt8)
+	if r.Deterministic {
+		fprintf(w, "(same-seed replay of the replicas-8 point reproduced identical lane-by-lane virtual time)\n")
+	} else {
+		fprintf(w, "WARNING: same-seed replay diverged; the determinism contract is broken\n")
+	}
+}
+
+// WriteCSV emits the sweep series.
+func (r *ShardScaleResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Replicas),
+			fmt.Sprintf("%d", p.Registered),
+			fmt.Sprintf("%d", p.Failed),
+			f(p.VirtualMS),
+			f(p.FleetMS),
+			f(p.VirtualRegsPS),
+			f(p.FleetRegsPS),
+			f(p.Speedup),
+			f(p.AllocsPerReg),
+			f(p.BytesPerReg),
+		})
+	}
+	return writeCSV(w, []string{
+		"replicas", "registered", "failed", "virtual_ms", "fleet_makespan_ms",
+		"virtual_regs_per_sec", "fleet_regs_per_sec", "speedup", "allocs_per_reg", "bytes_per_reg",
+	}, rows)
+}

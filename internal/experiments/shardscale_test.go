@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestShardScaleFleetSpeedup is the acceptance check of the replica sweep:
+// 8 replicas must deliver at least 3x the fleet registration throughput of
+// the singleton, the same-seed replay must reproduce lane for lane, and
+// every point must stay inside the section-9 allocation budget (< 100
+// allocs per registration on the full fast path).
+func TestShardScaleFleetSpeedup(t *testing.T) {
+	cfg := Config{Seed: 7, Iterations: 160}
+	r, err := ShardScale(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("ShardScale: %v", err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Registered != r.UEs || p.Failed != 0 {
+			t.Errorf("replicas=%d: Registered=%d Failed=%d, want %d/0", p.Replicas, p.Registered, p.Failed, r.UEs)
+		}
+		if p.AllocsPerReg >= 100 {
+			t.Errorf("replicas=%d: %.1f allocs/reg, budget is < 100", p.Replicas, p.AllocsPerReg)
+		}
+		if len(p.LaneRegistered) != p.Replicas {
+			t.Errorf("replicas=%d: %d lanes reported", p.Replicas, len(p.LaneRegistered))
+		}
+	}
+	// The singleton defines the baseline: fleet throughput == shared-clock
+	// throughput when there is one lane.
+	if one := r.Points[0]; one.FleetRegsPS != one.VirtualRegsPS {
+		t.Errorf("singleton fleet rate %.1f != virtual rate %.1f", one.FleetRegsPS, one.VirtualRegsPS)
+	}
+	if r.SpeedupAt8 < 3 {
+		t.Errorf("fleet speedup at 8 replicas = %.2fx, acceptance is >= 3x", r.SpeedupAt8)
+	}
+	if !r.Deterministic {
+		t.Error("same-seed replay of the replicas-8 point diverged")
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "replica sweep") {
+		t.Fatal("render missing header")
+	}
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "fleet_regs_per_sec") {
+		t.Fatal("CSV missing header")
+	}
+}

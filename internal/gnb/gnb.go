@@ -20,6 +20,7 @@ import (
 	"shield5g/internal/paka"
 	"shield5g/internal/sbi"
 	"shield5g/internal/simclock"
+	"shield5g/internal/topology"
 	"shield5g/internal/ue"
 )
 
@@ -51,8 +52,20 @@ func USRPX310() RadioProfile {
 // Config wires a gNB.
 type Config struct {
 	Env *costmodel.Env
-	// AMF is the N2 peer.
+	// AMF is the N2 peer of a single-replica core. Leave it nil and set
+	// AMFs for a sharded core.
 	AMF *amf.AMF
+	// AMFs is the replica pool of a sharded core, in shard-index order
+	// (matching the routing snapshots the Router receives). When set, the
+	// gNB routes each UE to AMFs[Router.Route(tenant, SUPI)]; when only
+	// AMF is set the gNB behaves exactly as the single-replica seed.
+	AMFs []*amf.AMF
+	// Router resolves (tenant, SUPI) to a replica index from the
+	// last-known-good topology snapshot. Required when len(AMFs) > 1.
+	Router *topology.Router
+	// Tenant identifies this gNB for shuffle-shard assignment; defaults
+	// to "gnb/"+MCC+MNC.
+	Tenant string
 	// UPF is the N3 peer for the data path (optional; nil disables
 	// user-plane forwarding).
 	UPF *upf.UPF
@@ -65,20 +78,34 @@ type Config struct {
 
 // GNB is one simulated base station.
 type GNB struct {
-	env   *costmodel.Env
-	amf   *amf.AMF
-	upf   *upf.UPF
-	mcc   string
-	mnc   string
-	radio RadioProfile
+	env    *costmodel.Env
+	amfs   []*amf.AMF
+	router *topology.Router
+	tenant string
+	upf    *upf.UPF
+	mcc    string
+	mnc    string
+	radio  RadioProfile
 
 	nextRANUE atomic.Uint64
 }
 
 // New creates a gNB.
 func New(cfg Config) (*GNB, error) {
-	if cfg.Env == nil || cfg.AMF == nil {
-		return nil, errors.New("gnb: Env and AMF are required")
+	amfs := cfg.AMFs
+	if len(amfs) == 0 && cfg.AMF != nil {
+		amfs = []*amf.AMF{cfg.AMF}
+	}
+	if cfg.Env == nil || len(amfs) == 0 {
+		return nil, errors.New("gnb: Env and AMF (or AMFs) are required")
+	}
+	for _, a := range amfs {
+		if a == nil {
+			return nil, errors.New("gnb: nil AMF replica")
+		}
+	}
+	if len(amfs) > 1 && cfg.Router == nil {
+		return nil, errors.New("gnb: Router is required for a replicated AMF pool")
 	}
 	if cfg.MCC == "" || cfg.MNC == "" {
 		return nil, errors.New("gnb: broadcast PLMN (MCC/MNC) is required")
@@ -87,14 +114,47 @@ func New(cfg Config) (*GNB, error) {
 	if radio.Name == "" {
 		radio = GNBSIM()
 	}
+	tenant := cfg.Tenant
+	if tenant == "" {
+		tenant = "gnb/" + cfg.MCC + cfg.MNC
+	}
 	return &GNB{
-		env:   cfg.Env,
-		amf:   cfg.AMF,
-		upf:   cfg.UPF,
-		mcc:   cfg.MCC,
-		mnc:   cfg.MNC,
-		radio: radio,
+		env:    cfg.Env,
+		amfs:   amfs,
+		router: cfg.Router,
+		tenant: tenant,
+		upf:    cfg.UPF,
+		mcc:    cfg.MCC,
+		mnc:    cfg.MNC,
+		radio:  radio,
 	}, nil
+}
+
+// Replicas reports the size of the gNB's AMF pool.
+func (g *GNB) Replicas() int { return len(g.amfs) }
+
+// Tenant reports the shuffle-shard identity this gNB routes under.
+func (g *GNB) Tenant() string { return g.tenant }
+
+// ShardOf resolves a SUPI to its owning replica index under the current
+// last-known-good snapshot. Single-replica gNBs always answer 0; so does
+// a sharded gNB that has not yet received a snapshot (the static-wiring
+// fallback — routing never blocks on the control plane).
+func (g *GNB) ShardOf(supi string) int {
+	if g.router == nil || len(g.amfs) == 1 {
+		return 0
+	}
+	idx, ok := g.router.Route(g.tenant, supi)
+	if !ok || idx < 0 || idx >= len(g.amfs) {
+		return 0
+	}
+	return idx
+}
+
+// amfFor picks the AMF replica owning the device's SUPI.
+func (g *GNB) amfFor(device *ue.UE) (*amf.AMF, int) {
+	idx := g.ShardOf(device.SUPIString())
+	return g.amfs[idx], idx
 }
 
 // BroadcastPLMN is the PLMN the gNB announces.
@@ -106,6 +166,8 @@ func (g *GNB) Radio() RadioProfile { return g.radio }
 // Session is one attached UE's RAN context.
 type Session struct {
 	gnb     *GNB
+	amf     *amf.AMF
+	shard   int
 	ue      *ue.UE
 	ranUEID uint64
 	teid    uint32
@@ -114,6 +176,9 @@ type Session struct {
 	// (the paper's session setup measurement).
 	SetupTime time.Duration
 }
+
+// Shard reports the replica index that served this session.
+func (s *Session) Shard() int { return s.shard }
 
 // maxNASRounds bounds the registration exchange (resync adds one extra
 // challenge round).
@@ -136,15 +201,20 @@ func (g *GNB) RegisterUE(ctx context.Context, device *ue.UE) (*Session, error) {
 
 	ranUEID := g.nextRANUE.Add(1)
 
-	uplink, err := device.BuildRegistrationRequest(ctx, g.amf.ServingNetworkName())
+	// One routing decision per registration: the SUPI's owning replica
+	// serves the whole vertical slice (AMF -> AUSF -> UDM -> modules).
+	a, shardIdx := g.amfFor(device)
+	uplink, err := device.BuildRegistrationRequest(ctx, a.ServingNetworkName())
 	if err != nil {
 		return nil, err
 	}
-	if err := g.driveRegistration(ctx, device, ranUEID, uplink); err != nil {
+	if err := g.driveRegistration(ctx, a, device, ranUEID, uplink); err != nil {
 		return nil, err
 	}
 	return &Session{
 		gnb:       g,
+		amf:       a,
+		shard:     shardIdx,
 		ue:        device,
 		ranUEID:   ranUEID,
 		SetupTime: g.env.Model.Duration(acct.Total() - start),
@@ -165,26 +235,31 @@ func (g *GNB) ReRegisterUE(ctx context.Context, device *ue.UE) (*Session, error)
 
 	ranUEID := g.nextRANUE.Add(1)
 
-	uplink, err := device.BuildReRegistrationRequest(ctx, g.amf.ServingNetworkName())
+	// Mobility registrations route on the SUPI too: the GUTI was minted
+	// by the owning replica, which holds the TMSI binding.
+	a, shardIdx := g.amfFor(device)
+	uplink, err := device.BuildReRegistrationRequest(ctx, a.ServingNetworkName())
 	if err != nil {
 		return nil, err
 	}
-	if err := g.driveRegistration(ctx, device, ranUEID, uplink); err != nil {
+	if err := g.driveRegistration(ctx, a, device, ranUEID, uplink); err != nil {
 		return nil, err
 	}
 	return &Session{
 		gnb:       g,
+		amf:       a,
+		shard:     shardIdx,
 		ue:        device,
 		ranUEID:   ranUEID,
 		SetupTime: g.env.Model.Duration(acct.Total() - start),
 	}, nil
 }
 
-// driveRegistration relays the NAS exchange between UE and AMF until the
-// registration completes.
-func (g *GNB) driveRegistration(ctx context.Context, device *ue.UE, ranUEID uint64, initialUplink []byte) error {
+// driveRegistration relays the NAS exchange between UE and the owning
+// AMF replica until the registration completes.
+func (g *GNB) driveRegistration(ctx context.Context, a *amf.AMF, device *ue.UE, ranUEID uint64, initialUplink []byte) error {
 	g.chargeRadio(ctx)
-	downlink, err := g.amf.HandleInitialUE(ctx, ranUEID, initialUplink)
+	downlink, err := a.HandleInitialUE(ctx, ranUEID, initialUplink)
 	if err != nil {
 		return fmt.Errorf("gnb: initial UE message: %w", err)
 	}
@@ -201,7 +276,7 @@ func (g *GNB) driveRegistration(ctx context.Context, device *ue.UE, ranUEID uint
 			return errors.New("gnb: UE stalled without uplink")
 		}
 		g.chargeRadio(ctx)
-		downlink, err = g.amf.HandleUplinkNAS(ctx, ranUEID, up)
+		downlink, err = a.HandleUplinkNAS(ctx, ranUEID, up)
 		if err != nil {
 			return fmt.Errorf("gnb: uplink NAS: %w", err)
 		}
@@ -214,7 +289,7 @@ func (g *GNB) driveRegistration(ctx context.Context, device *ue.UE, ranUEID uint
 		}
 	}
 
-	if _, ok := g.amf.SUPIOf(ranUEID); !ok {
+	if _, ok := a.SUPIOf(ranUEID); !ok {
 		return errors.New("gnb: registration did not complete")
 	}
 	return nil
@@ -237,14 +312,14 @@ func (s *Session) EstablishPDUSession(ctx context.Context, sessionID byte, dnn s
 		return err
 	}
 	s.gnb.chargeRadio(ctx)
-	down, err := s.gnb.amf.HandleUplinkNAS(ctx, s.ranUEID, up)
+	down, err := s.amf.HandleUplinkNAS(ctx, s.ranUEID, up)
 	if err != nil {
 		return fmt.Errorf("gnb: PDU session: %w", err)
 	}
 	if _, _, err := s.ue.HandleDownlinkNAS(ctx, down); err != nil {
 		return fmt.Errorf("gnb: PDU accept: %w", err)
 	}
-	teid, ok := s.gnb.amf.PDUSessionTEID(s.ranUEID)
+	teid, ok := s.amf.PDUSessionTEID(s.ranUEID)
 	if !ok {
 		return errors.New("gnb: AMF reported no tunnel for session")
 	}
@@ -263,7 +338,7 @@ func (s *Session) Deregister(ctx context.Context) error {
 		return err
 	}
 	s.gnb.chargeRadio(ctx)
-	if _, err := s.gnb.amf.HandleUplinkNAS(ctx, s.ranUEID, up); err != nil {
+	if _, err := s.amf.HandleUplinkNAS(ctx, s.ranUEID, up); err != nil {
 		return fmt.Errorf("gnb: deregistration: %w", err)
 	}
 	return nil
@@ -314,6 +389,37 @@ type MassResult struct {
 	// run under injected faults.
 	Attempts  int
 	Recovered map[string]int
+
+	// ShardStats is the per-replica lane accounting of a sharded run
+	// (nil when the gNB fronts a single replica): every registration
+	// attempt's virtual cost is attributed to the replica that served
+	// it. The shared simclock.Clock sums busy cycles across all lanes,
+	// so the fleet figures below derive from these lanes instead.
+	ShardStats []ShardStat
+	// FleetVirtual is the fleet makespan: the busiest replica lane's
+	// virtual busy time. Replicas are independent service lanes — lane
+	// work overlaps in the modelled deployment even though the simulation
+	// executes it on one summed clock — so N registrations spread over R
+	// lanes complete when the most-loaded lane drains. For single-replica
+	// runs it equals Virtual.
+	FleetVirtual time.Duration
+	// FleetVirtualRegsPerSec is Registered over FleetVirtual — the
+	// sharded core's headline throughput figure.
+	FleetVirtualRegsPerSec float64
+}
+
+// ShardStat is one replica lane's share of a mass run.
+type ShardStat struct {
+	Registered int
+	Failed     int
+	// Busy is the lane's summed virtual cost across every attempt it
+	// served (including failed ones — a shard pays for its rejects).
+	Busy time.Duration
+	// SetupTimes is the lane's own setup-time distribution. The shard
+	// recorders partition the fleet-wide MassResult.SetupTimes — every
+	// sample lands in exactly one shard recorder, so per-shard and fleet
+	// views never double count.
+	SetupTimes *metrics.Recorder
 }
 
 // MassOptions configures a mass-registration run.
@@ -383,6 +489,95 @@ func (r *MassResult) finish(wall time.Duration, virtual time.Duration) {
 	if s := virtual.Seconds(); s > 0 {
 		r.VirtualRegsPerSec = float64(r.Registered) / s
 	}
+	// Fleet throughput: single-lane runs collapse to the shared-clock
+	// figures; sharded runs take the makespan over replica lanes.
+	r.FleetVirtual = virtual
+	r.FleetVirtualRegsPerSec = r.VirtualRegsPerSec
+	if len(r.ShardStats) > 1 {
+		var max time.Duration
+		for _, s := range r.ShardStats {
+			if s.Busy > max {
+				max = s.Busy
+			}
+		}
+		r.FleetVirtual = max
+		if s := max.Seconds(); s > 0 {
+			r.FleetVirtualRegsPerSec = float64(r.Registered) / s
+		}
+	}
+}
+
+// laneTally accumulates per-shard lane accounting during a run.
+type laneTally struct {
+	cycles     []simclock.Cycles
+	registered []int
+	failed     []int
+	setups     []*metrics.Recorder
+}
+
+// newLaneTally sizes each lane's recorder for capacity samples up front,
+// so the per-registration addSetup never grows a slice mid-run.
+func newLaneTally(shards, capacity int) *laneTally {
+	if shards <= 1 {
+		return nil
+	}
+	t := &laneTally{
+		cycles:     make([]simclock.Cycles, shards),
+		registered: make([]int, shards),
+		failed:     make([]int, shards),
+		setups:     make([]*metrics.Recorder, shards),
+	}
+	for i := range t.setups {
+		t.setups[i] = metrics.NewRecorder(capacity)
+	}
+	return t
+}
+
+func (t *laneTally) add(shard int, cycles simclock.Cycles, ok bool) {
+	if t == nil {
+		return
+	}
+	t.cycles[shard] += cycles
+	if ok {
+		t.registered[shard]++
+	} else {
+		t.failed[shard]++
+	}
+}
+
+func (t *laneTally) addSetup(shard int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.setups[shard].Add(d)
+}
+
+func (t *laneTally) merge(o *laneTally) {
+	if t == nil || o == nil {
+		return
+	}
+	for i := range t.cycles {
+		t.cycles[i] += o.cycles[i]
+		t.registered[i] += o.registered[i]
+		t.failed[i] += o.failed[i]
+		t.setups[i].Merge(o.setups[i])
+	}
+}
+
+func (t *laneTally) stats(env *costmodel.Env) []ShardStat {
+	if t == nil {
+		return nil
+	}
+	out := make([]ShardStat, len(t.cycles))
+	for i := range out {
+		out[i] = ShardStat{
+			Registered: t.registered[i],
+			Failed:     t.failed[i],
+			Busy:       env.Model.Duration(t.cycles[i]),
+			SetupTimes: t.setups[i],
+		}
+	}
+	return out
 }
 
 // RegisterMany registers n freshly-provisioned UEs back to back, the way
@@ -411,15 +606,17 @@ func (g *GNB) RegisterManyWith(ctx context.Context, opts MassOptions) (*MassResu
 	if result.Parallelism < 1 {
 		result.Parallelism = 1
 	}
+	tally := newLaneTally(len(g.amfs), opts.N)
 	//shieldlint:wallclock the result deliberately reports wall time next to virtual time
 	wallStart := time.Now()
 	virtualStart := g.env.Clock.Elapsed()
 	var err error
 	if result.Parallelism == 1 {
-		err = g.registerSequential(ctx, opts, result)
+		err = g.registerSequential(ctx, opts, result, tally)
 	} else {
-		err = g.registerParallel(ctx, opts, result)
+		err = g.registerParallel(ctx, opts, result, tally)
 	}
+	result.ShardStats = tally.stats(g.env)
 	//shieldlint:wallclock closes the wall-vs-virtual split opened above
 	result.finish(time.Since(wallStart), g.env.Model.Duration(g.env.Clock.Elapsed()-virtualStart))
 	return result, err
@@ -429,21 +626,24 @@ func (g *GNB) RegisterManyWith(ctx context.Context, opts MassOptions) (*MassResu
 // registrations, each on a fresh request account so setup time and the
 // resilience layer's virtual deadline restart per attempt. On success it
 // returns the session plus the failure classes survived along the way; on
-// exhaustion it returns the last error.
-func (g *GNB) registerAttempts(ctx context.Context, device *ue.UE, maxAttempts int) (*Session, int, map[string]int, error) {
+// exhaustion it returns the last error. The cycles return is the summed
+// virtual cost of every attempt, for per-shard lane attribution.
+func (g *GNB) registerAttempts(ctx context.Context, device *ue.UE, maxAttempts int) (*Session, int, simclock.Cycles, map[string]int, error) {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	var recovered map[string]int
+	var spent simclock.Cycles
 	for attempt := 1; ; attempt++ {
 		var acct simclock.Account
 		sctx := simclock.WithAccount(ctx, &acct)
 		sess, err := g.RegisterUE(sctx, device)
+		spent += acct.Total()
 		if err == nil {
-			return sess, attempt, recovered, nil
+			return sess, attempt, spent, recovered, nil
 		}
 		if attempt >= maxAttempts {
-			return nil, attempt, nil, err
+			return nil, attempt, spent, nil, err
 		}
 		if recovered == nil {
 			recovered = make(map[string]int)
@@ -454,7 +654,7 @@ func (g *GNB) registerAttempts(ctx context.Context, device *ue.UE, maxAttempts i
 
 // registerSequential is the seed driver loop: same call order, same
 // jitter draws, same early return on provisioning failure.
-func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *MassResult) error {
+func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *MassResult, tally *laneTally) error {
 	if opts.BatchSize > 0 {
 		ctx = paka.WithConnection(ctx, 1, opts.BatchSize)
 	}
@@ -463,12 +663,15 @@ func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *
 		if err != nil {
 			return fmt.Errorf("gnb: provision UE %d: %w", i, err)
 		}
-		sess, attempts, recovered, err := g.registerAttempts(ctx, device, opts.MaxAttempts)
+		sess, attempts, cycles, recovered, err := g.registerAttempts(ctx, device, opts.MaxAttempts)
 		result.Attempts += attempts
 		if err != nil {
+			tally.add(g.ShardOf(device.SUPIString()), cycles, false)
 			result.recordFailure(err)
 			continue
 		}
+		tally.add(sess.Shard(), cycles, true)
+		tally.addSetup(sess.Shard(), sess.SetupTime)
 		for class, n := range recovered {
 			result.Recovered[class] += n
 		}
@@ -483,7 +686,7 @@ func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *
 // drawing virtual-time jitter from the independent stream
 // env.Jitter.Stream(w+1) so a parallel run's cost draws are reproducible
 // for a fixed seed regardless of goroutine interleaving.
-func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *MassResult) error {
+func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *MassResult, tally *laneTally) error {
 	workers := opts.Parallelism
 	if workers > opts.N {
 		workers = opts.N
@@ -499,6 +702,7 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 		failures   map[string]int
 		firstErrs  map[string]error
 		recovered  map[string]int
+		lanes      *laneTally
 		provision  error
 	}
 	perWorker := make([]workerResult, workers)
@@ -513,6 +717,9 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 			wr.failures = make(map[string]int)
 			wr.firstErrs = make(map[string]error)
 			wr.recovered = make(map[string]int)
+			if tally != nil {
+				wr.lanes = newLaneTally(len(g.amfs), opts.N/workers+1)
+			}
 			stream := g.env.Jitter.Stream(uint64(w) + 1)
 			base := simclock.WithJitter(wctx, stream)
 			if opts.Chaos != nil {
@@ -535,9 +742,10 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 					cancel()
 					return
 				}
-				sess, attempts, recovered, err := g.registerAttempts(base, device, opts.MaxAttempts)
+				sess, attempts, cycles, recovered, err := g.registerAttempts(base, device, opts.MaxAttempts)
 				wr.attempts += attempts
 				if err != nil {
+					wr.lanes.add(g.ShardOf(device.SUPIString()), cycles, false)
 					class := failureClass(err)
 					wr.failures[class]++
 					if _, seen := wr.firstErrs[class]; !seen {
@@ -545,6 +753,8 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 					}
 					continue
 				}
+				wr.lanes.add(sess.Shard(), cycles, true)
+				wr.lanes.addSetup(sess.Shard(), sess.SetupTime)
 				for class, n := range recovered {
 					wr.recovered[class] += n
 				}
@@ -573,6 +783,7 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 		for class, n := range wr.recovered {
 			result.Recovered[class] += n
 		}
+		tally.merge(wr.lanes)
 		if wr.provision != nil && firstProvision == nil {
 			firstProvision = wr.provision
 		}

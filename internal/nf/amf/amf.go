@@ -99,6 +99,13 @@ type Config struct {
 	// the AUSF/P-AKA call. The decision is local — admission never enters
 	// the enclave.
 	Admission *admission.Controller
+	// InstanceID overrides the NRF instance identity (default "amf-1") so
+	// every replica of a sharded deployment announces itself distinctly.
+	InstanceID string
+	// AUSFService, when set, binds this AMF to a specific AUSF replica's
+	// service name instead of discovering one through the NRF — the
+	// static intra-shard binding of a sharded deployment.
+	AUSFService string
 }
 
 // AMF is the access and mobility VNF.
@@ -137,9 +144,15 @@ func New(ctx context.Context, cfg Config) (*AMF, error) {
 	if cfg.MCC == "" || cfg.MNC == "" {
 		return nil, fmt.Errorf("amf: serving PLMN (MCC/MNC) is required")
 	}
-	ausfClient, err := ausf.DiscoverClient(ctx, cfg.Invoker, cfg.HMEE)
-	if err != nil {
-		return nil, err
+	var ausfClient *ausf.Client
+	if cfg.AUSFService != "" {
+		ausfClient = ausf.NewClientFor(cfg.Invoker, cfg.AUSFService)
+	} else {
+		var err error
+		ausfClient, err = ausf.DiscoverClient(ctx, cfg.Invoker, cfg.HMEE)
+		if err != nil {
+			return nil, err
+		}
 	}
 	smfClient, err := smf.DiscoverClient(ctx, cfg.Invoker)
 	if err != nil {
@@ -158,8 +171,12 @@ func New(ctx context.Context, cfg Config) (*AMF, error) {
 		ues:   shard.NewUint64[*ueContext](),
 		guti:  shard.NewUint32[string](),
 	}
+	instance := cfg.InstanceID
+	if instance == "" {
+		instance = "amf-1"
+	}
 	if err := a.nrfc.Register(ctx, nrf.NFProfile{
-		InstanceID: "amf-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
+		InstanceID: instance, NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
 	}); err != nil {
 		return nil, fmt.Errorf("amf: NRF registration: %w", err)
 	}

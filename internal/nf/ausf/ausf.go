@@ -105,6 +105,16 @@ type Config struct {
 	HMEE bool
 	// PendingAuthTTL overrides DefaultPendingAuthTTL (virtual time).
 	PendingAuthTTL time.Duration
+	// ServiceName overrides the SBI service name (default "ausf") so a
+	// sharded deployment can run several AUSF replicas side by side.
+	ServiceName string
+	// InstanceID overrides the NRF instance identity (default "ausf-1").
+	InstanceID string
+	// UDMService, when set, binds this AUSF to a specific UDM replica's
+	// service name instead of discovering one through the NRF — the
+	// static intra-shard binding of a sharded deployment, which keeps the
+	// NRF out of both construction and the request path.
+	UDMService string
 }
 
 // AUSF is the authentication server VNF.
@@ -136,18 +146,34 @@ func New(ctx context.Context, cfg Config) (*AUSF, error) {
 	}
 	// Discover the UDM through the NRF — for an HMEE-enabled AUSF the
 	// home network function must also live in the higher trust domain
-	// (the 3GPP trust-domain placement of the paper's discussion).
-	udmClient, err := udm.DiscoverClient(ctx, cfg.Invoker, cfg.HMEE)
-	if err != nil {
-		return nil, err
+	// (the 3GPP trust-domain placement of the paper's discussion). A
+	// configured UDMService skips discovery: the shard's binding is
+	// static and the trust-domain check happened at composition time.
+	var udmClient *udm.Client
+	if cfg.UDMService != "" {
+		udmClient = udm.NewClientFor(cfg.Invoker, cfg.UDMService)
+	} else {
+		var err error
+		udmClient, err = udm.DiscoverClient(ctx, cfg.Invoker, cfg.HMEE)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ttl := cfg.PendingAuthTTL
 	if ttl <= 0 {
 		ttl = DefaultPendingAuthTTL
 	}
+	service := cfg.ServiceName
+	if service == "" {
+		service = ServiceName
+	}
+	instance := cfg.InstanceID
+	if instance == "" {
+		instance = "ausf-1"
+	}
 	a := &AUSF{
 		env:      cfg.Env,
-		server:   sbi.NewServer(ServiceName, cfg.Env),
+		server:   sbi.NewServer(service, cfg.Env),
 		udm:      udmClient,
 		nrfc:     nrf.NewClient(cfg.Invoker),
 		fns:      cfg.Functions,
@@ -161,7 +187,7 @@ func New(ctx context.Context, cfg Config) (*AUSF, error) {
 		return nil, err
 	}
 	if err := a.nrfc.Register(ctx, nrf.NFProfile{
-		InstanceID: "ausf-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
+		InstanceID: instance, NFType: NFType, Service: service, HMEE: cfg.HMEE,
 	}); err != nil {
 		return nil, fmt.Errorf("ausf: NRF registration: %w", err)
 	}
@@ -295,6 +321,12 @@ type Client struct {
 // service name.
 func NewClient(invoker sbi.Invoker) *Client {
 	return &Client{invoker: invoker, service: ServiceName}
+}
+
+// NewClientFor wraps an SBI transport for AUSF calls against a specific
+// replica's service name (static intra-shard binding).
+func NewClientFor(invoker sbi.Invoker, service string) *Client {
+	return &Client{invoker: invoker, service: service}
 }
 
 // DiscoverClient resolves an AUSF instance through the NRF.

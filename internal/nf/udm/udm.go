@@ -103,6 +103,12 @@ type Config struct {
 	// PrewarmSNN is the serving network name the prewarmed vectors are
 	// derived for; required when PrewarmSUPIs is set.
 	PrewarmSNN string
+	// ServiceName overrides the SBI service name (default "udm") so a
+	// sharded deployment can run several UDM replicas side by side, each
+	// with its own server, AV pool, and overload meter.
+	ServiceName string
+	// InstanceID overrides the NRF instance identity (default "udm-1").
+	InstanceID string
 }
 
 // UDM is the data-management VNF.
@@ -135,9 +141,17 @@ func New(ctx context.Context, cfg Config) (*UDM, error) {
 	if entropy == nil {
 		entropy = rand.Reader
 	}
+	service := cfg.ServiceName
+	if service == "" {
+		service = ServiceName
+	}
+	instance := cfg.InstanceID
+	if instance == "" {
+		instance = "udm-1"
+	}
 	u := &UDM{
 		env:         cfg.Env,
-		server:      sbi.NewServer(ServiceName, cfg.Env),
+		server:      sbi.NewServer(service, cfg.Env),
 		udr:         udr.NewClient(cfg.Invoker),
 		nrfc:        nrf.NewClient(cfg.Invoker),
 		fns:         cfg.Functions,
@@ -154,7 +168,7 @@ func New(ctx context.Context, cfg Config) (*UDM, error) {
 		return nil, err
 	}
 	if err := u.nrfc.Register(ctx, nrf.NFProfile{
-		InstanceID: "udm-1", NFType: NFType, Service: ServiceName, HMEE: cfg.HMEE,
+		InstanceID: instance, NFType: NFType, Service: service, HMEE: cfg.HMEE,
 	}); err != nil {
 		return nil, fmt.Errorf("udm: NRF registration: %w", err)
 	}
@@ -419,6 +433,13 @@ type Client struct {
 // service name.
 func NewClient(invoker sbi.Invoker) *Client {
 	return &Client{invoker: invoker, service: ServiceName}
+}
+
+// NewClientFor wraps an SBI transport for UDM calls against a specific
+// replica's service name — the static intra-shard binding of a sharded
+// deployment, which needs no NRF round trip.
+func NewClientFor(invoker sbi.Invoker, service string) *Client {
+	return &Client{invoker: invoker, service: service}
 }
 
 // DiscoverClient resolves a UDM instance through the NRF (restricted to

@@ -98,10 +98,17 @@ type RemoteUDM struct {
 
 // NewRemoteUDM builds the UDM VNF's client to the eUDM module.
 func NewRemoteUDM(invoker sbi.Invoker, env *costmodel.Env) *RemoteUDM {
+	return NewRemoteUDMService(invoker, env, EUDM.ServiceName())
+}
+
+// NewRemoteUDMService builds the client against a specific eUDM replica's
+// service name (sharded deployments bind each UDM replica to its own
+// module replica).
+func NewRemoteUDMService(invoker sbi.Invoker, env *costmodel.Env, service string) *RemoteUDM {
 	return &RemoteUDM{remote{
 		invoker:  invoker,
 		env:      env,
-		service:  EUDM.ServiceName(),
+		service:  service,
 		response: NewResponseRecorder(),
 	}}
 }
@@ -146,10 +153,16 @@ type RemoteAUSF struct {
 
 // NewRemoteAUSF builds the AUSF VNF's client to the eAUSF module.
 func NewRemoteAUSF(invoker sbi.Invoker, env *costmodel.Env) *RemoteAUSF {
+	return NewRemoteAUSFService(invoker, env, EAUSF.ServiceName())
+}
+
+// NewRemoteAUSFService builds the client against a specific eAUSF
+// replica's service name.
+func NewRemoteAUSFService(invoker sbi.Invoker, env *costmodel.Env, service string) *RemoteAUSF {
 	return &RemoteAUSF{remote{
 		invoker:  invoker,
 		env:      env,
-		service:  EAUSF.ServiceName(),
+		service:  service,
 		response: NewResponseRecorder(),
 	}}
 }
@@ -173,10 +186,16 @@ type RemoteAMF struct {
 
 // NewRemoteAMF builds the AMF VNF's client to the eAMF module.
 func NewRemoteAMF(invoker sbi.Invoker, env *costmodel.Env) *RemoteAMF {
+	return NewRemoteAMFService(invoker, env, EAMF.ServiceName())
+}
+
+// NewRemoteAMFService builds the client against a specific eAMF replica's
+// service name.
+func NewRemoteAMFService(invoker sbi.Invoker, env *costmodel.Env, service string) *RemoteAMF {
 	return &RemoteAMF{remote{
 		invoker:  invoker,
 		env:      env,
-		service:  EAMF.ServiceName(),
+		service:  service,
 		response: NewResponseRecorder(),
 	}}
 }

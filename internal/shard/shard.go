@@ -30,11 +30,14 @@ type stripe[K comparable, V any] struct {
 	m  map[K]V
 }
 
-// New creates a striped map using hash to place keys.
+// New creates a striped map using hash to place keys. The size hint makes
+// every stripe allocate its bucket array here, at construction, instead of
+// on its first insert — NF state stores are built at deploy time, so this
+// keeps first-contact bucket allocation off the registration hot path.
 func New[K comparable, V any](hash func(K) uint64) *Map[K, V] {
 	sm := &Map[K, V]{hash: hash}
 	for i := range sm.stripes {
-		sm.stripes[i].m = make(map[K]V)
+		sm.stripes[i].m = make(map[K]V, 9)
 	}
 	return sm
 }

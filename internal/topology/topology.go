@@ -1,0 +1,254 @@
+// Package topology holds the data-plane side of the sharded-core control
+// protocol: versioned routing snapshots, the SUPI-affinity consistent-hash
+// ring, per-tenant shuffle-shard assignment, and the Router that data
+// planes consult on every routing decision.
+//
+// The package is deliberately free of any control-plane machinery — the
+// snapshot *builder* lives in internal/nf/nrf/topo and pushes snapshots
+// into Routers here. Data-plane packages (gnb, amf, ausf, udm, paka, sbi)
+// may import this package but never the builder; the shieldlint
+// `planeboundary` analyzer enforces that import direction, which is what
+// keeps the NRF out of the request path: a Router answers every route from
+// its last-known-good snapshot with no upcall, so registration traffic
+// survives NRF unavailability indefinitely.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Replica names one routable replica of the vertical NF slice
+// (AMF+AUSF+UDM+P-AKA modules sharing one shard index).
+type Replica struct {
+	// Index is the replica's position in the deploy-time replica array;
+	// routing decisions return it so data planes can address per-replica
+	// resources (AMF pointers, service names) without string lookups.
+	Index int `json:"index"`
+	// Name is the replica's stable identity. Ring placement hashes the
+	// name, never the index, so adding or removing a replica moves only
+	// the keys the consistent-hash contract says may move.
+	Name string `json:"name"`
+}
+
+// Snapshot is one full, versioned routing view. Snapshots are immutable
+// once published: the builder constructs a fresh one per epoch and every
+// Router either applies it whole or rejects it whole (ack/nack).
+type Snapshot struct {
+	// Epoch is strictly monotonic per builder. Routers nack any snapshot
+	// whose epoch does not advance their current one, so a delayed or
+	// replayed push can never roll a data plane back.
+	Epoch uint64 `json:"epoch"`
+	// Replicas is the routable replica set, in index order.
+	Replicas []Replica `json:"replicas"`
+	// ShardSize caps how many replicas one tenant's shuffle shard spans;
+	// 0 (or >= len(Replicas)) gives every tenant the full replica set.
+	ShardSize int `json:"shard_size"`
+
+	ring ring
+}
+
+// vnodesPerReplica is the virtual-node fan-out per replica on the ring.
+// 64 keeps the expected per-replica key imbalance in the few-percent
+// range while the ring stays small enough to rebuild on every publish.
+const vnodesPerReplica = 64
+
+// ring is the precomputed consistent-hash ring of a snapshot: virtual
+// node hash points sorted ascending, each owning replica recorded by
+// index into Snapshot.Replicas.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	index int
+}
+
+// fnv1a is the 64-bit FNV-1a hash — deterministic across processes and
+// architectures, which seeded map iteration or hash/maphash are not.
+func fnv1a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix is splitmix64's finalizer; it decorrelates sequential vnode
+// ordinals so a replica's virtual nodes scatter over the whole ring.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Seal precomputes the snapshot's ring. The builder calls it before
+// publishing; Routers treat an unsealed snapshot as a protocol error.
+func (s *Snapshot) Seal() {
+	s.ring.points = make([]ringPoint, 0, len(s.Replicas)*vnodesPerReplica)
+	for i, r := range s.Replicas {
+		base := fnv1a(r.Name)
+		for v := 0; v < vnodesPerReplica; v++ {
+			s.ring.points = append(s.ring.points, ringPoint{
+				hash:  mix(base + uint64(v)),
+				index: i,
+			})
+		}
+	}
+	sort.Slice(s.ring.points, func(a, b int) bool {
+		p, q := s.ring.points[a], s.ring.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.index < q.index
+	})
+}
+
+// sealed reports whether Seal ran.
+func (s *Snapshot) sealed() bool { return len(s.Replicas) == 0 || len(s.ring.points) > 0 }
+
+// owner walks the ring clockwise from key's hash point to the first
+// virtual node whose replica is allowed. It returns -1 when no allowed
+// replica exists.
+func (s *Snapshot) owner(key string, allowed func(int) bool) int {
+	pts := s.ring.points
+	if len(pts) == 0 {
+		return -1
+	}
+	// FNV-1a alone has weak high-bit avalanche for keys that differ only
+	// in trailing characters — sequential SUPIs would cluster into one
+	// ring gap. The splitmix64 finalizer decorrelates them.
+	h := mix(fnv1a(key))
+	start := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	for off := 0; off < len(pts); off++ {
+		p := pts[(start+off)%len(pts)]
+		if allowed == nil || allowed(p.index) {
+			return p.index
+		}
+	}
+	return -1
+}
+
+// Owner returns the replica index owning key over the full replica set.
+func (s *Snapshot) Owner(key string) int { return s.owner(key, nil) }
+
+// ShardFor returns the tenant's shuffle shard: a deterministic
+// ShardSize-element subset of the replica indices, drawn by a
+// tenant-seeded Fisher–Yates pass. Distinct tenants get (with high
+// probability) distinct subsets, so a tenant saturating its shard leaves
+// most other tenants' shards untouched — the shuffle-sharding blast-radius
+// argument. A zero or over-wide ShardSize yields every replica.
+func (s *Snapshot) ShardFor(tenant string) []int {
+	n := len(s.Replicas)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	size := s.ShardSize
+	if size <= 0 || size >= n {
+		return all
+	}
+	seed := fnv1a(tenant)
+	for i := 0; i < size; i++ {
+		seed = mix(seed)
+		j := i + int(seed%uint64(n-i))
+		all[i], all[j] = all[j], all[i]
+	}
+	shard := all[:size]
+	sort.Ints(shard)
+	return shard
+}
+
+// RouteIn picks the replica owning supi within the tenant's shuffle
+// shard: the ring walk simply skips virtual nodes outside the shard, so
+// shard membership changes never disturb the affinity of SUPIs whose
+// owner stays in the shard.
+func (s *Snapshot) RouteIn(tenant, supi string) int {
+	n := len(s.Replicas)
+	if n == 0 {
+		return -1
+	}
+	if s.ShardSize <= 0 || s.ShardSize >= n {
+		return s.owner(supi, nil)
+	}
+	shard := s.ShardFor(tenant)
+	member := make(map[int]bool, len(shard))
+	for _, i := range shard {
+		member[i] = true
+	}
+	return s.owner(supi, func(i int) bool { return member[i] })
+}
+
+// Router is a data plane's view of the routing topology. It holds exactly
+// one snapshot — the last one it acked — in an atomic pointer, so Route
+// is a lock-free read and never blocks on, or upcalls into, the control
+// plane. Apply is the push target the builder drives.
+type Router struct {
+	snap atomic.Pointer[Snapshot]
+
+	applied atomic.Uint64
+	nacked  atomic.Uint64
+}
+
+// NewRouter returns an empty Router; it routes nothing until the first
+// snapshot is applied.
+func NewRouter() *Router { return &Router{} }
+
+// Apply installs a pushed snapshot. It acks (nil) only when the snapshot
+// is sealed and its epoch strictly advances the current one; otherwise it
+// nacks with an error and keeps the last-known-good snapshot untouched.
+func (r *Router) Apply(s *Snapshot) error {
+	if s == nil || !s.sealed() {
+		r.nacked.Add(1)
+		return fmt.Errorf("topology: nack: unsealed snapshot")
+	}
+	for {
+		cur := r.snap.Load()
+		if cur != nil && s.Epoch <= cur.Epoch {
+			r.nacked.Add(1)
+			return fmt.Errorf("topology: nack: epoch %d does not advance %d", s.Epoch, cur.Epoch)
+		}
+		if r.snap.CompareAndSwap(cur, s) {
+			r.applied.Add(1)
+			return nil
+		}
+	}
+}
+
+// Snapshot returns the last-known-good snapshot (nil before any apply).
+func (r *Router) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Epoch reports the applied epoch (0 before any apply).
+func (r *Router) Epoch() uint64 {
+	if s := r.snap.Load(); s != nil {
+		return s.Epoch
+	}
+	return 0
+}
+
+// Stats reports how many pushes this router acked and nacked.
+func (r *Router) Stats() (applied, nacked uint64) {
+	return r.applied.Load(), r.nacked.Load()
+}
+
+// Route resolves (tenant, supi) to a replica index on the last-known-good
+// snapshot. ok is false only when no snapshot was ever applied — the one
+// state in which a data plane must fall back to its static wiring.
+func (r *Router) Route(tenant, supi string) (int, bool) {
+	s := r.snap.Load()
+	if s == nil || len(s.Replicas) == 0 {
+		return 0, false
+	}
+	idx := s.RouteIn(tenant, supi)
+	if idx < 0 {
+		return 0, false
+	}
+	return idx, true
+}

@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+func snapshot(epoch uint64, shardSize int, names ...string) *Snapshot {
+	s := &Snapshot{Epoch: epoch, ShardSize: shardSize}
+	for i, n := range names {
+		s.Replicas = append(s.Replicas, Replica{Index: i, Name: n})
+	}
+	s.Seal()
+	return s
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndBalanced(t *testing.T) {
+	s := snapshot(1, 0, names(8)...)
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("imsi-0010100%07d", i)
+		a, b := s.Owner(key), s.Owner(key)
+		if a != b {
+			t.Fatalf("Owner(%q) unstable: %d vs %d", key, a, b)
+		}
+		counts[a]++
+	}
+	for i, c := range counts {
+		// 4096 keys over 8 replicas = 512 expected; vnode placement keeps
+		// the skew well inside a factor of two.
+		if c < 256 || c > 1024 {
+			t.Fatalf("replica %d owns %d of 4096 keys, outside [256,1024]: %v", i, c, counts)
+		}
+	}
+}
+
+// TestConsistentHashStability is the rebalance contract: removing one
+// replica from the routable set moves only the keys that replica owned;
+// every other key keeps its owner.
+func TestConsistentHashStability(t *testing.T) {
+	full := snapshot(1, 0, names(8)...)
+	// Replica 5 removed; survivors keep their names (and ring positions).
+	reduced := &Snapshot{Epoch: 2}
+	for i, r := range full.Replicas {
+		if i == 5 {
+			continue
+		}
+		reduced.Replicas = append(reduced.Replicas, Replica{Index: len(reduced.Replicas), Name: r.Name})
+	}
+	reduced.Seal()
+	nameOf := func(s *Snapshot, idx int) string { return s.Replicas[idx].Name }
+	moved := 0
+	for i := 0; i < 2048; i++ {
+		key := fmt.Sprintf("imsi-0010100%07d", i)
+		before := nameOf(full, full.Owner(key))
+		after := nameOf(reduced, reduced.Owner(key))
+		if before == "shard-5" {
+			if after == "shard-5" {
+				t.Fatalf("key %q still routed to the removed replica", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q flapped %s -> %s though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed replica; test is vacuous")
+	}
+}
+
+func TestShardForSubsetAndDeterminism(t *testing.T) {
+	s := snapshot(1, 3, names(8)...)
+	seen := make(map[string]bool)
+	for _, tenant := range []string{"gnb-a/00101", "gnb-b/00101", "gnb-c/00102", "gnb-d/00102"} {
+		shard := s.ShardFor(tenant)
+		if len(shard) != 3 {
+			t.Fatalf("tenant %q shard size = %d, want 3", tenant, len(shard))
+		}
+		dup := make(map[int]bool)
+		for _, idx := range shard {
+			if idx < 0 || idx >= 8 {
+				t.Fatalf("tenant %q shard index %d out of range", tenant, idx)
+			}
+			if dup[idx] {
+				t.Fatalf("tenant %q shard has duplicate index %d: %v", tenant, idx, shard)
+			}
+			dup[idx] = true
+		}
+		again := s.ShardFor(tenant)
+		if fmt.Sprint(shard) != fmt.Sprint(again) {
+			t.Fatalf("tenant %q shard unstable: %v vs %v", tenant, shard, again)
+		}
+		seen[fmt.Sprint(shard)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all tenants drew the same shuffle shard: %v", seen)
+	}
+	// Full-width shard when the cap is 0 or >= n.
+	if got := len(snapshot(1, 0, names(4)...).ShardFor("t")); got != 4 {
+		t.Fatalf("uncapped shard size = %d, want 4", got)
+	}
+}
+
+func TestRouteInStaysInsideShard(t *testing.T) {
+	s := snapshot(1, 2, names(8)...)
+	const tenant = "gnb-1/00101"
+	member := make(map[int]bool)
+	for _, idx := range s.ShardFor(tenant) {
+		member[idx] = true
+	}
+	for i := 0; i < 512; i++ {
+		supi := fmt.Sprintf("imsi-0010100%07d", i)
+		if idx := s.RouteIn(tenant, supi); !member[idx] {
+			t.Fatalf("RouteIn(%q, %q) = %d, outside shard %v", tenant, supi, idx, member)
+		}
+	}
+}
+
+func TestRouterEpochProtocol(t *testing.T) {
+	r := NewRouter()
+	if _, ok := r.Route("t", "supi"); ok {
+		t.Fatal("empty router claimed a route")
+	}
+	s1 := snapshot(1, 0, names(2)...)
+	if err := r.Apply(s1); err != nil {
+		t.Fatalf("apply epoch 1: %v", err)
+	}
+	// Same epoch and a stale epoch both nack, leaving s1 as LKG.
+	if err := r.Apply(snapshot(1, 0, names(4)...)); err == nil {
+		t.Fatal("replayed epoch 1 was acked")
+	}
+	stale := snapshot(0, 0, names(4)...)
+	stale.Epoch = 0
+	if err := r.Apply(stale); err == nil {
+		t.Fatal("epoch 0 was acked over epoch 1")
+	}
+	if r.Snapshot() != s1 {
+		t.Fatal("nack disturbed the last-known-good snapshot")
+	}
+	// Unsealed snapshots nack regardless of epoch.
+	unsealed := &Snapshot{Epoch: 9, Replicas: []Replica{{Index: 0, Name: "x"}}}
+	if err := r.Apply(unsealed); err == nil {
+		t.Fatal("unsealed snapshot was acked")
+	}
+	s3 := snapshot(3, 0, names(4)...)
+	if err := r.Apply(s3); err != nil {
+		t.Fatalf("apply epoch 3: %v", err)
+	}
+	if got := r.Epoch(); got != 3 {
+		t.Fatalf("router epoch = %d, want 3", got)
+	}
+	applied, nacked := r.Stats()
+	if applied != 2 || nacked != 3 {
+		t.Fatalf("stats = (%d acked, %d nacked), want (2, 3)", applied, nacked)
+	}
+}

@@ -161,6 +161,11 @@ func New(cfg Config) (*UE, error) {
 // SUPI returns the device's permanent identity.
 func (u *UE) SUPI() suci.SUPI { return u.supi }
 
+// SUPIString returns the cached IMSI form of the permanent identity —
+// the shard-routing key of a replicated core. Reusing the cached string
+// keeps SUPI-affinity routing off the allocation budget.
+func (u *UE) SUPIString() string { return u.supiStr }
+
 // GUTI returns the temporary identity assigned at registration, if any.
 func (u *UE) GUTI() (nas.GUTI, bool) {
 	if u.guti == nil {

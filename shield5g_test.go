@@ -45,7 +45,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 func TestPublicExperimentList(t *testing.T) {
 	names := shield5g.Experiments()
-	if len(names) != 19 {
+	if len(names) != 20 {
 		t.Fatalf("experiments = %v", names)
 	}
 	var buf bytes.Buffer
