@@ -12,11 +12,10 @@ test:
 
 # The repository's own static-analysis suite (see internal/analysis):
 # determinism, secretflow, atomiccounter, ctxcarry, stripemap, hotalloc,
-# planeboundary.
-# Exits
-# non-zero on any unsuppressed finding. govulncheck runs when the host
-# has it installed (CI does); locally it is skipped rather than fetched,
-# keeping the target usable in network-free build environments.
+# planeboundary, poolowner, lockorder. Exits non-zero on any
+# unsuppressed finding. govulncheck runs when the host has it installed
+# (CI does); locally it is skipped rather than fetched, keeping the
+# target usable in network-free build environments.
 lint:
 	$(GO) run ./tools/shieldlint ./...
 	@if command -v govulncheck >/dev/null 2>&1; then \

@@ -22,11 +22,18 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// A Pass provides one analyzer with one type-checked package.
+// A Pass provides one analyzer with one type-checked package, plus the
+// whole-program view (call graph, summary stores) shared by every
+// package of the run.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Prog is the program this package belongs to. Interprocedural
+	// analyzers reach the call graph via Prog.CallGraph(), memoize
+	// whole-program passes via Prog.Memo, and publish per-function
+	// summaries via Prog.Facts.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -57,11 +64,17 @@ func (d Diagnostic) String() string {
 // Run applies every analyzer to every package and returns the findings
 // sorted by position, with annotation-suppressed findings flagged.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunProgram(NewProgram(pkgs), analyzers)
+}
+
+// RunProgram is Run over a pre-built Program, for callers that also
+// want access to the program's call graph or summary stores afterwards.
+func RunProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range prog.Pkgs {
 		ann := collectAnnotations(pkg)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Prog: prog, diags: &diags}
 			start := len(diags)
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
@@ -189,18 +202,11 @@ func (a *annotations) suppresses(analyzer string, pos token.Position) bool {
 	return false
 }
 
-// calleeOf resolves the function or method a call expression invokes,
-// or nil for calls through function-typed values and type conversions.
+// calleeOf resolves the function or method a call expression invokes —
+// including explicitly instantiated generic calls f[T](...) — or nil
+// for calls through function-typed values and type conversions.
 func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		f, _ := info.Uses[fun].(*types.Func)
-		return f
-	case *ast.SelectorExpr:
-		f, _ := info.Uses[fun.Sel].(*types.Func)
-		return f
-	}
-	return nil
+	return staticCallee(info, call)
 }
 
 // baseVar resolves the variable an lvalue-ish expression ultimately

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkFixturePkg type-checks one testdata/src package through the
+// shared loader and returns it.
+func checkFixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckDir("shield5g/internal/analysis/testdata/src/"+name, dir)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func nodeBySuffix(t *testing.T, g *CallGraph, suffix string) *CallNode {
+	t.Helper()
+	var hit *CallNode
+	for _, n := range g.Functions() {
+		if strings.HasSuffix(n.Name(), suffix) {
+			if hit != nil {
+				t.Fatalf("ambiguous node suffix %q: %s and %s", suffix, hit.Name(), n.Name())
+			}
+			hit = n
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no call-graph node with suffix %q", suffix)
+	}
+	return hit
+}
+
+// calleesOf flattens a node's outgoing edges into a set of callee names.
+func calleesOf(n *CallNode) map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range n.Sites {
+		for _, c := range s.Callees {
+			out[c.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkg := checkFixturePkg(t, "callgraph")
+	g := NewProgram([]*Package{pkg}).CallGraph()
+
+	// Direct recursion: fact calls itself.
+	fact := nodeBySuffix(t, g, "callgraph.fact")
+	if !calleesOf(fact)[fact.Name()] {
+		t.Errorf("fact: missing self edge, callees %v", calleesOf(fact))
+	}
+
+	// Mutual recursion: even -> odd -> even.
+	even := nodeBySuffix(t, g, "callgraph.even")
+	odd := nodeBySuffix(t, g, "callgraph.odd")
+	if !calleesOf(even)[odd.Name()] {
+		t.Errorf("even: missing edge to odd, callees %v", calleesOf(even))
+	}
+	if !calleesOf(odd)[even.Name()] {
+		t.Errorf("odd: missing edge to even, callees %v", calleesOf(odd))
+	}
+
+	// Interface dispatch over-approximates to every implementer, and
+	// the site is marked dynamic.
+	dispatch := nodeBySuffix(t, g, "callgraph.dispatch")
+	english := nodeBySuffix(t, g, "english).greet")
+	french := nodeBySuffix(t, g, "french).greet")
+	got := calleesOf(dispatch)
+	if !got[english.Name()] || !got[french.Name()] {
+		t.Errorf("dispatch: want both greet implementations, got %v", got)
+	}
+	for _, s := range dispatch.Sites {
+		if len(s.Callees) > 0 && !s.Dynamic {
+			t.Errorf("dispatch: interface call site not marked dynamic")
+		}
+	}
+
+	// A method value is a dynamic function-value reference edge.
+	mv := nodeBySuffix(t, g, "callgraph.methodValue")
+	inc := nodeBySuffix(t, g, "counter).inc")
+	var viaValue bool
+	for _, s := range mv.Sites {
+		for _, c := range s.Callees {
+			if c == inc && s.Call == nil && s.Dynamic {
+				viaValue = true
+			}
+		}
+	}
+	if !viaValue {
+		t.Errorf("methodValue: c.inc reference not recorded as a dynamic value edge")
+	}
+}
+
+func TestCallGraphPostOrder(t *testing.T) {
+	pkg := checkFixturePkg(t, "callgraph")
+	g := NewProgram([]*Package{pkg}).CallGraph()
+
+	index := make(map[*CallNode]int)
+	for i, n := range g.PostOrder() {
+		index[n] = i
+	}
+	if len(index) != len(g.Functions()) {
+		t.Fatalf("post-order visited %d of %d nodes", len(index), len(g.Functions()))
+	}
+	leaf := nodeBySuffix(t, g, "callgraph.chainLeaf")
+	mid := nodeBySuffix(t, g, "callgraph.chainMid")
+	top := nodeBySuffix(t, g, "callgraph.chainTop")
+	if !(index[leaf] < index[mid] && index[mid] < index[top]) {
+		t.Errorf("static chain not callee-first: leaf=%d mid=%d top=%d",
+			index[leaf], index[mid], index[top])
+	}
+}
+
+// TestCallGraphDeterministic runs the full suite twice over the whole
+// module on fresh Programs and requires byte-identical findings: the
+// engine's map-heavy internals must never leak iteration order into
+// what the user sees.
+func TestCallGraphDeterministic(t *testing.T) {
+	sharedLoader(t)
+	render := func() string {
+		diags, err := Run(repoPkgs, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "%s suppressed=%v\n", d, d.Suppressed)
+		}
+		return b.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("findings differ between identical runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestLoaderBuildTagsAndGenerics is the loader regression pair: the
+// //go:build ignore sibling (which does not type-check) must be
+// excluded, and the generic helpers must load with their
+// instantiations recorded.
+func TestLoaderBuildTagsAndGenerics(t *testing.T) {
+	pkg := checkFixturePkg(t, "buildtag")
+	if len(pkg.Files) != 1 {
+		t.Errorf("build-tagged file not excluded: %d files loaded", len(pkg.Files))
+	}
+	if len(pkg.Info.Instances) == 0 {
+		t.Errorf("no generic instantiations recorded in Info.Instances")
+	}
+	diags, err := Run([]*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatalf("running suite over generic fixture: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding on clean generic fixture: %s", d)
+	}
+}

@@ -64,6 +64,8 @@ func TestCtxCarryMainFixture(t *testing.T)  { runFixture(t, CtxCarry, "ctxcarrym
 func TestStripeMapFixture(t *testing.T)     { runFixture(t, StripeMap, "stripemap") }
 func TestHotAllocFixture(t *testing.T)      { runFixture(t, HotAlloc, "hotalloc") }
 func TestPlaneBoundaryFixture(t *testing.T) { runFixture(t, PlaneBoundary, "planeboundary") }
+func TestPoolOwnerFixture(t *testing.T)     { runFixture(t, PoolOwner, "poolowner") }
+func TestLockOrderFixture(t *testing.T)     { runFixture(t, LockOrder, "lockorder") }
 
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// Mutation tests: each case is a faithful copy of a real call site from
+// the tree, paired with a broken variant seeded with the exact bug class
+// the analyzer exists to catch. The clean copy must produce zero active
+// findings (no false positive on the real pattern) and the mutant must
+// be caught (no false negative on its breakage). If an analyzer is ever
+// weakened to the point of missing the seeded bug, the pair goes red.
+
+type mutationCase struct {
+	name     string
+	analyzer *Analyzer
+	want     *regexp.Regexp // matched against the mutant's findings
+	clean    string
+	mutant   string
+}
+
+func runMutationSrc(t *testing.T, a *Analyzer, importPath, src string) []Diagnostic {
+	t.Helper()
+	l := sharedLoader(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "mut.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckDir(importPath, dir)
+	if err != nil {
+		t.Fatalf("type-checking mutation source: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+func TestMutations(t *testing.T) {
+	for _, tc := range mutationCases {
+		t.Run(tc.name, func(t *testing.T) {
+			clean := runMutationSrc(t, tc.analyzer, "shield5g/mutation/"+tc.name+"/clean", tc.clean)
+			for _, d := range Active(clean) {
+				t.Errorf("clean copy of the real call site was flagged: %s", d)
+			}
+			mutant := runMutationSrc(t, tc.analyzer, "shield5g/mutation/"+tc.name+"/mutant", tc.mutant)
+			hit := false
+			for _, d := range Active(mutant) {
+				if tc.want.MatchString(d.Message) {
+					hit = true
+				}
+			}
+			if !hit {
+				t.Errorf("seeded bug not caught: no active %s finding matching %q (got %d findings)",
+					tc.analyzer.Name, tc.want, len(Active(mutant)))
+				for _, d := range Active(mutant) {
+					t.Logf("  finding: %s", d)
+				}
+			}
+		})
+	}
+}
+
+var mutationCases = []mutationCase{
+	{
+		// sbi.Client.Post's response tail (sbi.go): the body is released
+		// after decode on every path. Mutant: the decode-error return
+		// skips the release — the exact leak the pool contract forbids.
+		name:     "post-response-tail-leak",
+		analyzer: PoolOwner,
+		want:     regexp.MustCompile("missing release"),
+		clean: `package mut
+
+import (
+	"fmt"
+
+	"shield5g/internal/sbi"
+)
+
+func decode(b []byte, resp any) error {
+	if len(b) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	return nil
+}
+
+func post(v, resp any) error {
+	body, err := sbi.MarshalBody(v)
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	uerr := decode(body, resp)
+	sbi.ReleaseBody(body)
+	if uerr != nil {
+		return fmt.Errorf("unmarshal: %w", uerr)
+	}
+	return nil
+}
+`,
+		mutant: `package mut
+
+import (
+	"fmt"
+
+	"shield5g/internal/sbi"
+)
+
+func decode(b []byte, resp any) error {
+	if len(b) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	return nil
+}
+
+func post(v, resp any) error {
+	body, err := sbi.MarshalBody(v)
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	uerr := decode(body, resp)
+	if uerr != nil {
+		return fmt.Errorf("unmarshal: %w", uerr)
+	}
+	sbi.ReleaseBody(body)
+	return nil
+}
+`,
+	},
+	{
+		// sbi.Client.Post's stale-negotiation retry: the first body is
+		// released, then a fresh one is marshalled and released in turn.
+		// Mutant: the re-marshal is dropped but both releases stay.
+		name:     "post-downgrade-retry-double-release",
+		analyzer: PoolOwner,
+		want:     regexp.MustCompile("double release"),
+		clean: `package mut
+
+import "shield5g/internal/sbi"
+
+func send(b []byte) int { return len(b) }
+
+func retry(v any) error {
+	body, err := sbi.MarshalBody(v)
+	if err != nil {
+		return err
+	}
+	if send(body) == 0 {
+		sbi.ReleaseBody(body)
+		body, err = sbi.MarshalBody(v)
+		if err != nil {
+			return err
+		}
+		send(body)
+	}
+	sbi.ReleaseBody(body)
+	return nil
+}
+`,
+		mutant: `package mut
+
+import "shield5g/internal/sbi"
+
+func send(b []byte) int { return len(b) }
+
+func retry(v any) error {
+	body, err := sbi.MarshalBody(v)
+	if err != nil {
+		return err
+	}
+	if send(body) == 0 {
+		sbi.ReleaseBody(body)
+	}
+	sbi.ReleaseBody(body)
+	return nil
+}
+`,
+	},
+	{
+		// The pooled-digest shape used by the crypto hot path: write,
+		// sum, then return the state to the pool. Mutant: the state goes
+		// back to the pool before the final Sum reads it.
+		name:     "hashpool-sum-after-put",
+		analyzer: PoolOwner,
+		want:     regexp.MustCompile("use after release"),
+		clean: `package mut
+
+import "shield5g/internal/crypto/hashpool"
+
+func digest(data []byte) []byte {
+	h := hashpool.GetSHA256()
+	h.Write(data)
+	out := h.Sum(nil)
+	hashpool.PutSHA256(h)
+	return out
+}
+`,
+		mutant: `package mut
+
+import "shield5g/internal/crypto/hashpool"
+
+func digest(data []byte) []byte {
+	h := hashpool.GetSHA256()
+	h.Write(data)
+	hashpool.PutSHA256(h)
+	return h.Sum(nil)
+}
+`,
+	},
+	{
+		// deploy.Slice keeps resilMu and attestMu strictly disjoint: the
+		// stats reader takes them one at a time while the snapshot path
+		// nests attestMu over resilMu. Mutant: stats starts holding
+		// resilMu across its attestMu acquisition — opposite nesting.
+		name:     "slice-stats-lock-swap",
+		analyzer: LockOrder,
+		want:     regexp.MustCompile("inconsistent lock nesting"),
+		clean: `package mut
+
+import "sync"
+
+type slice struct {
+	resilMu  sync.Mutex
+	attestMu sync.Mutex
+	resil    []int
+	attest   []int
+}
+
+func (s *slice) stats() int {
+	s.resilMu.Lock()
+	n := len(s.resil)
+	s.resilMu.Unlock()
+	s.attestMu.Lock()
+	n += len(s.attest)
+	s.attestMu.Unlock()
+	return n
+}
+
+func (s *slice) snapshot() int {
+	s.attestMu.Lock()
+	defer s.attestMu.Unlock()
+	s.resilMu.Lock()
+	defer s.resilMu.Unlock()
+	return len(s.resil) + len(s.attest)
+}
+`,
+		mutant: `package mut
+
+import "sync"
+
+type slice struct {
+	resilMu  sync.Mutex
+	attestMu sync.Mutex
+	resil    []int
+	attest   []int
+}
+
+func (s *slice) stats() int {
+	s.resilMu.Lock()
+	defer s.resilMu.Unlock()
+	s.attestMu.Lock()
+	n := len(s.resil) + len(s.attest)
+	s.attestMu.Unlock()
+	return n
+}
+
+func (s *slice) snapshot() int {
+	s.attestMu.Lock()
+	defer s.attestMu.Unlock()
+	s.resilMu.Lock()
+	defer s.resilMu.Unlock()
+	return len(s.resil) + len(s.attest)
+}
+`,
+	},
+	{
+		// sbi.Client's negotiation map is guarded by c.mu in two separate
+		// critical sections. Mutant: the Unlock between them is dropped,
+		// so the second Lock re-acquires a mutex the goroutine already
+		// holds — a guaranteed self-deadlock.
+		name:     "client-negotiation-recursive-lock",
+		analyzer: LockOrder,
+		want:     regexp.MustCompile("recursive lock"),
+		clean: `package mut
+
+import "sync"
+
+type client struct {
+	mu         sync.Mutex
+	negotiated map[string]bool
+}
+
+func (c *client) downgrade(path string) {
+	c.mu.Lock()
+	delete(c.negotiated, path)
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.negotiated[path] = false
+	c.mu.Unlock()
+}
+`,
+		mutant: `package mut
+
+import "sync"
+
+type client struct {
+	mu         sync.Mutex
+	negotiated map[string]bool
+}
+
+func (c *client) downgrade(path string) {
+	c.mu.Lock()
+	delete(c.negotiated, path)
+	c.mu.Lock()
+	c.negotiated[path] = false
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+`,
+	},
+}

@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"encoding/json"
+	"go/ast"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,10 +51,14 @@ func TestAnnotationsAreLoadBearing(t *testing.T) {
 		"internal/sbi/codec.go":          "hotalloc",
 	}
 	found := make(map[string]bool)
+	suppressed := make(map[[2]string]bool) // {filename, analyzer}
+	anySuppressed := make(map[string]bool) // filename, for "all" directives
 	for _, d := range diags {
 		if !d.Suppressed {
 			continue
 		}
+		suppressed[[2]string{d.Pos.Filename, d.Analyzer}] = true
+		anySuppressed[d.Pos.Filename] = true
 		for suffix, analyzer := range annotated {
 			if d.Analyzer == analyzer && strings.HasSuffix(d.Pos.Filename, suffix) {
 				found[suffix] = true
@@ -61,6 +68,60 @@ func TestAnnotationsAreLoadBearing(t *testing.T) {
 	for suffix, analyzer := range annotated {
 		if !found[suffix] {
 			t.Errorf("%s: no suppressed %s finding — its shieldlint annotation is stale or the analyzer regressed", suffix, analyzer)
+		}
+	}
+
+	// Self-discovering sweep over every suppression directive in the
+	// tree: each named analyzer must still have a suppressed finding in
+	// the directive's file (per-file granularity — good enough to catch
+	// a stale escape hatch, loose enough to survive line moves). Unlike
+	// the anchor map above this needs no updating: the first
+	// //shieldlint:ignore poolowner or lockorder site to land in the
+	// tree is covered the moment it appears. The one exception is a
+	// stripemap directive on a map-field declaration — that is
+	// configuration the analyzer consumes (the field is excluded from
+	// guarding), so no finding ever exists to suppress.
+	for _, pkg := range repoPkgs {
+		if pkg.Standard {
+			continue
+		}
+		for _, f := range pkg.Files {
+			mapFieldLines := make(map[int]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if _, isMap := field.Type.(*ast.MapType); isMap {
+						mapFieldLines[pkg.Fset.Position(field.Pos()).Line] = true
+					}
+				}
+				return true
+			})
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, name := range names {
+						if name == "stripemap" && (mapFieldLines[pos.Line] || mapFieldLines[pos.Line+1]) {
+							continue
+						}
+						stale := false
+						if name == "all" {
+							stale = !anySuppressed[pos.Filename]
+						} else {
+							stale = !suppressed[[2]string{pos.Filename, name}]
+						}
+						if stale {
+							t.Errorf("%s:%d: shieldlint directive for %q suppresses no finding in this file — stale annotation", pos.Filename, pos.Line, name)
+						}
+					}
+				}
+			}
 		}
 	}
 }
@@ -79,5 +140,66 @@ func TestShieldlintBinary(t *testing.T) {
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("shieldlint exited non-zero: %v\n%s", err, out)
+	}
+}
+
+// TestShieldlintOutputModes checks the machine-readable formats on a
+// package with known suppressed findings: -json emits one parseable
+// object per finding with the documented fields, and -format=github
+// emits workflow-command annotations. Both must keep exit code 0 when
+// every finding is suppressed.
+func TestShieldlintOutputModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go run in -short mode")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jsonCmd := exec.Command("go", "run", "./tools/shieldlint",
+		"-json", "-show-suppressed", "./internal/costmodel")
+	jsonCmd.Dir = root
+	out, err := jsonCmd.Output()
+	if err != nil {
+		t.Fatalf("shieldlint -json exited non-zero: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("shieldlint -json printed no findings for internal/costmodel (known suppressed wallclock sites)")
+	}
+	for _, line := range lines {
+		var f struct {
+			Analyzer   string `json:"analyzer"`
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("non-JSON output line %q: %v", line, err)
+		}
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("JSON finding missing fields: %s", line)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("JSON finding file %q not module-relative", f.File)
+		}
+	}
+
+	ghCmd := exec.Command("go", "run", "./tools/shieldlint",
+		"-format=github", "-show-suppressed", "./internal/costmodel")
+	ghCmd.Dir = root
+	out, err = ghCmd.Output()
+	if err != nil {
+		t.Fatalf("shieldlint -format=github exited non-zero: %v\n%s", err, out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if !strings.HasPrefix(line, "::notice ") && !strings.HasPrefix(line, "::error ") {
+			t.Errorf("github-format line is not a workflow command: %q", line)
+		}
+		if !strings.Contains(line, "file=") || !strings.Contains(line, "title=shieldlint/") {
+			t.Errorf("github-format line missing file/title properties: %q", line)
+		}
 	}
 }

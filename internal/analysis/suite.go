@@ -10,6 +10,8 @@ func Analyzers() []*Analyzer {
 		StripeMap,
 		HotAlloc,
 		PlaneBoundary,
+		PoolOwner,
+		LockOrder,
 	}
 }
 

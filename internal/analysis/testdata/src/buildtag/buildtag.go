@@ -1,0 +1,32 @@
+// Package buildtag is a loader regression fixture: the sibling file is
+// excluded by its //go:build ignore constraint (it deliberately does
+// not type-check, so wrongly including it fails CheckDir loudly), and
+// the generic helpers below must load cleanly through the go/types
+// Instances path the call graph relies on.
+package buildtag
+
+type number interface{ ~int | ~int64 }
+
+func sum[T number](xs []T) T {
+	var t T
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func mapTo[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Total instantiates both generics so Info.Instances is populated and
+// the explicit-instantiation syntax exercises staticCallee's IndexExpr
+// unwrapping.
+func Total(xs []int) int64 {
+	widen := mapTo[int, int64]
+	return sum(widen(xs, func(x int) int64 { return int64(x) }))
+}

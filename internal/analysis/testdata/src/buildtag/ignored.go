@@ -1,0 +1,8 @@
+//go:build ignore
+
+package buildtag
+
+// This file must be excluded by the loader's build-constraint filter:
+// it references an undefined symbol, so accidental inclusion breaks
+// the type check rather than silently widening the fixture.
+var X = definitelyUndefined

@@ -1,0 +1,53 @@
+// Package callgraph is the call-graph engine fixture: direct and
+// mutual recursion, a method value, interface dispatch over two
+// implementers, and a three-deep static chain for post-order checks.
+package callgraph
+
+type greeter interface{ greet() string }
+
+type english struct{}
+
+func (english) greet() string { return "hello" }
+
+type french struct{}
+
+func (french) greet() string { return "bonjour" }
+
+// dispatch calls through the interface: the edge set must
+// over-approximate to every in-program implementer.
+func dispatch(g greeter) string { return g.greet() }
+
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+// methodValue returns c.inc as a value: a dynamic function-value
+// reference edge, not a call site.
+func methodValue(c *counter) func() {
+	return c.inc
+}
+
+func chainLeaf() int { return 1 }
+func chainMid() int  { return chainLeaf() + 1 }
+func chainTop() int  { return chainMid() + 1 }

@@ -1,0 +1,221 @@
+// Package lockorder is a shieldlint fixture for the lock-order
+// analyzer: mutex acquisitions must follow one global partial order.
+// The cases cover recursive self-deadlock, two-lock inconsistent
+// nesting, a three-lock cycle, an order violation hidden one call
+// level down, and the deliberate suppressions — same lock identity on
+// two different shard instances, and goroutines starting with a fresh
+// lock stack.
+package lockorder
+
+import "sync"
+
+// --- recursive acquisition: guaranteed self-deadlock ---
+
+var recMu sync.Mutex
+
+func recursive() {
+	recMu.Lock()
+	recMu.Lock() // want "recursive lock"
+	recMu.Unlock()
+	recMu.Unlock()
+}
+
+var rw sync.RWMutex
+
+// recursiveRead re-read-locks: prohibited by the sync docs because a
+// blocked writer between the two RLocks deadlocks the reader.
+func recursiveRead() {
+	rw.RLock()
+	rw.RLock() // want "recursive lock"
+	rw.RUnlock()
+	rw.RUnlock()
+}
+
+type shard struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func (s *shard) reput(k string, v int) {
+	s.mu.Lock()
+	s.mu.Lock() // want "recursive lock"
+	s.data[k] = v
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// rebalance locks two shards of the same striped structure: the same
+// lock identity on two receivers is the sharded-nesting pattern the
+// analyzer deliberately admits.
+func rebalance(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.data["x"], b.data["x"] = b.data["x"], a.data["x"]
+}
+
+type table struct {
+	sync.Mutex
+	m map[string]int
+}
+
+// redo locks through an embedded mutex: identity is the embedding type.
+func (t *table) redo(k string, v int) {
+	t.Lock()
+	t.Lock() // want "recursive lock"
+	t.m[k] = v
+	t.Unlock()
+	t.Unlock()
+}
+
+// --- inconsistent nesting: two locks, opposite orders ---
+
+var muA, muB sync.Mutex
+
+func abOrder() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // want "inconsistent lock nesting"
+	muB.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want "inconsistent lock nesting"
+	muA.Unlock()
+}
+
+// --- lock-order cycle across three locks ---
+
+var muX, muY, muZ sync.Mutex
+
+func xThenY() {
+	muX.Lock()
+	defer muX.Unlock()
+	muY.Lock() // want "cycle of 3 locks"
+	muY.Unlock()
+}
+
+func yThenZ() {
+	muY.Lock()
+	defer muY.Unlock()
+	muZ.Lock() // want "cycle of 3 locks"
+	muZ.Unlock()
+}
+
+func zThenX() {
+	muZ.Lock()
+	defer muZ.Unlock()
+	muX.Lock() // want "cycle of 3 locks"
+	muX.Unlock()
+}
+
+// --- one call level: the opposing order hides inside a callee ---
+
+type registry struct{ mu sync.Mutex }
+type journal struct{ mu sync.Mutex }
+
+var reg registry
+var jnl journal
+
+func lockJournal() {
+	jnl.mu.Lock()
+	defer jnl.mu.Unlock()
+}
+
+func regThenJournal() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	lockJournal() // want "inconsistent lock nesting.*through the call to lockJournal"
+}
+
+func journalThenReg() {
+	jnl.mu.Lock()
+	defer jnl.mu.Unlock()
+	reg.mu.Lock() // want "inconsistent lock nesting"
+	reg.mu.Unlock()
+}
+
+// --- clean: one consistent order, however it is released ---
+
+var muOuter, muInner sync.Mutex
+
+func outerInner1() {
+	muOuter.Lock()
+	muInner.Lock()
+	muInner.Unlock()
+	muOuter.Unlock()
+}
+
+func outerInner2() {
+	muOuter.Lock()
+	defer muOuter.Unlock()
+	muInner.Lock()
+	defer muInner.Unlock()
+}
+
+// readHeld nests under a read lock: RWMutex participates in the order.
+func readHeld() {
+	rw.RLock()
+	defer rw.RUnlock()
+	muInner.Lock()
+	muInner.Unlock()
+}
+
+// --- clean: goroutines start with an empty lock stack ---
+
+var muG1, muG2 sync.Mutex
+
+func lockG2() {
+	muG2.Lock()
+	muG2.Unlock()
+}
+
+func spawnClean() {
+	muG1.Lock()
+	go lockG2()
+	muG1.Unlock()
+}
+
+func g2ThenG1() {
+	muG2.Lock()
+	defer muG2.Unlock()
+	muG1.Lock()
+	muG1.Unlock()
+}
+
+// --- clean: distinct stripes of one lock array ---
+
+type striped struct {
+	stripes []sync.Mutex
+	vals    []int
+}
+
+func (s *striped) move(i, j int) {
+	s.stripes[i].Lock()
+	defer s.stripes[i].Unlock()
+	s.stripes[j].Lock()
+	defer s.stripes[j].Unlock()
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// --- suppression: the annotation keeps the finding as suppressed ---
+
+var muS1, muS2 sync.Mutex
+
+func sOrder1() {
+	muS1.Lock()
+	defer muS1.Unlock()
+	//shieldlint:ignore lockorder fixture exercises annotation suppression
+	muS2.Lock() // want:suppressed "inconsistent lock nesting"
+	muS2.Unlock()
+}
+
+func sOrder2() {
+	muS2.Lock()
+	defer muS2.Unlock()
+	muS1.Lock() // want "inconsistent lock nesting"
+	muS1.Unlock()
+}

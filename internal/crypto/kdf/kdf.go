@@ -57,11 +57,11 @@ var sBuilderPool = sync.Pool{New: func() any {
 //	HMAC-SHA-256(key, FC || P0 || L0 || P1 || L1 || ...)
 //
 // where each Li is the 16-bit big-endian length of Pi. The returned
-// 32-byte slice is freshly allocated and owned by the caller.
-//
-//shieldlint:hotpath
+// 32-byte slice is freshly allocated and owned by the caller. Generic is
+// the one-shot convenience entry point; nothing on the registration hot
+// path calls it — per-registration derivations go through AppendGeneric
+// or GenericInto, which reuse caller-owned backings.
 func Generic(key []byte, fc byte, params ...[]byte) []byte {
-	//shieldlint:ignore hotalloc single caller-owned output; GenericInto is the allocation-free variant
 	return AppendGeneric(make([]byte, 0, sha256.Size), key, fc, params...)
 }
 

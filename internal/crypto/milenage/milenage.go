@@ -136,8 +136,26 @@ func (c *Cipher) F1Star(rand, sqn, amf []byte) ([]byte, error) {
 
 //shieldlint:hotpath
 func (c *Cipher) f1Block(rand, sqn, amf []byte) ([]byte, error) {
-	if err := checkLens(rand, sqn, amf); err != nil {
+	//shieldlint:ignore hotalloc single caller-owned OUT1 per UE-side verification; the enclave mint path uses F1Into with pooled scratch
+	out := make([]byte, 16)
+	if err := c.F1Into(out, rand, sqn, amf); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// F1Into computes the full OUT1 block — MAC-A || MAC-S — into dst,
+// which must hold exactly 16 bytes; MAC-A is dst[:MACLen], MAC-S is
+// dst[MACLen:]. This is the allocation-free variant of F1/F1Star for
+// callers holding pooled or batch-shared scratch (the eUDM AV mint).
+//
+//shieldlint:hotpath
+func (c *Cipher) F1Into(dst, rand, sqn, amf []byte) error {
+	if len(dst) != 16 {
+		return fmt.Errorf("milenage: OUT1 backing %d bytes, want 16", len(dst))
+	}
+	if err := checkLens(rand, sqn, amf); err != nil {
+		return err
 	}
 	s := scratchPool.Get().(*scratch)
 	c.tempInto(s, rand)
@@ -153,12 +171,10 @@ func (c *Cipher) f1Block(rand, sqn, amf []byte) ([]byte, error) {
 	rotateInto(&s.rot, &s.in, rotations[0])
 	s.rot[15] ^= constants[0]
 	xorInto(s.rot[:], s.temp[:])
-	//shieldlint:ignore hotalloc single caller-owned MAC output per f1 invocation
-	out := make([]byte, 16)
-	c.block.Encrypt(out, s.rot[:])
-	xorInto(out, c.opc[:])
+	c.block.Encrypt(dst, s.rot[:])
+	xorInto(dst, c.opc[:])
 	putScratch(s)
-	return out, nil
+	return nil
 }
 
 // F2345 computes RES, CK, IK and AK from RAND in a single pass, matching
@@ -168,15 +184,28 @@ func (c *Cipher) f1Block(rand, sqn, amf []byte) ([]byte, error) {
 //
 //shieldlint:hotpath
 func (c *Cipher) F2345(rand []byte) (res, ck, ik, ak []byte, err error) {
+	// One backing array for OUT2 || OUT3 || OUT4.
+	//shieldlint:ignore hotalloc single caller-owned backing for all three UE-side outputs; the enclave mint path uses F2345Into with pooled scratch
+	out := make([]byte, 48)
+	return c.F2345Into(out, rand)
+}
+
+// F2345Into is the allocation-free variant of F2345: out must hold
+// exactly 48 bytes and receives OUT2 || OUT3 || OUT4; the returned
+// res/ck/ik/ak slices alias disjoint ranges of out. Callers recycling
+// out through a pool must scrub it before returning it — CK, IK and AK
+// are key material.
+//
+//shieldlint:hotpath
+func (c *Cipher) F2345Into(out, rand []byte) (res, ck, ik, ak []byte, err error) {
+	if len(out) != 48 {
+		return nil, nil, nil, nil, fmt.Errorf("milenage: OUT2..4 backing %d bytes, want 48", len(out))
+	}
 	if len(rand) != RandLen {
 		return nil, nil, nil, nil, fmt.Errorf("milenage: RAND length %d, want %d", len(rand), RandLen)
 	}
 	s := scratchPool.Get().(*scratch)
 	c.tempInto(s, rand)
-
-	// One backing array for OUT2 || OUT3 || OUT4.
-	//shieldlint:ignore hotalloc single caller-owned backing for all three outputs
-	out := make([]byte, 48)
 	c.outBlockInto(s, 1, out[0:16])
 	c.outBlockInto(s, 2, out[16:32])
 	c.outBlockInto(s, 3, out[32:48])

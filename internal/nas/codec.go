@@ -44,7 +44,7 @@ const encodeCap = 96
 //
 //shieldlint:hotpath
 func Encode(m Message) ([]byte, error) {
-	//shieldlint:ignore hotalloc single caller-owned output buffer per encoded message
+	//shieldlint:ignore hotalloc the encoded buffer escapes into the NAS transport (AMF downlink, UE uplink) with no release point, so the allocation is the ownership-transfer contract; appendEncode is the reuse variant for callers that hold their own buffer
 	return appendEncode(make([]byte, 0, encodeCap), m)
 }
 

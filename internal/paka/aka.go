@@ -4,10 +4,30 @@ import (
 	"crypto/hmac"
 	"errors"
 	"fmt"
+	"sync"
 
 	"shield5g/internal/crypto/kdf"
 	"shield5g/internal/crypto/milenage"
 )
+
+// avScratch holds the MILENAGE outputs of one AV mint: the OUT1 block
+// (MAC-A || MAC-S) and the OUT2..4 backing that RES/CK/IK/AK alias.
+// Pooling it keeps GenerateAVCachedInto — the batch refill inner loop —
+// free of per-mint output allocation.
+type avScratch struct {
+	out1 [16]byte
+	out2 [48]byte
+}
+
+var avScratchPool = sync.Pool{New: func() any { return new(avScratch) }}
+
+// putAVScratch scrubs before recycling: CK, IK and AK are key material
+// and pooled memory must not carry them between mints — the same
+// discipline milenage's own scratch pool and hashpool.PutHMAC apply.
+func putAVScratch(s *avScratch) {
+	*s = avScratch{}
+	avScratchPool.Put(s)
+}
 
 // AKA errors.
 var (
@@ -69,24 +89,25 @@ func GenerateAVCachedInto(cache *milenage.Cache, k []byte, req *UDMGenerateAVReq
 	if err != nil {
 		return fmt.Errorf("paka: eUDM: %w", err)
 	}
-	macA, err := c.F1(req.RAND, req.SQN, req.AMFID)
-	if err != nil {
+	s := avScratchPool.Get().(*avScratch)
+	defer putAVScratch(s)
+	if err := c.F1Into(s.out1[:], req.RAND, req.SQN, req.AMFID); err != nil {
 		return fmt.Errorf("paka: eUDM f1: %w", err)
 	}
-	res, ck, ik, ak, err := c.F2345(req.RAND)
+	res, ck, ik, ak, err := c.F2345Into(s.out2[:], req.RAND)
 	if err != nil {
 		return fmt.Errorf("paka: eUDM f2345: %w", err)
 	}
 	copy(resp.RAND, req.RAND)
 
-	// AUTN = (SQN XOR AK) || AMF || MAC-A, assembled in place. F1 has
+	// AUTN = (SQN XOR AK) || AMF || MAC-A, assembled in place. F1Into has
 	// already validated the SQN and AMF lengths; AK is always 6 bytes.
 	sqnAK := resp.AUTN[0:6]
 	for i := range sqnAK {
 		sqnAK[i] = req.SQN[i] ^ ak[i]
 	}
 	copy(resp.AUTN[6:8], req.AMFID)
-	copy(resp.AUTN[8:16], macA)
+	copy(resp.AUTN[8:16], s.out1[:milenage.MACLen])
 
 	if err := kdf.ResStarInto(resp.XRESStar, ck, ik, req.SNN, req.RAND, res); err != nil {
 		return fmt.Errorf("paka: eUDM XRES*: %w", err)

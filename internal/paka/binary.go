@@ -84,7 +84,6 @@ func (m *UDMGenerateAVBatchRequest) DecodeBinary(r *codec.Reader) error {
 		m.Items = nil
 		return nil
 	}
-	//shieldlint:ignore hotalloc one item backing per decoded batch, amortized over the batch
 	m.Items = make([]UDMGenerateAVRequest, n)
 	for i := range m.Items {
 		if err := m.Items[i].DecodeBinary(r); err != nil {
@@ -118,7 +117,6 @@ func (m *UDMGenerateAVBatchResponse) DecodeBinary(r *codec.Reader) error {
 		m.Vectors = nil
 		return nil
 	}
-	//shieldlint:ignore hotalloc one vector backing per decoded batch, amortized over the batch
 	m.Vectors = make([]UDMGenerateAVResponse, n)
 	for i := range m.Vectors {
 		if err := m.Vectors[i].DecodeBinary(r); err != nil {

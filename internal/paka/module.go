@@ -457,9 +457,7 @@ func (m *Module) GenerateAVBatch(ctx context.Context, req *UDMGenerateAVBatchReq
 	// The whole refill derives into one backing array and one vector
 	// slice: two allocations per batch instead of one 80-byte backing,
 	// one response struct and one secret-name string per vector.
-	//shieldlint:ignore hotalloc one field backing per refill, amortized over the batch
 	backing := make([]byte, k*AVBackingBytes)
-	//shieldlint:ignore hotalloc one vector slice per refill, amortized over the batch
 	resp.Vectors = make([]UDMGenerateAVResponse, k)
 	err := m.rt().DoBatch(ctx, k*m.profile.InBytes, k*m.profile.OutBytes, func(ex Exec) error {
 		// A refill is per-SUPI: reuse the key lookup (and its secret-name

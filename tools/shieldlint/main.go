@@ -1,25 +1,44 @@
 // Command shieldlint runs the repository's static-analysis suite (see
 // internal/analysis): determinism, secretflow, atomiccounter, ctxcarry,
-// stripemap and hotalloc. It exits non-zero when any unsuppressed finding
-// remains, which makes it a CI gate:
+// stripemap, hotalloc, planeboundary, poolowner and lockorder. It exits
+// non-zero when any unsuppressed finding remains, which makes it a CI
+// gate:
 //
 //	go run ./tools/shieldlint ./...          # the `make lint` entry point
 //	go run ./tools/shieldlint -v ./internal/gnb
 //	go run ./tools/shieldlint -show-suppressed ./...
+//	go run ./tools/shieldlint -json ./...            # one JSON object per finding
+//	go run ./tools/shieldlint -format=github ./...   # GitHub Actions annotations
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"shield5g/internal/analysis"
 )
+
+// jsonFinding is the -json line format: one object per finding, stable
+// field names for downstream tooling.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
 
 func main() {
 	verbose := flag.Bool("v", false, "print per-analyzer summary")
 	showSuppressed := flag.Bool("show-suppressed", false, "also print annotation-suppressed findings")
 	only := flag.String("only", "", "run a single analyzer by name")
+	asJSON := flag.Bool("json", false, "emit one JSON object per finding instead of text")
+	format := flag.String("format", "text", "output format: text or github (::error workflow annotations)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: shieldlint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
@@ -28,6 +47,11 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(os.Stderr, "shieldlint: unknown format %q (want text or github)\n", *format)
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -64,15 +88,43 @@ func main() {
 	perAnalyzer := make(map[string]int)
 	active := 0
 	for _, d := range diags {
-		if d.Suppressed {
-			if *showSuppressed {
-				fmt.Printf("%s [suppressed by annotation]\n", d)
-			}
+		if d.Suppressed && !*showSuppressed {
 			continue
 		}
-		active++
-		perAnalyzer[d.Analyzer]++
-		fmt.Println(d)
+		if !d.Suppressed {
+			active++
+			perAnalyzer[d.Analyzer]++
+		}
+		switch {
+		case *asJSON:
+			line, merr := json.Marshal(jsonFinding{
+				Analyzer:   d.Analyzer,
+				File:       relToRoot(root, d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+			if merr != nil {
+				fmt.Fprintln(os.Stderr, "shieldlint:", merr)
+				os.Exit(2)
+			}
+			fmt.Println(string(line))
+		case *format == "github":
+			// Suppressed findings surface as notices so a reviewer sees
+			// the escape hatches without the job failing on them.
+			level := "error"
+			if d.Suppressed {
+				level = "notice"
+			}
+			fmt.Printf("::%s file=%s,line=%d,col=%d,title=shieldlint/%s::%s\n",
+				level, relToRoot(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+				d.Analyzer, githubEscape(d.Message))
+		case d.Suppressed:
+			fmt.Printf("%s [suppressed by annotation]\n", d)
+		default:
+			fmt.Println(d)
+		}
 	}
 
 	if *verbose {
@@ -85,4 +137,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shieldlint: %d finding(s)\n", active)
 		os.Exit(1)
 	}
+}
+
+// relToRoot rewrites an absolute position filename relative to the
+// module root, which is what both CI annotations and editors expect.
+func relToRoot(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// githubEscape encodes the characters the workflow-command parser
+// treats as delimiters inside an annotation message.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	return strings.ReplaceAll(s, "\n", "%0A")
 }
