@@ -30,10 +30,10 @@ race:
 # Static checks plus a focused race pass over the fault-injection,
 # mass-registration, and enclave-runtime paths (parallel drivers,
 # injector, resilience layer, overload limiter + admission buckets,
-# keep-alive sessions, TCS pool).
+# keep-alive sessions, TCS pool, switchless ring + dispatcher).
 vet:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/ ./internal/paka/ ./internal/admission/ ./internal/topology/ ./internal/nf/nrf/topo/
+	$(GO) test -race ./internal/chaos/ ./internal/sbi/ ./internal/gnb/ ./internal/deploy/ ./internal/paka/ ./internal/admission/ ./internal/topology/ ./internal/nf/nrf/topo/ ./internal/hmee/sgx/ ./internal/hmee/gramine/
 
 bench:
 	BENCH_JSON=$(CURDIR)/BENCH_parallel_registration.json \
@@ -78,10 +78,11 @@ shard-bench:
 # CLI (open-loop replay, limiter armed — exercises the overload stack end
 # to end in under a second), a short fuzz pass over the binary SBI frame
 # parser, a sharded-core smoke through the gnbsim CLI (4 replicas behind
-# SUPI-affinity routing with the full fast path on), and the batched and
-# shard-scaling allocation/throughput-regression gates — blocking, so a
-# repeat of the PR-5-era batched inversion fails the pipeline instead of
-# landing silently.
+# SUPI-affinity routing with the full fast path on), a switchless-ring
+# smoke through the gnbsim CLI (ring-served ECALLs on the same fast
+# path), and the batched and shard-scaling allocation/throughput-
+# regression gates — blocking, so a repeat of the PR-5-era batched
+# inversion fails the pipeline instead of landing silently.
 ci: build
 	$(MAKE) lint
 	$(GO) test -race ./...
@@ -89,6 +90,7 @@ ci: build
 	$(GO) test -run '^$$' -bench RegisterManyBatched -benchtime=1x .
 	$(GO) run ./cmd/gnbsim -n 40 -storm 10 -limiter -seed 7
 	$(GO) run ./cmd/gnbsim -n 32 -shards 4 -batch 8 -avpool 8 -seed 9
+	$(GO) run ./cmd/gnbsim -n 32 -switchless -batch 8 -avpool 8 -seed 11
 	$(GO) test -run '^$$' -fuzz '^FuzzFramePayload$$' -fuzztime 5s ./internal/sbi/codec
 	$(MAKE) bench-compare
 	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard_scaling.candidate.json \

@@ -632,9 +632,14 @@ type batchedRegPoint struct {
 	BatchSize         int     `json:"batch_size"`
 	AVPoolDepth       int     `json:"av_pool_depth"`
 	BinarySBI         bool    `json:"binary_sbi"`
+	Switchless        bool    `json:"switchless"`
 	UEs               int     `json:"ues"`
 	Registered        int     `json:"registered"`
 	TransPerReg       float64 `json:"transitions_per_reg"`
+	EEnterPerReg      float64 `json:"eenter_per_reg"`
+	EExitPerReg       float64 `json:"eexit_per_reg"`
+	AEXPerReg         float64 `json:"aex_per_reg"`
+	OCallsPerReg      float64 `json:"ocalls_per_reg"`
 	VirtualRegsPerSec float64 `json:"virtual_regs_per_sec"`
 	AllocsPerReg      float64 `json:"allocs_per_reg"`
 	BytesPerReg       float64 `json:"bytes_per_reg"`
@@ -744,6 +749,24 @@ func recordHotpathBench(b *testing.B, p batchedRegPoint) {
 				p.AllocsPerReg, seedAllocsPerReg/2, seedAllocsPerReg)
 		}
 	}
+	if p.Switchless {
+		// The switchless ring's contract: steady-state registrations cross
+		// the boundary with (nearly) zero EENTER/EEXIT, faster than the
+		// classic stack, while staying inside the allocation budget. All
+		// three are deterministic virtual figures.
+		if p.TransPerReg >= 10 {
+			b.Errorf("switchless mode pays %.2f transitions/registration, want < 10", p.TransPerReg)
+		}
+		if p.AllocsPerReg >= 100 {
+			b.Errorf("switchless mode allocates %.2f allocs/registration, want < 100", p.AllocsPerReg)
+		}
+		for _, pt := range r.Points {
+			if pt.BinarySBI && !pt.Switchless && p.VirtualRegsPerSec < pt.VirtualRegsPerSec {
+				b.Errorf("switchless mode runs at %.4f virtual regs/s, slower than the classic binsbi mode's %.4f",
+					p.VirtualRegsPerSec, pt.VirtualRegsPerSec)
+			}
+		}
+	}
 	path := os.Getenv("BENCH_HOTPATH_JSON")
 	if path == "" {
 		return
@@ -777,21 +800,23 @@ func recordHotpathBench(b *testing.B, p batchedRegPoint) {
 func BenchmarkRegisterManyBatched(b *testing.B) {
 	const ues = 200
 	for _, mode := range []struct {
-		name   string
-		batch  int
-		pool   int
-		binsbi bool
+		name       string
+		batch      int
+		pool       int
+		binsbi     bool
+		switchless bool
 	}{
-		{"unbatched", 0, 0, false},
-		{"batched8", 8, 0, false},
-		{"batched8+avpool8", 8, 8, false},
-		{"batched8+avpool8+binsbi", 8, 8, true},
+		{"unbatched", 0, 0, false, false},
+		{"batched8", 8, 0, false, false},
+		{"batched8+avpool8", 8, 8, false, false},
+		{"batched8+avpool8+binsbi", 8, 8, true, false},
+		{"batched8+avpool8+binsbi+switchless", 8, 8, true, true},
 	} {
 		b.Run(fmt.Sprintf("%s-ues%d", mode.name, ues), func(b *testing.B) {
 			ctx := context.Background()
 			tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{
 				Isolation: shield5g.SGX, Seed: 1, AVPoolDepth: mode.pool,
-				BinarySBI: mode.binsbi,
+				BinarySBI: mode.binsbi, Switchless: mode.switchless,
 			})
 			if err != nil {
 				b.Fatalf("NewTestbed: %v", err)
@@ -813,19 +838,22 @@ func BenchmarkRegisterManyBatched(b *testing.B) {
 				return sub.UE, nil
 			}
 
-			transBefore := sliceTransitions(tb)
+			statsBefore := sliceStats(tb)
 			var last *shield5g.MassResult
 			registered := 0
 			var meter allocMeter
 			var sumAllocs, sumBytes float64
-			var sumTrans uint64
+			var sumStats sgx.StatsSnapshot
 			b.ReportAllocs()
 			if !mode.binsbi {
 				meter.begin()
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				opts := shield5g.MassOptions{N: ues, NewUE: newUE, BatchSize: mode.batch}
+				opts := shield5g.MassOptions{
+					N: ues, NewUE: newUE, BatchSize: mode.batch,
+					Switchless: mode.switchless,
+				}
 				if mode.binsbi {
 					// Provision and prewarm outside the measured window.
 					b.StopTimer()
@@ -845,7 +873,7 @@ func BenchmarkRegisterManyBatched(b *testing.B) {
 					opts.NewUE = func(i int) (*shield5g.UE, error) { return devices[i], nil }
 					b.StartTimer()
 					meter.begin()
-					transBefore = sliceTransitions(tb)
+					statsBefore = sliceStats(tb)
 				}
 				res, err := tb.Slice.GNB.RegisterManyWith(ctx, opts)
 				if err != nil {
@@ -858,21 +886,22 @@ func BenchmarkRegisterManyBatched(b *testing.B) {
 					a, bytes := meter.end(1)
 					sumAllocs += a
 					sumBytes += bytes
-					sumTrans += sliceTransitions(tb) - transBefore
+					statsAccum(&sumStats, statsDelta(sliceStats(tb), statsBefore))
 				}
 				registered += res.Registered
 				last = res
 			}
 			b.StopTimer()
-			var allocsPerReg, bytesPerReg, transPerReg float64
+			var allocsPerReg, bytesPerReg float64
 			if mode.binsbi {
 				allocsPerReg = sumAllocs / float64(registered)
 				bytesPerReg = sumBytes / float64(registered)
-				transPerReg = float64(sumTrans) / float64(registered)
 			} else {
 				allocsPerReg, bytesPerReg = meter.end(registered)
-				transPerReg = float64(sliceTransitions(tb)-transBefore) / float64(registered)
+				sumStats = statsDelta(sliceStats(tb), statsBefore)
 			}
+			n := float64(registered)
+			transPerReg := float64(sumStats.EENTER+sumStats.EEXIT) / n
 			b.ReportMetric(transPerReg, "transitions/registration")
 			b.ReportMetric(last.VirtualRegsPerSec, "regs/s-virtual")
 			b.ReportMetric(allocsPerReg, "allocs/registration")
@@ -882,9 +911,14 @@ func BenchmarkRegisterManyBatched(b *testing.B) {
 				BatchSize:         mode.batch,
 				AVPoolDepth:       mode.pool,
 				BinarySBI:         mode.binsbi,
+				Switchless:        mode.switchless,
 				UEs:               ues,
 				Registered:        registered,
 				TransPerReg:       transPerReg,
+				EEnterPerReg:      float64(sumStats.EENTER) / n,
+				EExitPerReg:       float64(sumStats.EEXIT) / n,
+				AEXPerReg:         float64(sumStats.AEX) / n,
+				OCallsPerReg:      float64(sumStats.OCALLs) / n,
 				VirtualRegsPerSec: last.VirtualRegsPerSec,
 				AllocsPerReg:      allocsPerReg,
 				BytesPerReg:       bytesPerReg,
@@ -899,15 +933,39 @@ func BenchmarkRegisterManyBatched(b *testing.B) {
 	}
 }
 
-// sliceTransitions sums the enclave transitions (EENTER+EEXIT) across
-// every P-AKA module of the testbed's slice.
-func sliceTransitions(tb *shield5g.Testbed) uint64 {
-	var n uint64
+// sliceStats sums the enclave counters across every P-AKA module of the
+// testbed's slice, so the per-registration report can break the boundary
+// cost into its EENTER/EEXIT/AEX/OCALL components.
+func sliceStats(tb *shield5g.Testbed) sgx.StatsSnapshot {
+	var s sgx.StatsSnapshot
 	for _, m := range tb.Slice.Modules {
-		st := m.Stats()
-		n += st.EENTER + st.EEXIT
+		statsAccum(&s, m.Stats())
 	}
-	return n
+	return s
+}
+
+// statsDelta subtracts before from after, field by field.
+func statsDelta(after, before sgx.StatsSnapshot) sgx.StatsSnapshot {
+	return sgx.StatsSnapshot{
+		EENTER:     after.EENTER - before.EENTER,
+		EEXIT:      after.EEXIT - before.EEXIT,
+		AEX:        after.AEX - before.AEX,
+		ERESUME:    after.ERESUME - before.ERESUME,
+		ECALLs:     after.ECALLs - before.ECALLs,
+		OCALLs:     after.OCALLs - before.OCALLs,
+		PageFaults: after.PageFaults - before.PageFaults,
+	}
+}
+
+// statsAccum adds d into s, field by field.
+func statsAccum(s *sgx.StatsSnapshot, d sgx.StatsSnapshot) {
+	s.EENTER += d.EENTER
+	s.EEXIT += d.EEXIT
+	s.AEX += d.AEX
+	s.ERESUME += d.ERESUME
+	s.ECALLs += d.ECALLs
+	s.OCALLs += d.OCALLs
+	s.PageFaults += d.PageFaults
 }
 
 // BenchmarkRealtimeModuleResponse runs the module request path in

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	gnbsim [-n 100] [-parallel 1] [-isolation sgx|container|monolithic] [-seed N]
-//	       [-chaos RATE] [-retries N] [-batch N] [-avpool N]
+//	       [-chaos RATE] [-retries N] [-batch N] [-avpool N] [-switchless]
 //	       [-shards N] [-shardsize K]
 //	       [-storm FACTOR] [-limiter]
 //	       [-cpuprofile FILE] [-memprofile FILE]
@@ -61,6 +61,7 @@ func run() int {
 	retries := flag.Int("retries", 0, "max registration attempts per UE (0 = 1, or 5 when -chaos is set)")
 	batch := flag.Int("batch", 0, "keep-alive session depth: module requests per connection (0 = one connection per request)")
 	avpool := flag.Int("avpool", 0, "UDM AV precomputation pool depth per SUPI (0 disables)")
+	switchless := flag.Bool("switchless", false, "deploy the P-AKA modules with the switchless ECALL submission ring and route module requests through it (sgx only)")
 	shards := flag.Int("shards", 1, "core replica count: vertical AMF+AUSF+UDM+P-AKA slices behind SUPI-affinity routing (1 = singleton core)")
 	shardSize := flag.Int("shardsize", 0, "shuffle-shard width: replicas this gNB's tenant may route to (0 = all)")
 	stormFactor := flag.Float64("storm", 0, "signaling-storm overload factor: offer arrivals at this multiple of the core's service rate (0 disables)")
@@ -138,9 +139,15 @@ func run() int {
 		return 2
 	}
 
+	if *switchless && iso != shield5g.SGX {
+		fmt.Fprintf(os.Stderr, "gnbsim: -switchless needs -isolation sgx\n")
+		return 2
+	}
+
 	sliceCfg := shield5g.SliceConfig{
 		Isolation: iso, Seed: *seed, AVPoolDepth: *avpool,
 		Replicas: *shards, ShardSize: *shardSize,
+		Switchless: *switchless,
 	}
 	if *chaosRate > 0 {
 		// The decision seed is derived from -seed so one flag reproduces
@@ -198,6 +205,7 @@ func run() int {
 		MaxAttempts: maxAttempts,
 		Chaos:       tb.Slice.Chaos,
 		BatchSize:   *batch,
+		Switchless:  *switchless,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gnbsim: %v\n", err)
@@ -233,6 +241,19 @@ func run() int {
 		pool := tb.Slice.AVPoolStats()
 		fmt.Printf("av pool: %d hits, %d misses, %d refills, %d banked vectors\n",
 			pool.Hits, pool.Misses, pool.Refills, pool.Pooled)
+	}
+	if *switchless {
+		for _, shard := range tb.Slice.Shards {
+			for _, kind := range []shield5g.ModuleKind{shield5g.EUDM, shield5g.EAUSF, shield5g.EAMF} {
+				m, ok := shard.Modules[kind]
+				if !ok {
+					continue
+				}
+				rs := m.RingStats()
+				fmt.Printf("ring %s: %d submitted, %d completed, %d doorbells, %d parks\n",
+					m.ServiceName(), rs.Submitted, rs.Completed, rs.Doorbells, rs.Parks)
+			}
+		}
 	}
 	if result.Registered > 0 {
 		sum := result.SetupTimes.Summarize()

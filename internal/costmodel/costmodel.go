@@ -109,6 +109,27 @@ type Model struct {
 
 	// TimerTickHz is the host kernel tick rate.
 	TimerTickHz float64
+
+	// SwitchlessPollCycles is the cost of one empty dispatcher poll of the
+	// switchless submission ring: a cache-line load of the next slot's
+	// sequence word plus the loop overhead. HotCalls (Weisse et al.)
+	// measures the responder's spin iteration at well under a microsecond;
+	// ~200 cycles models one cross-core cache-line probe.
+	SwitchlessPollCycles simclock.Cycles
+	// SwitchlessEnqueueCycles is the producer-side cost of one switchless
+	// submission: the tail CAS, the argument store, and the slot publish
+	// (HotCalls reports the whole shared-memory call at ~600 cycles vs
+	// ~17k for an ECALL round trip).
+	SwitchlessEnqueueCycles simclock.Cycles
+	// SwitchlessDoorbellCycles is the untrusted-side overhead of waking a
+	// parked dispatcher — futex syscall and scheduler handoff — charged on
+	// top of the ECALL round trip the wake itself pays.
+	SwitchlessDoorbellCycles simclock.Cycles
+	// SwitchlessSpinPolls is the dispatcher's spin budget: after this many
+	// consecutive empty polls it parks and waits for a doorbell. The
+	// budget is virtual-deterministic — SpinPolls x PollCycles on the
+	// arrival axis — never a wall timer.
+	SwitchlessSpinPolls int
 }
 
 // Default returns the cost model of the paper's testbed.
@@ -142,6 +163,11 @@ func Default() *Model {
 
 		AEXRatePerThreadHz: 250,
 		TimerTickHz:        250,
+
+		SwitchlessPollCycles:     200,
+		SwitchlessEnqueueCycles:  600,
+		SwitchlessDoorbellCycles: 1_500,
+		SwitchlessSpinPolls:      4_096,
 	}
 }
 
@@ -190,6 +216,12 @@ func (m *Model) HTTPCost(n int) simclock.Cycles {
 		n = 0
 	}
 	return m.HTTPParseBase + simclock.Cycles(n)*m.HTTPPerByte
+}
+
+// SwitchlessSpinBudget is the virtual time a dispatcher spins on an empty
+// ring before parking: SpinPolls consecutive empty polls.
+func (m *Model) SwitchlessSpinBudget() simclock.Cycles {
+	return simclock.Cycles(m.SwitchlessSpinPolls) * m.SwitchlessPollCycles
 }
 
 // PagesFor reports the number of whole EPC pages covering n bytes.

@@ -104,6 +104,13 @@ type SliceConfig struct {
 	// every tenant route across all replicas. Only meaningful with
 	// Replicas > 1.
 	ShardSize int
+	// Switchless deploys every SGX module with the switchless ECALL
+	// submission ring (paka.Config.Switchless): a dedicated in-enclave
+	// dispatcher thread serves shared-memory call submissions, so
+	// steady-state requests cross with zero EENTER/EEXIT. Requests still
+	// opt in per call (paka.WithSwitchless); off keeps the slice
+	// bit-identical to the classic-ECALL deployment. SGX only.
+	Switchless bool
 }
 
 // OverloadProfile selects which overload-control mechanisms a slice runs.
@@ -351,16 +358,22 @@ func NewSlice(ctx context.Context, cfg SliceConfig) (*Slice, error) {
 	// execution environment that lost its key store to a crash-restart
 	// (the container runtime keeps no sealed backup).
 	var reprovision func(ctx context.Context, supi string, k []byte) error
+	var coalesce func() int
 	if m, ok := s.Modules[paka.EUDM]; ok {
 		reprovision = func(ctx context.Context, supi string, k []byte) error {
 			return m.ProvisionSubscriber(ctx, supi, k)
+		}
+		if cfg.Switchless {
+			// Refill batches widen opportunistically with the demand queued
+			// on the eUDM's submission ring — cross-worker call coalescing.
+			coalesce = m.RingOccupancy
 		}
 	}
 	udmInvoker := s.buildInvoker(udm.ServiceName)
 	if s.UDM, err = udm.New(ctx, udm.Config{
 		Env: env, Registry: s.Registry, Invoker: udmInvoker,
 		Functions: udmFns, HomeNetworkKey: hnKey, HMEE: hmee, Entropy: entropy,
-		Reprovision: reprovision,
+		Reprovision: reprovision, CoalesceHint: coalesce,
 		AVPoolDepth: cfg.AVPoolDepth, AVBatchSize: cfg.AVBatchSize,
 	}); err != nil {
 		return nil, fmt.Errorf("deploy: UDM: %w", err)
@@ -596,6 +609,7 @@ func (s *Slice) buildFunctions(ctx context.Context, cfg SliceConfig) (paka.UDMFu
 			// Pool refills enter the enclave via batch ECALLs, which need
 			// a TCS slot the resident threads do not hold.
 			ReserveBatchTCS: kind == paka.EUDM && cfg.AVPoolDepth > 0,
+			Switchless:      cfg.Switchless,
 		})
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("deploy: %s module: %w", kind, err)

@@ -234,6 +234,7 @@ func (s *Slice) buildShard(ctx context.Context, cfg SliceConfig, r int, signKey 
 				DisablePreheat:   cfg.DisablePreheat,
 				SignKey:          signKey,
 				ReserveBatchTCS:  kind == paka.EUDM && cfg.AVPoolDepth > 0,
+				Switchless:       cfg.Switchless,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("deploy: %s module (shard %d): %w", kind, r, err)
@@ -247,16 +248,22 @@ func (s *Slice) buildShard(ctx context.Context, cfg SliceConfig, r int, signKey 
 	}
 
 	var reprovision func(ctx context.Context, supi string, k []byte) error
+	var coalesce func() int
 	if m, ok := shard.Modules[paka.EUDM]; ok {
 		reprovision = func(ctx context.Context, supi string, k []byte) error {
 			return m.ProvisionSubscriber(ctx, supi, k)
+		}
+		if cfg.Switchless {
+			// Each shard's refills coalesce with the demand queued on its
+			// own eUDM ring — shards never share a dispatcher.
+			coalesce = m.RingOccupancy
 		}
 	}
 	var err error
 	if shard.UDM, err = udm.New(ctx, udm.Config{
 		Env: s.Env, Registry: s.Registry, Invoker: s.buildInvoker(shard.UDMService),
 		Functions: udmFns, HomeNetworkKey: s.HomeNetworkKey, HMEE: hmee, Entropy: s.entropy,
-		Reprovision: reprovision,
+		Reprovision: reprovision, CoalesceHint: coalesce,
 		AVPoolDepth: cfg.AVPoolDepth, AVBatchSize: cfg.AVBatchSize,
 		ServiceName: shard.UDMService, InstanceID: shard.UDMService + "-1",
 	}); err != nil {

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// instrumented runtime allocates shadow state that MemStats counts, so
+// allocation-budget assertions only hold on uninstrumented builds; the
+// budget itself is gated by `make bench-compare` against the committed
+// baseline.
+const raceEnabled = true

@@ -52,6 +52,11 @@ type ShardScalePoint struct {
 	// allocation-discipline work.
 	AllocsPerReg float64 `json:"allocs_per_reg"`
 	BytesPerReg  float64 `json:"bytes_per_reg"`
+	// TransPerReg is the fleet-wide EENTER+EEXIT census per registration
+	// over the measured window — the figure the switchless ring collapses;
+	// it must stay flat across replica counts (sharding multiplies lanes,
+	// not per-registration boundary crossings).
+	TransPerReg float64 `json:"transitions_per_reg"`
 	// LaneRegistered is the per-shard registration spread (affinity
 	// balance), in shard-index order.
 	LaneRegistered []int `json:"lane_registered"`
@@ -121,6 +126,23 @@ func ShardScale(ctx context.Context, cfg Config) (*ShardScaleResult, error) {
 		}
 	}
 	return result, nil
+}
+
+// fleetTransitions sums the enclave transitions (EENTER+EEXIT) across
+// every P-AKA module of every shard; singleton slices fall back to the
+// slice-level module map.
+func fleetTransitions(s *deploy.Slice) uint64 {
+	if len(s.Shards) == 0 {
+		return sliceTransitions(s)
+	}
+	var n uint64
+	for _, shard := range s.Shards {
+		for _, m := range shard.Modules {
+			st := m.Stats()
+			n += st.EENTER + st.EEXIT
+		}
+	}
+	return n
 }
 
 func sameLanes(a, b []int) bool {
@@ -197,6 +219,7 @@ func shardScalePoint(ctx context.Context, cfg Config, n, replicas int) (ShardSca
 		return point, err
 	}
 
+	transBefore := fleetTransitions(s)
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res, err := s.GNB.RegisterManyWith(ctx, gnb.MassOptions{
@@ -220,6 +243,7 @@ func shardScalePoint(ctx context.Context, cfg Config, n, replicas int) (ShardSca
 	if res.Registered > 0 {
 		point.AllocsPerReg = float64(after.Mallocs-before.Mallocs) / float64(res.Registered)
 		point.BytesPerReg = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Registered)
+		point.TransPerReg = float64(fleetTransitions(s)-transBefore) / float64(res.Registered)
 	}
 	point.LaneRegistered = make([]int, len(res.ShardStats))
 	for i, st := range res.ShardStats {
@@ -235,13 +259,13 @@ func shardScalePoint(ctx context.Context, cfg Config, n, replicas int) (ShardSca
 // Render prints the sweep table.
 func (r *ShardScaleResult) Render(w io.Writer) {
 	fprintf(w, "Horizontally sharded core: replica sweep (%d UEs, batch-8 + AV pool 8 + binary SBI, prewarmed)\n", r.UEs)
-	fprintf(w, "%-9s %6s %6s %12s %12s %12s %12s %8s %9s\n",
-		"replicas", "ok", "fail", "virtual", "makespan", "virt reg/s", "fleet reg/s", "speedup", "allocs/r")
+	fprintf(w, "%-9s %6s %6s %12s %12s %12s %12s %8s %9s %8s\n",
+		"replicas", "ok", "fail", "virtual", "makespan", "virt reg/s", "fleet reg/s", "speedup", "allocs/r", "trans/r")
 	for _, p := range r.Points {
-		fprintf(w, "%-9d %6d %6d %12s %12s %12.1f %12.1f %7.2fx %9.1f\n",
+		fprintf(w, "%-9d %6d %6d %12s %12s %12.1f %12.1f %7.2fx %9.1f %8.1f\n",
 			p.Replicas, p.Registered, p.Failed,
 			p.Virtual.Round(time.Millisecond), p.FleetVirtual.Round(time.Millisecond),
-			p.VirtualRegsPS, p.FleetRegsPS, p.Speedup, p.AllocsPerReg)
+			p.VirtualRegsPS, p.FleetRegsPS, p.Speedup, p.AllocsPerReg, p.TransPerReg)
 	}
 	fprintf(w, "fleet speedup at 8 replicas: %.2fx (acceptance: >= 3x)\n", r.SpeedupAt8)
 	if r.Deterministic {
@@ -266,10 +290,12 @@ func (r *ShardScaleResult) WriteCSV(w io.Writer) error {
 			f(p.Speedup),
 			f(p.AllocsPerReg),
 			f(p.BytesPerReg),
+			f(p.TransPerReg),
 		})
 	}
 	return writeCSV(w, []string{
 		"replicas", "registered", "failed", "virtual_ms", "fleet_makespan_ms",
 		"virtual_regs_per_sec", "fleet_regs_per_sec", "speedup", "allocs_per_reg", "bytes_per_reg",
+		"transitions_per_reg",
 	}, rows)
 }

@@ -25,7 +25,10 @@ func TestShardScaleFleetSpeedup(t *testing.T) {
 		if p.Registered != r.UEs || p.Failed != 0 {
 			t.Errorf("replicas=%d: Registered=%d Failed=%d, want %d/0", p.Replicas, p.Registered, p.Failed, r.UEs)
 		}
-		if p.AllocsPerReg >= 100 {
+		// The race-instrumented runtime's shadow allocations land in
+		// MemStats, so the budget only holds on plain builds; the
+		// committed baseline gates it in `make bench-compare` either way.
+		if !raceEnabled && p.AllocsPerReg >= 100 {
 			t.Errorf("replicas=%d: %.1f allocs/reg, budget is < 100", p.Replicas, p.AllocsPerReg)
 		}
 		if len(p.LaneRegistered) != p.Replicas {

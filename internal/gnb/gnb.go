@@ -454,6 +454,11 @@ type MassOptions struct {
 	// sequential driver holds one connection; each parallel worker holds
 	// its own. 0 keeps the seed's connection-per-request behaviour.
 	BatchSize int
+	// Switchless marks every module request of the run as willing to use
+	// the switchless ECALL submission ring (paka.WithSwitchless). Only
+	// effective against a slice deployed with SliceConfig.Switchless;
+	// elsewhere requests take the classic ECALL path unchanged.
+	Switchless bool
 }
 
 // failureClass buckets a registration error for MassResult accounting:
@@ -658,6 +663,9 @@ func (g *GNB) registerSequential(ctx context.Context, opts MassOptions, result *
 	if opts.BatchSize > 0 {
 		ctx = paka.WithConnection(ctx, 1, opts.BatchSize)
 	}
+	if opts.Switchless {
+		ctx = paka.WithSwitchless(ctx)
+	}
 	for i := 0; i < opts.N; i++ {
 		device, err := opts.NewUE(i)
 		if err != nil {
@@ -731,6 +739,9 @@ func (g *GNB) registerParallel(ctx context.Context, opts MassOptions, result *Ma
 				// Each worker pipelines its stripe over its own
 				// keep-alive connection to the P-AKA modules.
 				base = paka.WithConnection(base, uint64(w)+1, opts.BatchSize)
+			}
+			if opts.Switchless {
+				base = paka.WithSwitchless(base)
 			}
 			for i := w; i < opts.N; i += workers {
 				if wctx.Err() != nil {

@@ -107,6 +107,12 @@ func (si *ShieldedImage) identityDigest() []byte {
 	fmt.Fprintf(h, "gsc:%s:image=%s:size=%d:threads=%d:preheat=%v",
 		GSCVersion, si.Image.Name, si.Manifest.EnclaveSizeBytes,
 		si.Manifest.MaxThreads, si.Manifest.PreheatEnclave)
+	if si.Manifest.SwitchlessECalls {
+		// Folded only when enabled: a switchless-off image keeps the
+		// identity (and sealed data bound to it) it had before the ring
+		// existed.
+		fmt.Fprintf(h, ":switchless=true")
+	}
 	for _, f := range si.Manifest.TrustedFiles {
 		fmt.Fprintf(h, "%s:%d;", f.URI, f.Size)
 	}
@@ -136,6 +142,7 @@ func (si *ShieldedImage) EnclaveConfig() sgx.EnclaveConfig {
 		SizeBytes:    si.Manifest.EnclaveSizeBytes,
 		MaxThreads:   si.Manifest.MaxThreads,
 		Preheat:      si.Manifest.PreheatEnclave,
+		Switchless:   si.Manifest.SwitchlessECalls,
 		TrustedFiles: files,
 	}
 }

@@ -103,6 +103,13 @@ type Instance struct {
 	proc    *sgx.Thread
 	helpers []*sgx.Thread
 
+	// ring and dispatcher implement the switchless ECALL path: the
+	// dispatcher pins one TCS for the life of the instance and serves
+	// jobs submitted into the shared-memory ring. Both are nil unless
+	// Manifest.SwitchlessECalls was set.
+	ring       *sgx.Ring
+	dispatcher *sgx.Thread
+
 	mu      sync.Mutex
 	running bool
 	warm    bool
@@ -182,6 +189,19 @@ func Launch(ctx context.Context, p *sgx.Platform, si *ShieldedImage, opts ...Lau
 			proc.OCall(m.SyscallNative, 32, 32)
 		}
 	}
+
+	// The switchless dispatcher enters last, after the server is up, and
+	// never returns: one more long-lived EENTER pinning one TCS for the
+	// life of the instance.
+	if si.Manifest.SwitchlessECalls {
+		d, err := enclave.EnterResident(ctx)
+		if err != nil {
+			inst.Shutdown()
+			return nil, fmt.Errorf("gramine: enter switchless dispatcher: %w", err)
+		}
+		inst.dispatcher = d
+		inst.ring = sgx.NewRing(enclave, d, 0)
+	}
 	return inst, nil
 }
 
@@ -208,6 +228,28 @@ func (i *Instance) TCBBytes() uint64 {
 
 // Exitless reports whether switchless OCALLs are active.
 func (i *Instance) Exitless() bool { return i.exitless }
+
+// Switchless reports whether the instance runs a switchless ECALL ring.
+func (i *Instance) Switchless() bool { return i.ring != nil }
+
+// RingOccupancy reports the submission ring's published-but-unserved job
+// count (0 without a ring). The UDM's AV mint reads it to widen batches
+// opportunistically from cross-worker concurrency.
+func (i *Instance) RingOccupancy() int {
+	if i.ring == nil {
+		return 0
+	}
+	return i.ring.Occupancy()
+}
+
+// RingStats snapshots the submission ring's counters (zero without a
+// ring).
+func (i *Instance) RingStats() sgx.RingStats {
+	if i.ring == nil {
+		return sgx.RingStats{}
+	}
+	return i.ring.Stats()
+}
 
 // Warm reports whether the first request has been served.
 func (i *Instance) Warm() bool {
@@ -259,7 +301,7 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 		i.ocall(th, m.SyscallNative, 16, 16)
 	}
 
-	functional, total, err := i.requestCensus(th, acct, inBytes, outBytes, handler)
+	functional, total, err := i.requestCensus(th, acct, inBytes, outBytes, handler, false)
 
 	for k := 0; k < i.syscalls.Post; k++ {
 		i.ocall(th, m.SyscallNative, 16, 16)
@@ -270,6 +312,27 @@ func (i *Instance) ServeRequest(ctx context.Context, inBytes, outBytes int, hand
 		Total:      total,
 		ServerSide: acct.Total() - start,
 	}, err
+}
+
+// ServeRequestSwitchless is ServeRequest routed through the submission
+// ring when ctx negotiated it; otherwise it falls back to the classic
+// path. The ring route lives in its own entry point — not a branch inside
+// ServeRequest — because submitting stores the handler in a pooled job,
+// and Go's escape analysis would then charge every classic caller a
+// heap-allocated closure for a path it never takes.
+func (i *Instance) ServeRequestSwitchless(ctx context.Context, inBytes, outBytes int, handler func(*sgx.Thread) error) (Breakdown, error) {
+	if i.ring == nil || !sgx.SwitchlessFrom(ctx) {
+		return i.ServeRequest(ctx, inBytes, outBytes, handler)
+	}
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return Breakdown{}, ErrNotRunning
+	}
+	first := !i.warm
+	i.warm = true
+	i.mu.Unlock()
+	return i.serveViaRing(ctx, inBytes, outBytes, handler, first, true, true)
 }
 
 // threadPool recycles the per-request sgx.Thread bindings that
@@ -296,7 +359,17 @@ func putThread(th *sgx.Thread) { threadPool.Put(th) }
 //
 //shieldlint:hotpath
 func (i *Instance) ocall(th *sgx.Thread, untrusted simclock.Cycles, out, in int) {
-	if i.exitless {
+	i.ocallVia(false, th, untrusted, out, in)
+}
+
+// ocallVia is ocall with an explicit routing decision: a request served on
+// the switchless dispatcher (viaRing) must never leave the enclave, so its
+// proxied syscalls always take the exitless handoff regardless of the
+// instance-wide exitless setting.
+//
+//shieldlint:hotpath
+func (i *Instance) ocallVia(viaRing bool, th *sgx.Thread, untrusted simclock.Cycles, out, in int) {
+	if viaRing || i.exitless {
 		th.OCallExitless(untrusted, out, in)
 	} else {
 		th.OCall(untrusted, out, in)
@@ -309,19 +382,19 @@ func (i *Instance) ocall(th *sgx.Thread, untrusted simclock.Cycles, out, in int)
 // ServeOnSession share it so their charge order stays literally
 // identical; only the connection-scoped Pre/Post machinery around it
 // differs between the two paths.
-func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, inBytes, outBytes int, handler func(*sgx.Thread) error) (functional, total simclock.Cycles, err error) {
+func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, inBytes, outBytes int, handler func(*sgx.Thread) error, viaRing bool) (functional, total simclock.Cycles, err error) {
 	m := i.platform.Model()
 
 	totalStart := acct.Total()
 	for k := 0; k < i.syscalls.Read; k++ {
-		i.ocall(th, m.SyscallNative, 0, inBytes/i.syscalls.Read+1)
+		i.ocallVia(viaRing, th, m.SyscallNative, 0, inBytes/i.syscalls.Read+1)
 	}
 	th.Compute(m.TLSRecordCost(inBytes) + m.HTTPCost(inBytes))
 	th.Touch(uint64(inBytes))
 
 	fnStart := acct.Total()
 	for k := 0; k < i.syscalls.InHandler; k++ {
-		i.ocall(th, m.SyscallNative, 8, 8)
+		i.ocallVia(viaRing, th, m.SyscallNative, 8, 8)
 	}
 	err = handler(th)
 	fnEnd := acct.Total()
@@ -329,10 +402,159 @@ func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, inBytes
 	th.Compute(m.HTTPCost(outBytes) + m.TLSRecordCost(outBytes))
 	th.Touch(uint64(outBytes))
 	for k := 0; k < i.syscalls.Write; k++ {
-		i.ocall(th, m.SyscallNative, outBytes/i.syscalls.Write+1, 0)
+		i.ocallVia(viaRing, th, m.SyscallNative, outBytes/i.syscalls.Write+1, 0)
 	}
 	totalEnd := acct.Total()
 	return fnEnd - fnStart, totalEnd - totalStart, err
+}
+
+// Pooled switchless job structs: submissions carry no closures, so the
+// steady-state ring path stays inside the hot-path allocation budget.
+var (
+	serveJobPool   = sync.Pool{New: func() any { return new(ringServeJob) }}
+	sessionJobPool = sync.Pool{New: func() any { return new(ringSessionJob) }}
+	fnJobPool      = sync.Pool{New: func() any { return new(ringFnJob) }}
+)
+
+// ringServeJob serves one request on the switchless dispatcher: the same
+// census ServeRequest/ServeOnSession charge, with every proxied syscall
+// taking the exitless handoff — the request crosses the boundary with zero
+// EENTER/EEXIT.
+type ringServeJob struct {
+	inst              *Instance
+	ctx               context.Context
+	acct              *simclock.Account
+	inBytes, outBytes int
+	handler           func(*sgx.Thread) error
+	first, pre, post  bool
+	bd                Breakdown
+}
+
+// Execute runs on the dispatcher's resident thread; costs land on the
+// submitting request's account and jitter stream.
+//
+//shieldlint:hotpath
+func (j *ringServeJob) Execute(*sgx.Thread) error {
+	i := j.inst
+	p := i.platform
+	m := p.Model()
+	acct := j.acct
+	th := i.reqThread(j.ctx, acct)
+	defer putThread(th)
+	start := acct.Total()
+
+	if j.first {
+		for k := 0; k < warmupOCALLs; k++ {
+			th.OCallExitless(m.SyscallNative, 64, 64)
+		}
+		th.Compute(simclock.Cycles(warmupVerifyBytes) * m.TrustedFileHashPerByte)
+		th.Compute(m.TLSHandshakeServer)
+	}
+
+	jig := int(simclock.JitterFrom(j.ctx, p.Jitter()).Uint64n(3))
+	n := jig
+	if j.pre {
+		n += i.syscalls.Pre
+	}
+	for k := 0; k < n; k++ {
+		i.ocallVia(true, th, m.SyscallNative, 16, 16)
+	}
+
+	functional, total, err := i.requestCensus(th, acct, j.inBytes, j.outBytes, j.handler, true)
+
+	if j.post {
+		for k := 0; k < i.syscalls.Post; k++ {
+			i.ocallVia(true, th, m.SyscallNative, 16, 16)
+		}
+	}
+	j.bd = Breakdown{
+		Functional: functional,
+		Total:      total,
+		ServerSide: acct.Total() - start,
+	}
+	return err
+}
+
+// serveViaRing submits one request into the switchless ring and blocks for
+// its completion. pre/post select whether the connection-scoped Pre/Post
+// machinery runs (a plain request) or is amortized by a session.
+//
+//shieldlint:hotpath
+func (i *Instance) serveViaRing(ctx context.Context, inBytes, outBytes int, handler func(*sgx.Thread) error, first, pre, post bool) (Breakdown, error) {
+	j := serveJobPool.Get().(*ringServeJob)
+	j.inst, j.ctx, j.acct = i, ctx, simclock.AccountFrom(ctx)
+	j.inBytes, j.outBytes, j.handler = inBytes, outBytes, handler
+	j.first, j.pre, j.post = first, pre, post
+	err := i.ring.Submit(ctx, j)
+	bd := j.bd
+	*j = ringServeJob{}
+	serveJobPool.Put(j)
+	return bd, err
+}
+
+// ringSessionJob runs the connection-scoped half of a switchless session:
+// the accept/Pre machinery plus TLS handshake on open, the Post teardown
+// on close.
+type ringSessionJob struct {
+	inst  *Instance
+	ctx   context.Context
+	first bool
+	open  bool
+}
+
+//shieldlint:hotpath
+func (j *ringSessionJob) Execute(*sgx.Thread) error {
+	i := j.inst
+	m := i.platform.Model()
+	th := i.reqThread(j.ctx, simclock.AccountFrom(j.ctx))
+	defer putThread(th)
+	if j.open {
+		if j.first {
+			for k := 0; k < warmupOCALLs; k++ {
+				th.OCallExitless(m.SyscallNative, 64, 64)
+			}
+			th.Compute(simclock.Cycles(warmupVerifyBytes) * m.TrustedFileHashPerByte)
+		}
+		for k := 0; k < i.syscalls.Pre; k++ {
+			i.ocallVia(true, th, m.SyscallNative, 16, 16)
+		}
+		th.Compute(m.TLSHandshakeServer)
+		return nil
+	}
+	for k := 0; k < i.syscalls.Post; k++ {
+		i.ocallVia(true, th, m.SyscallNative, 16, 16)
+	}
+	return nil
+}
+
+// sessionViaRing submits a session open (accept machinery + handshake) or
+// close (teardown) into the ring.
+func (i *Instance) sessionViaRing(ctx context.Context, first, open bool) error {
+	j := sessionJobPool.Get().(*ringSessionJob)
+	j.inst, j.ctx, j.first, j.open = i, ctx, first, open
+	err := i.ring.Submit(ctx, j)
+	*j = ringSessionJob{}
+	sessionJobPool.Put(j)
+	return err
+}
+
+// ringFnJob runs a batch entry (DoBatch) on the dispatcher: the batch
+// buffers cross through shared memory (shield cost, no transitions) and fn
+// executes on a thread bound to the submitting request.
+type ringFnJob struct {
+	inst               *Instance
+	ctx                context.Context
+	argBytes, retBytes int
+	fn                 func(*sgx.Thread) error
+}
+
+//shieldlint:hotpath
+func (j *ringFnJob) Execute(*sgx.Thread) error {
+	i := j.inst
+	th := i.reqThread(j.ctx, simclock.AccountFrom(j.ctx))
+	defer putThread(th)
+	th.ShieldTransfer(j.argBytes, j.retBytes)
+	return j.fn(th)
 }
 
 // Session is one persistent keep-alive connection into the in-enclave
@@ -344,8 +566,13 @@ func (i *Instance) requestCensus(th *sgx.Thread, acct *simclock.Account, inBytes
 // under the default profile) over B requests.
 type Session struct {
 	inst *Instance
-	mu   sync.Mutex
-	open bool
+	// switchless records the connection's negotiated routing: a session
+	// opened through the submission ring serves and closes through it
+	// too, so one connection's census never mixes the two boundary
+	// disciplines.
+	switchless bool
+	mu         sync.Mutex
+	open       bool
 }
 
 // OpenSession accepts one persistent client connection: the pre-request
@@ -361,6 +588,13 @@ func (i *Instance) OpenSession(ctx context.Context) (*Session, error) {
 	first := !i.warm
 	i.warm = true
 	i.mu.Unlock()
+
+	if i.ring != nil && sgx.SwitchlessFrom(ctx) {
+		if err := i.sessionViaRing(ctx, first, true); err != nil {
+			return nil, err
+		}
+		return &Session{inst: i, open: true, switchless: true}, nil
+	}
 
 	m := i.platform.Model()
 	th := i.reqThread(ctx, simclock.AccountFrom(ctx))
@@ -403,6 +637,11 @@ func (i *Instance) ServeOnSession(ctx context.Context, s *Session, inBytes, outB
 	if !open {
 		return Breakdown{}, ErrSessionClosed
 	}
+	if s.switchless {
+		// A connection negotiated onto the ring must never mix in classic
+		// serves — its census discipline was fixed at open.
+		return Breakdown{}, errors.New("gramine: switchless session must be served through ServeOnSessionSwitchless")
+	}
 
 	p := i.platform
 	m := p.Model()
@@ -416,7 +655,7 @@ func (i *Instance) ServeOnSession(ctx context.Context, s *Session, inBytes, outB
 		i.ocall(th, m.SyscallNative, 16, 16)
 	}
 
-	functional, total, err := i.requestCensus(th, acct, inBytes, outBytes, handler)
+	functional, total, err := i.requestCensus(th, acct, inBytes, outBytes, handler, false)
 	return Breakdown{
 		Functional: functional,
 		Total:      total,
@@ -424,10 +663,45 @@ func (i *Instance) ServeOnSession(ctx context.Context, s *Session, inBytes, outB
 	}, err
 }
 
+// ServeOnSessionSwitchless serves a ring-negotiated session's pipelined
+// request through the submission ring; sessions opened classically fall
+// back to ServeOnSession. Split from ServeOnSession for the same
+// escape-analysis reason as ServeRequestSwitchless.
+func (i *Instance) ServeOnSessionSwitchless(ctx context.Context, s *Session, inBytes, outBytes int, handler func(*sgx.Thread) error) (Breakdown, error) {
+	if s == nil || !s.switchless || i.ring == nil {
+		return i.ServeOnSession(ctx, s, inBytes, outBytes, handler)
+	}
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return Breakdown{}, ErrNotRunning
+	}
+	i.mu.Unlock()
+	if s.inst != i {
+		return Breakdown{}, errors.New("gramine: session belongs to a different instance")
+	}
+	s.mu.Lock()
+	open := s.open
+	s.mu.Unlock()
+	if !open {
+		return Breakdown{}, ErrSessionClosed
+	}
+	return i.serveViaRing(ctx, inBytes, outBytes, handler, false, false, false)
+}
+
 // Serve is shorthand for ServeOnSession on the owning instance.
 func (s *Session) Serve(ctx context.Context, inBytes, outBytes int, handler func(*sgx.Thread) error) (Breakdown, error) {
 	return s.inst.ServeOnSession(ctx, s, inBytes, outBytes, handler)
 }
+
+// ServeSwitchless is shorthand for ServeOnSessionSwitchless.
+func (s *Session) ServeSwitchless(ctx context.Context, inBytes, outBytes int, handler func(*sgx.Thread) error) (Breakdown, error) {
+	return s.inst.ServeOnSessionSwitchless(ctx, s, inBytes, outBytes, handler)
+}
+
+// Switchless reports whether the session was negotiated onto the
+// submission ring at open.
+func (s *Session) Switchless() bool { return s.switchless }
 
 // Close tears the session's connection down, paying the post-request
 // machinery once for the whole pipelined batch. Closing twice, or closing
@@ -449,6 +723,15 @@ func (s *Session) Close(ctx context.Context) error {
 		return nil
 	}
 	i.mu.Unlock()
+
+	if s.switchless && i.ring != nil {
+		// A ring that closed under us means the enclave is going down
+		// with the connection — the same free no-op as a dead instance.
+		if err := i.sessionViaRing(ctx, false, false); err != nil && !errors.Is(err, sgx.ErrRingClosed) {
+			return err
+		}
+		return nil
+	}
 
 	m := i.platform.Model()
 	th := i.reqThread(ctx, simclock.AccountFrom(ctx))
@@ -496,6 +779,32 @@ func (i *Instance) DoBatch(ctx context.Context, argBytes, retBytes int, fn func(
 	})
 }
 
+// DoBatchSwitchless crosses the batch through the submission ring instead
+// of a fresh ECALL: arguments and results still pay the shield cost, but
+// no transition pair and no spare TCS slot. Without a ring (or without the
+// ctx flag) it falls back to the classic DoBatch; the split keeps the
+// classic entry free of the pooled-job handler store (see
+// ServeRequestSwitchless).
+func (i *Instance) DoBatchSwitchless(ctx context.Context, argBytes, retBytes int, fn func(*sgx.Thread) error) error {
+	if i.ring == nil || !sgx.SwitchlessFrom(ctx) {
+		return i.DoBatch(ctx, argBytes, retBytes, fn)
+	}
+	i.mu.Lock()
+	if !i.running {
+		i.mu.Unlock()
+		return ErrNotRunning
+	}
+	i.mu.Unlock()
+	ctx = simclock.WithAccount(ctx, simclock.AccountFrom(ctx))
+	j := fnJobPool.Get().(*ringFnJob)
+	j.inst, j.ctx, j.fn = i, ctx, fn
+	j.argBytes, j.retBytes = argBytes, retBytes
+	err := i.ring.Submit(ctx, j)
+	*j = ringFnJob{}
+	fnJobPool.Put(j)
+	return err
+}
+
 // AccrueUptime models the instance staying deployed for d of virtual time
 // (timer-interrupt AEX accumulation; Table III).
 func (i *Instance) AccrueUptime(d time.Duration) { i.enclave.AccrueUptime(d) }
@@ -514,6 +823,16 @@ func (i *Instance) Shutdown() {
 	i.running = false
 	i.mu.Unlock()
 
+	// The ring closes first so in-flight submissions drain (completed
+	// exactly once with ErrRingClosed) before the dispatcher's TCS is
+	// released and the enclave torn down.
+	if i.ring != nil {
+		i.ring.Close()
+	}
+	if i.dispatcher != nil {
+		i.enclave.LeaveResident(i.dispatcher)
+		i.dispatcher = nil
+	}
 	for _, h := range i.helpers {
 		i.enclave.LeaveResident(h)
 	}

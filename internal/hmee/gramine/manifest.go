@@ -40,6 +40,13 @@ type Manifest struct {
 	// threads (sys.exitless). The paper flags this as insecure for
 	// production; it exists for the §V-B7 optimization ablation.
 	Exitless bool `json:"exitless,omitempty"`
+	// SwitchlessECalls enables the switchless ECALL submission ring: a
+	// dedicated in-enclave dispatcher thread pins one TCS and serves
+	// shared-memory call submissions, so steady-state requests enter with
+	// zero EENTER/EEXIT. Requires one thread beyond the baseline
+	// (MaxThreads >= HelperThreads+2) and changes the enclave measurement
+	// (see DESIGN.md §15 for the TCB delta).
+	SwitchlessECalls bool `json:"switchless_ecalls,omitempty"`
 	// TrustedFiles are measured into MRENCLAVE at build time.
 	TrustedFiles []TrustedFile `json:"trusted_files,omitempty"`
 	// AllowedFiles bypass measurement (config the service may read).
@@ -86,6 +93,9 @@ func (m *Manifest) Validate() error {
 	}
 	if m.Exitless && m.MaxThreads < HelperThreads+2 {
 		return errors.New("gramine: exitless mode needs an extra helper thread (max_threads >= 5)")
+	}
+	if m.SwitchlessECalls && m.MaxThreads < HelperThreads+2 {
+		return errors.New("gramine: switchless ECALLs need a dedicated dispatcher TCS (max_threads >= 5)")
 	}
 	for _, f := range m.TrustedFiles {
 		if f.URI == "" {

@@ -41,6 +41,11 @@ type EnclaveConfig struct {
 	// Preheat pre-faults all heap pages at initialization
 	// (sgx.preheat_enclave), trading load time for stable operation.
 	Preheat bool
+	// Switchless reserves one TCS for a resident ring dispatcher thread
+	// serving shared-memory call submission (see Ring). It changes the
+	// enclave's runtime surface — an always-resident thread polling
+	// untrusted memory — so it is folded into the measurement.
+	Switchless bool
 	// TrustedFiles are measured into the enclave identity at build time.
 	TrustedFiles []MeasuredFile
 	// HeapPages is the number of heap pages the workload touches per
@@ -122,6 +127,11 @@ func (p *Platform) Build(ctx context.Context, cfg EnclaveConfig) (*Enclave, erro
 	h := sha256.New()
 	fmt.Fprintf(h, "enclave:%s:size=%d:threads=%d:preheat=%v",
 		cfg.Name, cfg.SizeBytes, cfg.MaxThreads, cfg.Preheat)
+	if cfg.Switchless {
+		// Folded only when enabled so that switchless-off enclaves keep
+		// the identities sealed data and goldens were produced under.
+		fmt.Fprintf(h, ":switchless=true")
+	}
 	var fileBytes uint64
 	for _, f := range cfg.TrustedFiles {
 		d := f.digest()
@@ -397,6 +407,16 @@ func (t *Thread) OCallExitless(untrustedCycles simclock.Cycles, outBytes, inByte
 	const handoffCycles = 3_000
 	cost := handoffCycles + untrustedCycles + m.ShieldCost(outBytes) + m.ShieldCost(inBytes)
 	e.platform.charge(t.acct, cost)
+}
+
+// ShieldTransfer charges the boundary cost of moving outBytes out of and
+// inBytes into the enclave through shared memory without any transition:
+// the copy-and-shield price a switchless submission pays for its argument
+// and result buffers. No counters move — there is no event hardware would
+// count, only bytes crossing the boundary.
+func (t *Thread) ShieldTransfer(outBytes, inBytes int) {
+	m := t.enclave.platform.model
+	t.enclave.platform.charge(t.acct, m.ShieldCost(outBytes)+m.ShieldCost(inBytes))
 }
 
 // Compute charges n cycles of in-enclave execution. Execution inside the

@@ -1,0 +1,359 @@
+package sgx
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shield5g/internal/simclock"
+)
+
+// testRing builds an enclave, enters a resident dispatcher thread, and
+// starts a ring on it, tearing everything down in reverse order.
+func testRing(t *testing.T, size int) (*Ring, *Enclave) {
+	t.Helper()
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	th, err := e.EnterResident(context.Background())
+	if err != nil {
+		t.Fatalf("EnterResident: %v", err)
+	}
+	r := NewRing(e, th, size)
+	t.Cleanup(func() {
+		r.Close()
+		e.LeaveResident(th)
+	})
+	return r, e
+}
+
+// countJob counts its executions; an optional gate makes it block inside
+// the dispatcher (started is signalled once the dispatcher is inside).
+type countJob struct {
+	runs    atomic.Int32
+	err     error
+	started chan struct{}
+	release chan struct{}
+}
+
+func (j *countJob) Execute(*Thread) error {
+	if j.started != nil {
+		close(j.started)
+	}
+	if j.release != nil {
+		<-j.release
+	}
+	j.runs.Add(1)
+	return j.err
+}
+
+func TestRingWraparound(t *testing.T) {
+	r, _ := testRing(t, 4)
+	ctx := context.Background()
+	// 20 sequential submissions through a 4-slot ring exercise five full
+	// wraps of the Vyukov sequence words.
+	jobs := make([]*countJob, 20)
+	for i := range jobs {
+		jobs[i] = &countJob{}
+		if err := r.Submit(ctx, jobs[i]); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	for i, j := range jobs {
+		if n := j.runs.Load(); n != 1 {
+			t.Fatalf("job %d ran %d times, want exactly 1", i, n)
+		}
+	}
+	st := r.Stats()
+	if st.Submitted != 20 || st.Completed != 20 || st.Drained != 0 {
+		t.Fatalf("stats = %+v, want Submitted=20 Completed=20 Drained=0", st)
+	}
+}
+
+func TestRingSubmitPropagatesJobError(t *testing.T) {
+	r, _ := testRing(t, 0)
+	sentinel := errors.New("job failed")
+	j := &countJob{err: sentinel}
+	if err := r.Submit(context.Background(), j); !errors.Is(err, sentinel) {
+		t.Fatalf("Submit = %v, want the job's own error", err)
+	}
+}
+
+func TestRingBackpressure(t *testing.T) {
+	r, _ := testRing(t, 2)
+	ctx := context.Background()
+
+	// Park the dispatcher inside a job so published entries pile up.
+	blocker := &countJob{started: make(chan struct{}), release: make(chan struct{})}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := r.Submit(ctx, blocker); err != nil {
+			t.Errorf("Submit blocker: %v", err)
+		}
+	}()
+	<-blocker.started
+
+	// Two producers fill both slots, a third finds the ring full and spins.
+	jobs := make([]*countJob, 3)
+	for i := range jobs {
+		jobs[i] = &countJob{}
+		wg.Add(1)
+		go func(j *countJob) {
+			defer wg.Done()
+			if err := r.Submit(ctx, j); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}(jobs[i])
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().Backpressure == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no backpressure observed with a full ring and a blocked dispatcher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(blocker.release)
+	wg.Wait()
+	for i, j := range jobs {
+		if n := j.runs.Load(); n != 1 {
+			t.Fatalf("job %d ran %d times, want exactly 1", i, n)
+		}
+	}
+	st := r.Stats()
+	if st.Submitted != 4 || st.Completed != 4 {
+		t.Fatalf("stats = %+v, want Submitted=4 Completed=4", st)
+	}
+}
+
+func TestRingParkAndWake(t *testing.T) {
+	r, _ := testRing(t, 0)
+	ctx := context.Background()
+	if err := r.Submit(ctx, &countJob{}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// The dispatcher parks after its real spin budget runs dry.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().Parks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never parked on an idle ring")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A submission against a parked dispatcher must still complete: the
+	// kick doorbell may not be lost.
+	j := &countJob{}
+	if err := r.Submit(ctx, j); err != nil {
+		t.Fatalf("Submit after park: %v", err)
+	}
+	if j.runs.Load() != 1 {
+		t.Fatalf("post-park job ran %d times, want 1", j.runs.Load())
+	}
+}
+
+func TestRingCloseDrainsExactlyOnce(t *testing.T) {
+	r, _ := testRing(t, 4)
+	ctx := context.Background()
+
+	blocker := &countJob{started: make(chan struct{}), release: make(chan struct{})}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The blocker is dispatched before Close, so it completes with its
+		// own (nil) result even though the ring closes around it.
+		if err := r.Submit(ctx, blocker); err != nil {
+			t.Errorf("Submit blocker: %v", err)
+		}
+	}()
+	<-blocker.started
+
+	const producers = 8
+	jobs := make([]*countJob, producers)
+	errs := make([]error, producers)
+	for i := 0; i < producers; i++ {
+		jobs[i] = &countJob{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.Submit(ctx, jobs[i])
+		}(i)
+	}
+	// Let the queue fill behind the blocked dispatcher, then tear the ring
+	// down mid-stream while releasing the blocker.
+	for r.Occupancy() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Close()
+		close(done)
+	}()
+	close(blocker.release)
+	wg.Wait()
+	<-done
+
+	if n := blocker.runs.Load(); n != 1 {
+		t.Fatalf("blocker ran %d times, want 1", n)
+	}
+	for i, j := range jobs {
+		runs := j.runs.Load()
+		switch {
+		case errs[i] == nil && runs != 1:
+			t.Fatalf("job %d returned nil but ran %d times, want exactly 1", i, runs)
+		case errors.Is(errs[i], ErrRingClosed) && runs != 0:
+			t.Fatalf("job %d was drained with ErrRingClosed but ran %d times", i, runs)
+		case errs[i] != nil && !errors.Is(errs[i], ErrRingClosed):
+			t.Fatalf("job %d: unexpected error %v", i, errs[i])
+		}
+	}
+	st := r.Stats()
+	if st.Submitted != st.Completed+st.Drained {
+		t.Fatalf("stats = %+v: Submitted != Completed+Drained after Close", st)
+	}
+	// Late submissions against the closed ring fail cleanly, and Close
+	// stays idempotent.
+	if err := r.Submit(ctx, &countJob{}); !errors.Is(err, ErrRingClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrRingClosed", err)
+	}
+	r.Close()
+}
+
+// TestRingChaosCrashRestart tears rings down mid-stream under seeded
+// producer schedules, then rebuilds on the same dispatcher thread — the
+// module crash-restart discipline. Every job must complete exactly once
+// (its own result or ErrRingClosed), never twice, across the crash.
+func TestRingChaosCrashRestart(t *testing.T) {
+	p := testPlatform(t)
+	e := build(t, p, testConfig())
+	th, err := e.EnterResident(context.Background())
+	if err != nil {
+		t.Fatalf("EnterResident: %v", err)
+	}
+	defer e.LeaveResident(th)
+
+	ctx := context.Background()
+	for seed := uint64(0); seed < 5; seed++ {
+		r := NewRing(e, th, 4)
+		const producers = 4
+		// The seed staggers how much work each producer enqueues before
+		// the crash, exercising different drain interleavings.
+		perProducer := 3 + int(seed%4)
+		jobs := make([][]*countJob, producers)
+		errs := make([][]error, producers)
+		var wg sync.WaitGroup
+		for w := 0; w < producers; w++ {
+			jobs[w] = make([]*countJob, perProducer)
+			errs[w] = make([]error, perProducer)
+			for k := range jobs[w] {
+				jobs[w][k] = &countJob{}
+			}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := range jobs[w] {
+					errs[w][k] = r.Submit(ctx, jobs[w][k])
+					if errs[w][k] != nil {
+						// The crash landed; the module is gone.
+						for rest := k + 1; rest < len(errs[w]); rest++ {
+							errs[w][rest] = ErrRingClosed
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		// Crash after a seed-dependent number of completions.
+		crashAt := uint64(1 + seed*2)
+		for r.Stats().Completed < crashAt && r.Stats().Submitted < uint64(producers*perProducer) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		r.Close()
+		wg.Wait()
+
+		for w := range jobs {
+			for k, j := range jobs[w] {
+				runs := j.runs.Load()
+				switch {
+				case errs[w][k] == nil && runs != 1:
+					t.Fatalf("seed %d: job %d/%d returned nil but ran %d times", seed, w, k, runs)
+				case errors.Is(errs[w][k], ErrRingClosed) && runs != 0:
+					t.Fatalf("seed %d: job %d/%d drained but ran %d times", seed, w, k, runs)
+				case errs[w][k] != nil && !errors.Is(errs[w][k], ErrRingClosed):
+					t.Fatalf("seed %d: job %d/%d unexpected error %v", seed, w, k, errs[w][k])
+				}
+			}
+		}
+		if st := r.Stats(); st.Submitted != st.Completed+st.Drained {
+			t.Fatalf("seed %d: stats = %+v: Submitted != Completed+Drained", seed, st)
+		}
+
+		// Restart: a fresh ring on the same resident thread serves again.
+		r2 := NewRing(e, th, 4)
+		j := &countJob{}
+		if err := r2.Submit(ctx, j); err != nil {
+			t.Fatalf("seed %d: Submit after restart: %v", seed, err)
+		}
+		if j.runs.Load() != 1 {
+			t.Fatalf("seed %d: restarted ring ran job %d times, want 1", seed, j.runs.Load())
+		}
+		r2.Close()
+	}
+}
+
+// TestRingDoorbellDeterministic replays the same sequential submission
+// pattern on two same-seed platforms: the virtual doorbell/poll accounting
+// and the enclave transition counters must match bit for bit.
+func TestRingDoorbellDeterministic(t *testing.T) {
+	run := func() (RingStats, StatsSnapshot, simclock.Cycles) {
+		p, err := NewPlatform(PlatformConfig{Seed: 7})
+		if err != nil {
+			t.Fatalf("NewPlatform: %v", err)
+		}
+		e, err := p.Build(context.Background(), testConfig())
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		defer e.Destroy()
+		th, err := e.EnterResident(context.Background())
+		if err != nil {
+			t.Fatalf("EnterResident: %v", err)
+		}
+		defer e.LeaveResident(th)
+		r := NewRing(e, th, 0)
+		var acct simclock.Account
+		ctx := simclock.WithAccount(context.Background(), &acct)
+		for i := 0; i < 32; i++ {
+			if err := r.Submit(ctx, &countJob{}); err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+		}
+		r.Close()
+		st := r.Stats()
+		st.Parks = 0 // real-axis, timing-dependent by design
+		return st, e.Stats(), acct.Total()
+	}
+	stA, encA, cycA := run()
+	stB, encB, cycB := run()
+	if stA != stB {
+		t.Fatalf("ring stats diverged across same-seed replays: %+v vs %+v", stA, stB)
+	}
+	if encA != encB {
+		t.Fatalf("enclave stats diverged across same-seed replays: %+v vs %+v", encA, encB)
+	}
+	if cycA != cycB {
+		t.Fatalf("charged cycles diverged across same-seed replays: %d vs %d", cycA, cycB)
+	}
+	// The first submission of an idle ring pays the doorbell ECALL; the
+	// back-to-back rest ride the spinning dispatcher.
+	if stA.Doorbells == 0 {
+		t.Fatal("no doorbell charged on the first submission of an idle ring")
+	}
+	if stA.Doorbells == stA.Submitted {
+		t.Fatal("every submission paid a doorbell; the virtual spin budget never absorbed one")
+	}
+}

@@ -1,0 +1,35 @@
+package udm
+
+import "testing"
+
+// TestRefillCountCoalescing pins the batch-widening arithmetic: a refill
+// mints the configured batch, widened by the switchless-ring occupancy
+// hint and capped at one full ring plus the vector being served — never
+// below the configured batch, and exactly the batch whenever the hint is
+// absent, zero, or negative (the deterministic sequential-replay path).
+func TestRefillCountCoalescing(t *testing.T) {
+	cases := []struct {
+		name         string
+		depth, batch int
+		hint         func() int
+		want         int
+	}{
+		{"nil hint keeps batch", 8, 4, nil, 4},
+		{"zero hint keeps batch", 8, 4, func() int { return 0 }, 4},
+		{"negative hint keeps batch", 8, 4, func() int { return -3 }, 4},
+		{"hint widens by queued demand", 8, 4, func() int { return 3 }, 7},
+		{"widening caps at depth+1", 8, 4, func() int { return 100 }, 9},
+		{"exact cap boundary", 8, 4, func() int { return 5 }, 9},
+		{"cap never shrinks below batch", 2, 8, func() int { return 5 }, 8},
+		{"batch at cap stays put", 8, 9, func() int { return 1 }, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := &UDM{pool: newAVPool(tc.depth, tc.batch), coalesceHint: tc.hint}
+			if got := u.refillCount(); got != tc.want {
+				t.Fatalf("refillCount(depth=%d, batch=%d) = %d, want %d",
+					tc.depth, tc.batch, got, tc.want)
+			}
+		})
+	}
+}

@@ -42,6 +42,13 @@ type Config struct {
 	// Exitless enables Gramine's switchless OCALLs (§V-B7 ablation;
 	// the paper flags the feature as not production-ready). SGX only.
 	Exitless bool
+	// Switchless enables the switchless ECALL submission ring: a
+	// dedicated in-enclave dispatcher thread pins one TCS and serves
+	// shared-memory submissions, so steady-state requests cross with
+	// zero EENTER/EEXIT. Changes the enclave measurement (DESIGN.md
+	// §15) and bumps the manifest thread count for the dispatcher TCS.
+	// Requests opt in per call with WithSwitchless. SGX only.
+	Switchless bool
 	// UserLevelTCP links an mTCP-style user-level network stack into
 	// the module, collapsing the per-request syscall census at the cost
 	// of a larger TCB (§V-B7 ablation).
@@ -208,6 +215,21 @@ func buildSGXRuntime(ctx context.Context, cfg Config, profile Profile) (Runtime,
 		// slot permanently; batch ECALLs need a spare one to enter.
 		if manifest.MaxThreads < gramine.HelperThreads+2 {
 			manifest.MaxThreads = gramine.HelperThreads + 2
+		}
+	}
+	if cfg.Switchless {
+		manifest.SwitchlessECalls = true
+		// The ring dispatcher pins a TCS of its own on top of the resident
+		// server thread.
+		need := gramine.HelperThreads + 2
+		if cfg.ReserveBatchTCS {
+			// The AV-pool prewarm still enters through a classic batch
+			// ECALL (it runs before any connection negotiates the ring),
+			// so the spare batch slot must survive the dispatcher pin.
+			need = gramine.HelperThreads + 3
+		}
+		if manifest.MaxThreads < need {
+			manifest.MaxThreads = need
 		}
 	}
 
@@ -621,6 +643,36 @@ func (m *Module) Enclave() *sgx.Enclave {
 		return rt.enclave()
 	}
 	return nil
+}
+
+// WithSwitchless marks ctx's requests as willing to use the module's
+// switchless ECALL ring when the module was deployed with
+// Config.Switchless. Calls without the mark (and all calls to modules
+// without a ring) take the classic ECALL path unchanged.
+func WithSwitchless(ctx context.Context) context.Context {
+	return sgx.WithSwitchless(ctx)
+}
+
+// RingOccupancy reports the instantaneous depth of the module's
+// switchless submission ring: how many submitted calls the in-enclave
+// dispatcher has not yet consumed. Zero when the module is not
+// SGX-isolated or was deployed without Config.Switchless. The eUDM AV
+// pool uses it as a coalescing hint to widen refill batches while
+// demand is queued.
+func (m *Module) RingOccupancy() int {
+	if rt, ok := m.rt().(*sgxRuntime); ok {
+		return rt.inst.RingOccupancy()
+	}
+	return 0
+}
+
+// RingStats snapshots the switchless ring counters (zero-valued when no
+// ring is attached).
+func (m *Module) RingStats() sgx.RingStats {
+	if rt, ok := m.rt().(*sgxRuntime); ok {
+		return rt.inst.RingStats()
+	}
+	return sgx.RingStats{}
 }
 
 // FunctionalLatency returns the recorder of module-side L_F samples.

@@ -126,7 +126,16 @@ func newSGXRuntime(ctx context.Context, p *sgx.Platform, si *gramine.ShieldedIma
 	return &sgxRuntime{inst: inst}, nil
 }
 
+// The switchless/classic split below is deliberate: the two branches pass
+// two distinct closure literals. The switchless entries store their
+// handler in a pooled ring job, so that literal escapes; keeping the
+// classic literal separate (and the classic gramine entries free of any
+// ring branch) lets escape analysis keep it on the stack — one fewer heap
+// allocation per request on the non-switchless hot path.
 func (r *sgxRuntime) ServeRequest(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	if sgx.SwitchlessFrom(ctx) {
+		return r.inst.ServeRequestSwitchless(ctx, in, out, func(th *sgx.Thread) error { return handler(th) })
+	}
 	return r.inst.ServeRequest(ctx, in, out, func(th *sgx.Thread) error { return handler(th) })
 }
 
@@ -143,6 +152,9 @@ type sgxSession struct {
 }
 
 func (s sgxSession) Serve(ctx context.Context, in, out int, handler func(Exec) error) (Breakdown, error) {
+	if s.sess.Switchless() {
+		return s.sess.ServeSwitchless(ctx, in, out, func(th *sgx.Thread) error { return handler(th) })
+	}
 	return s.sess.Serve(ctx, in, out, func(th *sgx.Thread) error { return handler(th) })
 }
 
@@ -153,6 +165,9 @@ func (r *sgxRuntime) Do(ctx context.Context, fn func(Exec) error) error {
 }
 
 func (r *sgxRuntime) DoBatch(ctx context.Context, argBytes, retBytes int, fn func(Exec) error) error {
+	if sgx.SwitchlessFrom(ctx) {
+		return r.inst.DoBatchSwitchless(ctx, argBytes, retBytes, func(th *sgx.Thread) error { return fn(th) })
+	}
 	return r.inst.DoBatch(ctx, argBytes, retBytes, func(th *sgx.Thread) error { return fn(th) })
 }
 

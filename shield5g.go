@@ -222,6 +222,14 @@ const (
 // Module is one deployed P-AKA microservice.
 type Module = paka.Module
 
+// WithSwitchless marks ctx's requests as willing to ride a module's
+// switchless ECALL ring when the slice negotiated one
+// (SliceConfig.Switchless). The mass drivers set it from
+// MassOptions.Switchless; single-call paths opt in per request.
+func WithSwitchless(ctx context.Context) context.Context {
+	return paka.WithSwitchless(ctx)
+}
+
 // Enclave is a simulated SGX enclave (sealing, attestation,
 // introspection).
 type Enclave = sgx.Enclave

@@ -1,0 +1,232 @@
+package shield5g_test
+
+import (
+	"context"
+	"testing"
+
+	"shield5g"
+	"shield5g/internal/hmee/sgx"
+)
+
+// moduleWindow is one module's transition census over a measured mass
+// registration, normalized per registration.
+type moduleWindow struct {
+	EEnterPerReg float64
+	EExitPerReg  float64
+	AEXPerReg    float64
+	OCallsPerReg float64
+}
+
+// switchlessWindow runs a steady-state batch-8 binary-SBI mass
+// registration (100 UEs, warm chain, provisioning outside the window)
+// and returns each module's per-registration transition breakdown. The
+// AV pool stays off so all three modules serve inside the window —
+// with a prewarmed pool eUDM is idle in-window (its DoBatch refills
+// all land during prewarm) and its census would measure nothing.
+func switchlessWindow(t *testing.T, switchless bool) map[shield5g.ModuleKind]moduleWindow {
+	t.Helper()
+	ctx := context.Background()
+	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{
+		Isolation:  shield5g.SGX,
+		Seed:       1,
+		BinarySBI:  true,
+		Switchless: switchless,
+	})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+
+	warm, err := tb.AddSubscriber(ctx, benchKey, nil)
+	if err != nil {
+		t.Fatalf("AddSubscriber(warm): %v", err)
+	}
+	if _, err := tb.Register(ctx, warm); err != nil {
+		t.Fatalf("warm Register: %v", err)
+	}
+
+	const n = 100
+	devices := make([]*shield5g.UE, n)
+	for i := range devices {
+		sub, err := tb.AddSubscriber(ctx, benchKey, nil)
+		if err != nil {
+			t.Fatalf("AddSubscriber(%d): %v", i, err)
+		}
+		devices[i] = sub.UE
+	}
+
+	before := make(map[shield5g.ModuleKind]sgx.StatsSnapshot, len(tb.Slice.Modules))
+	for kind, m := range tb.Slice.Modules {
+		before[kind] = m.Stats()
+	}
+	res, err := tb.Slice.GNB.RegisterManyWith(ctx, shield5g.MassOptions{
+		N:          n,
+		NewUE:      func(i int) (*shield5g.UE, error) { return devices[i], nil },
+		BatchSize:  8,
+		Switchless: switchless,
+	})
+	if err != nil {
+		t.Fatalf("RegisterManyWith: %v", err)
+	}
+	if res.Failed > 0 {
+		t.Fatalf("%d of %d registrations failed", res.Failed, n)
+	}
+
+	windows := make(map[shield5g.ModuleKind]moduleWindow, len(tb.Slice.Modules))
+	for kind, m := range tb.Slice.Modules {
+		d := m.Stats().Sub(before[kind])
+		windows[kind] = moduleWindow{
+			EEnterPerReg: float64(d.EENTER) / n,
+			EExitPerReg:  float64(d.EEXIT) / n,
+			AEXPerReg:    float64(d.AEX) / n,
+			OCallsPerReg: float64(d.OCALLs) / n,
+		}
+	}
+	return windows
+}
+
+// TestSwitchlessChaosCrashRestartDrainsRing crosses the switchless ring
+// with the fault injector's crash class: mid-run enclave crash-restarts
+// (which close, drain, and rebuild the module's ring) must not lose or
+// double-complete any submission. Every registration converges within
+// the retry budget, the redeployed modules keep serving through fresh
+// rings, and each live ring's census balances exactly
+// (Submitted == Completed + Drained).
+func TestSwitchlessChaosCrashRestartDrainsRing(t *testing.T) {
+	ctx := context.Background()
+	mix := shield5g.ChaosConfig{Seed: 3, CrashRate: 0.05}
+	tb, err := shield5g.NewTestbed(ctx, shield5g.SliceConfig{
+		Isolation:  shield5g.SGX,
+		Seed:       3,
+		BinarySBI:  true,
+		Switchless: true,
+		Chaos:      &mix,
+	})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+
+	const n = 60
+	devices := make([]*shield5g.UE, n)
+	for i := range devices {
+		sub, err := tb.AddSubscriber(ctx, benchKey, nil)
+		if err != nil {
+			t.Fatalf("AddSubscriber(%d): %v", i, err)
+		}
+		devices[i] = sub.UE
+	}
+	res, err := tb.Slice.GNB.RegisterManyWith(ctx, shield5g.MassOptions{
+		N:           n,
+		NewUE:       func(i int) (*shield5g.UE, error) { return devices[i], nil },
+		BatchSize:   8,
+		Switchless:  true,
+		MaxAttempts: 5,
+	})
+	if err != nil {
+		t.Fatalf("RegisterManyWith: %v", err)
+	}
+	if res.Failed > 0 {
+		t.Fatalf("%d of %d registrations failed under crash chaos", res.Failed, n)
+	}
+	if crashes := tb.Slice.Chaos.Counts()["crash"]; crashes == 0 {
+		t.Fatal("the seed drew no crashes; the test exercised nothing")
+	}
+	for kind, m := range tb.Slice.Modules {
+		st := m.RingStats()
+		if st.Submitted == 0 {
+			t.Errorf("%s: ring served nothing after crash-restart", kind)
+		}
+		if st.Submitted != st.Completed+st.Drained {
+			t.Errorf("%s: ring census imbalanced: submitted=%d completed=%d drained=%d",
+				kind, st.Submitted, st.Completed, st.Drained)
+		}
+	}
+
+	// The slice keeps working after the last redeploy.
+	sub, err := tb.AddSubscriber(ctx, benchKey, nil)
+	if err != nil {
+		t.Fatalf("AddSubscriber(post): %v", err)
+	}
+	if _, err := tb.Register(shield5g.WithSwitchless(ctx), sub); err != nil {
+		t.Fatalf("post-chaos Register: %v", err)
+	}
+}
+
+// TestSwitchlessPerModuleTransitions pins the per-module transition
+// profile of the switchless ring against the classic ECALL path on the
+// same seed and workload.
+//
+// Assertions, per module:
+//   - EENTER and EEXIT per registration drop by >= 85% when the ring is
+//     on (empirically ~99%: eAUSF 19.20 -> 0.26, eUDM 19.13 -> 0.14,
+//     eAMF 18.96 -> 0.13).
+//   - AEX per registration is bit-identical across modes: asynchronous
+//     exits come from the platform's deterministic interrupt schedule,
+//     not from how requests cross the boundary, so the ring must not
+//     perturb them.
+//   - OCALLs per registration are bit-identical across modes: the ring
+//     eliminates the EENTER/EEXIT cycle of the call itself, but every
+//     service the enclave asks of the host is still an OCALL even when
+//     its handoff is exitless.
+//
+// In-window ordering: eAUSF pays the most transitions in both modes
+// (it fields DeriveSE per registration plus the resync round trips),
+// with eUDM and eAMF close behind. This differs from the module-
+// lifetime view where eUDM dominates via AV-batch minting — batch-8
+// keep-alive sessions amortize entry jigs enough that the per-window
+// spread between modules is small, and prewarm moves eUDM's minting
+// out of any steady-state window entirely.
+func TestSwitchlessPerModuleTransitions(t *testing.T) {
+	classic := switchlessWindow(t, false)
+	ring := switchlessWindow(t, true)
+
+	kinds := []shield5g.ModuleKind{shield5g.EUDM, shield5g.EAUSF, shield5g.EAMF}
+	for _, kind := range kinds {
+		c, ok := classic[kind]
+		if !ok {
+			t.Fatalf("classic run has no %s module", kind)
+		}
+		r, ok := ring[kind]
+		if !ok {
+			t.Fatalf("switchless run has no %s module", kind)
+		}
+		t.Logf("%s: classic EENTER/reg=%.3f AEX/reg=%.3f OCALLs/reg=%.3f | switchless EENTER/reg=%.3f AEX/reg=%.3f OCALLs/reg=%.3f",
+			kind, c.EEnterPerReg, c.AEXPerReg, c.OCallsPerReg,
+			r.EEnterPerReg, r.AEXPerReg, r.OCallsPerReg)
+
+		if c.EEnterPerReg < 10 {
+			t.Errorf("%s: classic path shows only %.3f EENTER/reg; the window is not exercising the module", kind, c.EEnterPerReg)
+		}
+		if want := c.EEnterPerReg * 0.15; r.EEnterPerReg > want {
+			t.Errorf("%s: switchless EENTER/reg = %.3f, want <= %.3f (>= 85%% drop from classic %.3f)",
+				kind, r.EEnterPerReg, want, c.EEnterPerReg)
+		}
+		if want := c.EExitPerReg * 0.15; r.EExitPerReg > want {
+			t.Errorf("%s: switchless EEXIT/reg = %.3f, want <= %.3f (>= 85%% drop from classic %.3f)",
+				kind, r.EExitPerReg, want, c.EExitPerReg)
+		}
+		if r.AEXPerReg != c.AEXPerReg {
+			t.Errorf("%s: AEX/reg changed with the ring (classic %.3f, switchless %.3f); AEX must be mode-independent",
+				kind, c.AEXPerReg, r.AEXPerReg)
+		}
+		if r.OCallsPerReg != c.OCallsPerReg {
+			t.Errorf("%s: OCALLs/reg changed with the ring (classic %.3f, switchless %.3f); exitless handoff must still count every OCALL",
+				kind, c.OCallsPerReg, r.OCallsPerReg)
+		}
+	}
+
+	// eAUSF carries the heaviest in-window transition load in both modes.
+	for name, w := range map[string]map[shield5g.ModuleKind]moduleWindow{"classic": classic, "switchless": ring} {
+		ausf := w[shield5g.EAUSF].EEnterPerReg
+		for _, kind := range kinds {
+			if kind == shield5g.EAUSF {
+				continue
+			}
+			if got := w[kind].EEnterPerReg; got > ausf {
+				t.Errorf("%s: %s EENTER/reg (%.3f) exceeds eAUSF's (%.3f); expected eAUSF to lead the in-window census",
+					name, kind, got, ausf)
+			}
+		}
+	}
+}
